@@ -1,0 +1,41 @@
+//! Bench target for the paper's ablations: prints the reproduced
+//! rows/series, then times a simulator kernel under Criterion.
+//!
+//! Run with `cargo bench --bench ablations`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// simulating 2000 Bloom-rejected lookups.
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_bloom_misses", |b| {
+        b.iter(|| {
+            let mut d = kvssd_core::KvSsd::new(
+                kvssd_flash::Geometry::small(),
+                kvssd_flash::FlashTiming::pm983_like(),
+                kvssd_core::KvConfig::small(),
+            );
+            let mut t = kvssd_sim::SimTime::ZERO;
+            for i in 0..2_000u64 {
+                let key = format!("missing.{i:08}");
+                let l = d.retrieve(t, key.as_bytes()).unwrap();
+                t = l.at;
+            }
+            std::hint::black_box(t);
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the figure (captured into bench_output.txt).
+    experiments::ablations::report(Scale::from_env());
+
+    // 2. Time the kernel.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .configure_from_args();
+    kernel(&mut c);
+    c.final_summary();
+}

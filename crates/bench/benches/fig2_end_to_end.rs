@@ -1,0 +1,35 @@
+//! Bench target for the paper's fig2: prints the reproduced
+//! rows/series, then times a simulator kernel under Criterion.
+//!
+//! Run with `cargo bench --bench fig2_end_to_end`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// simulating 1000 KV-SSD inserts at QD 8.
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_kv_insert_1k", |b| {
+        b.iter(|| {
+            let mut s = kvssd_bench::setup::kv_ssd();
+            let spec = kvssd_kvbench::WorkloadSpec::new("k", 1_000, 1_000)
+                .mix(kvssd_kvbench::OpMix::InsertOnly)
+                .queue_depth(8);
+            let m = kvssd_kvbench::run_phase(&mut s, &spec, kvssd_sim::SimTime::ZERO);
+            std::hint::black_box(m.finished);
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the figure (captured into bench_output.txt).
+    experiments::fig2::report(Scale::from_env());
+
+    // 2. Time the kernel.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .configure_from_args();
+    kernel(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,38 @@
+//! Bench target for the paper's fig3: prints the reproduced
+//! rows/series, then times a simulator kernel under Criterion.
+//!
+//! Run with `cargo bench --bench fig3_index_occupancy`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// simulating 500 stores against an overflowed index.
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_kv_index_overflow_probe", |b| {
+        b.iter(|| {
+            let mut cfg = kvssd_core::KvConfig::pm983_scaled();
+            cfg.index_dram_bytes = 64 * 1024;
+            let mut s = kvssd_bench::setup::kv_ssd_with(cfg);
+            let spec = kvssd_kvbench::WorkloadSpec::new("k", 500, 500)
+                .mix(kvssd_kvbench::OpMix::InsertOnly)
+                .value(kvssd_kvbench::ValueSize::Fixed(512))
+                .queue_depth(8);
+            let m = kvssd_kvbench::run_phase(&mut s, &spec, kvssd_sim::SimTime::ZERO);
+            std::hint::black_box(m.finished);
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the figure (captured into bench_output.txt).
+    experiments::fig3::report(Scale::from_env());
+
+    // 2. Time the kernel.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .configure_from_args();
+    kernel(&mut c);
+    c.final_summary();
+}

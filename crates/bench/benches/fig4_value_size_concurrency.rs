@@ -1,0 +1,36 @@
+//! Bench target for the paper's fig4: prints the reproduced
+//! rows/series, then times a simulator kernel under Criterion.
+//!
+//! Run with `cargo bench --bench fig4_value_size_concurrency`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// simulating 200 split-blob (32 KiB) stores.
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_split_blob_store", |b| {
+        b.iter(|| {
+            let mut s = kvssd_bench::setup::kv_ssd();
+            let spec = kvssd_kvbench::WorkloadSpec::new("k", 200, 200)
+                .mix(kvssd_kvbench::OpMix::InsertOnly)
+                .value(kvssd_kvbench::ValueSize::Fixed(32 * 1024))
+                .queue_depth(8);
+            let m = kvssd_kvbench::run_phase(&mut s, &spec, kvssd_sim::SimTime::ZERO);
+            std::hint::black_box(m.finished);
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the figure (captured into bench_output.txt).
+    experiments::fig4::report(Scale::from_env());
+
+    // 2. Time the kernel.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .configure_from_args();
+    kernel(&mut c);
+    c.final_summary();
+}

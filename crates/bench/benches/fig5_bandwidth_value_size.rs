@@ -1,0 +1,35 @@
+//! Bench target for the paper's fig5: prints the reproduced
+//! rows/series, then times a simulator kernel under Criterion.
+//!
+//! Run with `cargo bench --bench fig5_bandwidth_value_size`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// simulating 1000 sequential block writes at QD 32.
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_block_seq_write_1k", |b| {
+        b.iter(|| {
+            let mut d = kvssd_bench::setup::block_ssd();
+            let mut r = kvssd_sim::QueueRunner::new(32);
+            for i in 0..1_000u64 {
+                r.submit(|t| d.write(t, i * 4096, 4096).unwrap());
+            }
+            std::hint::black_box(r.drain());
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the figure (captured into bench_output.txt).
+    experiments::fig5::report(Scale::from_env());
+
+    // 2. Time the kernel.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .configure_from_args();
+    kernel(&mut c);
+    c.final_summary();
+}

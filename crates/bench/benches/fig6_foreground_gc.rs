@@ -1,0 +1,40 @@
+//! Bench target for the paper's fig6: prints the reproduced
+//! rows/series, then times a simulator kernel under Criterion.
+//!
+//! Run with `cargo bench --bench fig6_foreground_gc`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// simulating overwrite churn on a small full device.
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_kv_gc_churn", |b| {
+        b.iter(|| {
+            let mut d = kvssd_core::KvSsd::new(
+                kvssd_flash::Geometry::small(),
+                kvssd_flash::FlashTiming::pm983_like(),
+                kvssd_core::KvConfig::small(),
+            );
+            let mut t = kvssd_sim::SimTime::ZERO;
+            for i in 0..600u64 {
+                let key = format!("gc.key.{:08}", i % 200);
+                t = d.store(t, key.as_bytes(), kvssd_core::Payload::synthetic(4096, i)).unwrap();
+            }
+            std::hint::black_box(t);
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the figure (captured into bench_output.txt).
+    experiments::fig6::report(Scale::from_env());
+
+    // 2. Time the kernel.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .configure_from_args();
+    kernel(&mut c);
+    c.final_summary();
+}

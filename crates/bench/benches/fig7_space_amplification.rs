@@ -1,0 +1,36 @@
+//! Bench target for the paper's fig7: prints the reproduced
+//! rows/series, then times a simulator kernel under Criterion.
+//!
+//! Run with `cargo bench --bench fig7_space_amplification`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// simulating blob layout planning across sizes.
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_blob_layout_plan", |b| {
+        b.iter(|| {
+            let cfg = kvssd_core::KvConfig::pm983_scaled();
+            let mut total = 0u64;
+            for v in (0..2_000u64).map(|i| i * 37 % 66_000) {
+                let l = kvssd_core::blob::BlobLayout::plan(&cfg, 16, v);
+                total += l.allocated_bytes();
+            }
+            std::hint::black_box(total);
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the figure (captured into bench_output.txt).
+    experiments::fig7::report(Scale::from_env());
+
+    // 2. Time the kernel.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .configure_from_args();
+    kernel(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,37 @@
+//! Bench target for the paper's fig8: prints the reproduced
+//! rows/series, then times a simulator kernel under Criterion.
+//!
+//! Run with `cargo bench --bench fig8_key_size_commands`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// simulating 500 stores with 128 B keys.
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_large_key_stores", |b| {
+        b.iter(|| {
+            let mut s = kvssd_bench::setup::kv_ssd();
+            let spec = kvssd_kvbench::WorkloadSpec::new("k", 500, 500)
+                .mix(kvssd_kvbench::OpMix::InsertOnly)
+                .key_bytes(128)
+                .value(kvssd_kvbench::ValueSize::Fixed(128))
+                .queue_depth(32);
+            let m = kvssd_kvbench::run_phase(&mut s, &spec, kvssd_sim::SimTime::ZERO);
+            std::hint::black_box(m.finished);
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the figure (captured into bench_output.txt).
+    experiments::fig8::report(Scale::from_env());
+
+    // 2. Time the kernel.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .configure_from_args();
+    kernel(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,37 @@
+//! Bench target for the paper's headline: prints the reproduced
+//! rows/series, then times a simulator kernel under Criterion.
+//!
+//! Run with `cargo bench --bench headline_ratios`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// simulating 500 mixed ops on KV and block devices.
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_mixed_direct_io", |b| {
+        b.iter(|| {
+            let mut kv = kvssd_bench::setup::kv_ssd();
+            let mut blk = kvssd_bench::setup::block_direct(4096);
+            let spec = kvssd_kvbench::WorkloadSpec::new("k", 500, 500)
+                .mix(kvssd_kvbench::OpMix::InsertOnly)
+                .queue_depth(8);
+            let a = kvssd_kvbench::run_phase(&mut kv, &spec, kvssd_sim::SimTime::ZERO);
+            let b = kvssd_kvbench::run_phase(&mut blk, &spec, kvssd_sim::SimTime::ZERO);
+            std::hint::black_box((a.finished, b.finished));
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the figure (captured into bench_output.txt).
+    experiments::headline::report(Scale::from_env());
+
+    // 2. Time the kernel.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .configure_from_args();
+    kernel(&mut c);
+    c.final_summary();
+}

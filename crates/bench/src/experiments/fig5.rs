@@ -1,0 +1,106 @@
+//! Fig. 5 — write bandwidth vs. value size: the zig-zag.
+//!
+//! Paper finding: the block-SSD's write bandwidth is smooth in value
+//! size, but the KV-SSD's dips sharply just past each multiple of its
+//! per-page value budget (~24 KiB: dips at 25 KiB, 49 KiB, ...), because
+//! the tail segment of a split blob occupies a page of its own plus
+//! offset bookkeeping.
+
+use kvssd_kvbench::report::{bytes, f2};
+use kvssd_kvbench::Table;
+use kvssd_sim::SimTime;
+
+use crate::{setup, Scale};
+
+/// The sweep's value sizes: straddling the 24 KiB / 48 KiB boundaries.
+pub const VALUE_SIZES: [u32; 12] = [
+    4 * 1024,
+    8 * 1024,
+    16 * 1024,
+    20 * 1024,
+    24 * 1024,
+    25 * 1024,
+    28 * 1024,
+    32 * 1024,
+    40 * 1024,
+    48 * 1024,
+    49 * 1024,
+    64 * 1024,
+];
+
+/// One value-size point.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Value size in bytes.
+    pub value_bytes: u32,
+    /// KV-SSD insert bandwidth, MB/s of user data.
+    pub kv_mbps: f64,
+    /// Block-SSD insert bandwidth, MB/s.
+    pub blk_mbps: f64,
+}
+
+/// The figure's series.
+#[derive(Debug, Clone, Default)]
+pub struct Fig5Result {
+    /// One row per value size, ascending.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5Result {
+    /// The KV bandwidth at a size.
+    pub fn kv_mbps(&self, value_bytes: u32) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.value_bytes == value_bytes)
+            .map(|r| r.kv_mbps)
+            .unwrap_or_else(|| panic!("missing size {value_bytes}"))
+    }
+}
+
+/// Runs the experiment: insert-only at QD 64, fixed total volume.
+pub fn run(scale: Scale) -> Fig5Result {
+    let volume = scale.pick(24 << 20, 300 << 20, 1 << 30);
+    let mut out = Fig5Result::default();
+    for &vs in &VALUE_SIZES {
+        let n = (volume / vs as u64).max(200);
+        let mut kv = setup::kv_ssd();
+        let m = crate::experiments::fill(&mut kv, n, vs, 64, SimTime::ZERO);
+        let kv_mbps = m.mean_mbps();
+        let mut blk = setup::block_direct(vs);
+        let m = crate::experiments::fill(&mut blk, n, vs, 64, SimTime::ZERO);
+        out.rows.push(Fig5Row {
+            value_bytes: vs,
+            kv_mbps,
+            blk_mbps: m.mean_mbps(),
+        });
+    }
+    out
+}
+
+/// Prints the paper-shaped series.
+pub fn report(scale: Scale) -> Fig5Result {
+    let res = run(scale);
+    println!("\n=== Fig. 5: write bandwidth vs value size (insert-only, QD 64) ===");
+    let mut t = Table::new(&["value", "KV-SSD MB/s", "block MB/s", "KV/blk"]);
+    for r in &res.rows {
+        t.row(&[
+            &bytes(r.value_bytes as u64),
+            &f2(r.kv_mbps),
+            &f2(r.blk_mbps),
+            &f2(r.kv_mbps / r.blk_mbps),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "KV dip past the page budget: 24KiB -> 25KiB bandwidth {:.2} -> {:.2} MB/s ({:.0}% drop; paper shows a sharp dip)",
+        res.kv_mbps(24 * 1024),
+        res.kv_mbps(25 * 1024),
+        100.0 * (1.0 - res.kv_mbps(25 * 1024) / res.kv_mbps(24 * 1024)),
+    );
+    println!(
+        "KV recovery then second dip: 48KiB {:.2} MB/s -> 49KiB {:.2} MB/s",
+        res.kv_mbps(48 * 1024),
+        res.kv_mbps(49 * 1024),
+    );
+    res
+}

@@ -1,0 +1,52 @@
+//! The paper's experiments, one module per table/figure.
+//!
+//! Every module exposes `run(scale) -> <ResultType>` returning structured
+//! measurements (integration tests assert on those) and `report(scale)`
+//! printing the paper-shaped rows.
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod headline;
+
+use kvssd_kvbench::{run_phase, AccessPattern, KvStore, OpMix, RunMetrics, ValueSize, WorkloadSpec};
+use kvssd_sim::SimTime;
+
+/// Fills a store with `n` sequential-order keys of `value_bytes` values
+/// at queue depth `qd`; returns the fill metrics.
+pub(crate) fn fill(
+    store: &mut dyn KvStore,
+    n: u64,
+    value_bytes: u32,
+    qd: usize,
+    start: SimTime,
+) -> RunMetrics {
+    let spec = WorkloadSpec::new("fill", n, n)
+        .mix(OpMix::InsertOnly)
+        .pattern(AccessPattern::Sequential)
+        .value(ValueSize::Fixed(value_bytes))
+        .queue_depth(qd);
+    run_phase(store, &spec, start)
+}
+
+/// Public wrapper around the internal fill helper, for diagnostic
+/// examples and tests.
+pub fn fill_pub(
+    store: &mut dyn KvStore,
+    n: u64,
+    value_bytes: u32,
+    qd: usize,
+    start: SimTime,
+) -> RunMetrics {
+    fill(store, n, value_bytes, qd, start)
+}
+
+/// Settle time inserted between phases so buffered state drains.
+pub(crate) fn settle(t: SimTime) -> SimTime {
+    t + kvssd_sim::SimDuration::from_millis(200)
+}

@@ -1,0 +1,69 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each bench target under `benches/` prints the corresponding figure's
+//! rows/series (captured into `bench_output.txt` by the top-level
+//! `cargo bench` run) and then times a small scenario kernel under
+//! Criterion. The experiment logic lives here so integration tests can
+//! assert on the *shapes* (who wins, where the crossovers fall) without
+//! re-running the benches.
+//!
+//! Scale: experiments default to a laptop-friendly size; set
+//! `KVSSD_BENCH_SCALE=full` for populations closer to the scaled-paper
+//! sizes (several times slower).
+
+pub mod experiments;
+pub mod setup;
+
+/// Experiment scale, selected via `KVSSD_BENCH_SCALE`
+/// (`tiny`|`quick`|`full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal populations for (debug-build) integration tests: shapes
+    /// hold, absolute numbers are noisy.
+    Tiny,
+    /// CI-sized populations (the default for `cargo bench`).
+    Quick,
+    /// Populations near the scaled-paper sizes.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("KVSSD_BENCH_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            Ok("tiny") => Scale::Tiny,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks the value for this scale.
+    pub fn pick(self, tiny: u64, quick: u64, full: u64) -> u64 {
+        match self {
+            Scale::Tiny => tiny,
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_picks_by_variant() {
+        assert_eq!(Scale::Tiny.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Quick.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn env_scale_defaults_to_quick() {
+        // (No env mutation: just check the default path when the
+        // variable is absent or unknown.)
+        if std::env::var("KVSSD_BENCH_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+    }
+}

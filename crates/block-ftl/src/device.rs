@@ -1,0 +1,1328 @@
+//! The block-SSD device: NVMe link + page-mapped FTL over shared NAND.
+//!
+//! See the crate docs for the firmware policies modeled here. The
+//! implementation keeps *exact* mapping/validity state (via
+//! [`MappingTable`]) while timing falls out of the shared flash, link,
+//! and buffer resources.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use kvssd_flash::{BlockId, FlashDevice, FlashTiming, Geometry, PageAddr};
+use kvssd_nvme::NvmeLink;
+use kvssd_sim::{SimDuration, SimTime};
+
+use crate::config::BlockFtlConfig;
+use crate::mapping::{MappingTable, PhysLoc};
+
+/// Host-visible I/O errors (contract violations by the host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockIoError {
+    /// Offset or length not sector-aligned.
+    Unaligned {
+        /// The offending byte offset.
+        offset: u64,
+        /// The offending byte length.
+        len: u64,
+    },
+    /// Access past the end of the logical address space.
+    OutOfRange {
+        /// Requested end offset.
+        end: u64,
+        /// Logical capacity in bytes.
+        capacity: u64,
+    },
+    /// Zero-length I/O.
+    ZeroLength,
+}
+
+impl std::fmt::Display for BlockIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockIoError::Unaligned { offset, len } => {
+                write!(f, "unaligned access at offset {offset}, len {len}")
+            }
+            BlockIoError::OutOfRange { end, capacity } => {
+                write!(f, "access ends at {end} past capacity {capacity}")
+            }
+            BlockIoError::ZeroLength => write!(f, "zero-length access"),
+        }
+    }
+}
+
+impl std::error::Error for BlockIoError {}
+
+/// Device-level counters.
+#[derive(Debug, Clone, Default)]
+pub struct BlockSsdStats {
+    /// Host write commands.
+    pub host_writes: u64,
+    /// Host read commands.
+    pub host_reads: u64,
+    /// Host bytes written.
+    pub host_bytes_written: u64,
+    /// Host bytes read.
+    pub host_bytes_read: u64,
+    /// Read-modify-write flash reads caused by sub-cluster writes.
+    pub rmw_reads: u64,
+    /// Clusters copied by garbage collection.
+    pub gc_copied_clusters: u64,
+    /// Blocks erased by garbage collection.
+    pub gc_erases: u64,
+    /// Synchronous (foreground) GC episodes host writes waited on.
+    pub foreground_gc_events: u64,
+    /// Total virtual time host writes spent stalled on buffer/GC.
+    pub stall_time: SimDuration,
+    /// Reads satisfied from the device read buffer (page already
+    /// fetched by a neighboring cluster read).
+    pub read_buffer_hits: u64,
+    /// Reads satisfied from the volatile write buffer.
+    pub write_buffer_hits: u64,
+    /// Multi-plane stripe programs issued for sequential data.
+    pub stripe_programs: u64,
+    /// Clusters re-placed after an injected program failure.
+    pub replaced_after_failure: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockState {
+    Free,
+    Open,
+    Closed,
+    Dead,
+}
+
+#[derive(Debug)]
+struct Stream {
+    /// Block(s) of the unit currently being filled. Sequential streams
+    /// hold sibling-plane pairs for multi-plane stripes; random/GC
+    /// streams hold one block per unit.
+    blocks: Vec<BlockId>,
+    next_page: u32,
+    /// Clusters waiting for the current page(s): (lcn, arrival).
+    pending: Vec<(u32, SimTime)>,
+    first_arrival: SimTime,
+    /// Partially filled units parked for round-robin striping: after
+    /// each page programs, the stream moves to the next unit so
+    /// consecutive pages land on different dies (the parallelism real
+    /// FTL superblocks provide).
+    parked: VecDeque<(Vec<BlockId>, u32)>,
+}
+
+impl Stream {
+    fn empty() -> Self {
+        Stream {
+            blocks: Vec::new(),
+            next_page: 0,
+            pending: Vec::new(),
+            first_arrival: SimTime::ZERO,
+            parked: VecDeque::new(),
+        }
+    }
+}
+
+/// The simulated block-firmware SSD (see crate docs).
+#[derive(Debug)]
+pub struct BlockSsd {
+    config: BlockFtlConfig,
+    flash: FlashDevice,
+    link: NvmeLink,
+    map: MappingTable,
+    state: Vec<BlockState>,
+    /// Free (erased) blocks, per die-plane, for stripe-aware allocation.
+    free: Vec<VecDeque<BlockId>>,
+    seq: Stream,
+    rand: Stream,
+    gc: Stream,
+    /// Known departure times of buffered clusters.
+    buffer_leaves: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Buffered clusters whose page has not been programmed yet.
+    buffer_unassigned: u32,
+    /// lcn -> time its data leaves the volatile buffer.
+    buffer_resident: HashMap<u32, SimTime>,
+    /// Recently fetched physical pages (FIFO read buffer).
+    read_buffer: VecDeque<(BlockId, u32)>,
+    /// End byte offset of the last host write (sequential detection).
+    last_written_end: Option<u64>,
+    gc_victim: Option<BlockId>,
+    in_gc: bool,
+    in_fg_gc: bool,
+    pair_cursor: usize,
+    logical_clusters: u64,
+    stats: BlockSsdStats,
+}
+
+impl BlockSsd {
+    /// Creates a device over fresh flash.
+    pub fn new(geometry: Geometry, timing: FlashTiming, config: BlockFtlConfig) -> Self {
+        Self::over(FlashDevice::new(geometry, timing), config)
+    }
+
+    /// Creates a device over an existing flash substrate (e.g. one with a
+    /// fault plan installed). GC watermarks are clamped to the geometry
+    /// so small test devices do not spend their lives in the GC band.
+    pub fn over(flash: FlashDevice, mut config: BlockFtlConfig) -> Self {
+        let g = *flash.geometry();
+        let blocks = g.total_blocks();
+        config.gc_soft_free_blocks = config.gc_soft_free_blocks.min((blocks / 8).max(3));
+        config.gc_hard_free_blocks = config
+            .gc_hard_free_blocks
+            .min((blocks / 16).max(1))
+            .min(config.gc_soft_free_blocks - 1);
+        let cpp = config.clusters_per_page(g.page_bytes);
+        let total_clusters =
+            g.total_blocks() as u64 * g.pages_per_block as u64 * cpp as u64;
+        let logical_clusters = total_clusters * (100 - config.overprovision_pct as u64) / 100;
+        let mut free = vec![VecDeque::new(); (g.dies() * g.planes_per_die) as usize];
+        for die in 0..g.dies() {
+            for plane in 0..g.planes_per_die {
+                for idx in 0..g.blocks_per_plane {
+                    free[(die * g.planes_per_die + plane) as usize]
+                        .push_back(g.block_at(die, plane, idx));
+                }
+            }
+        }
+        let map = MappingTable::new(logical_clusters, &g, cpp);
+        BlockSsd {
+            config,
+            state: vec![BlockState::Free; g.total_blocks() as usize],
+            free,
+            seq: Stream::empty(),
+            rand: Stream::empty(),
+            gc: Stream::empty(),
+            buffer_leaves: BinaryHeap::new(),
+            buffer_unassigned: 0,
+            buffer_resident: HashMap::new(),
+            read_buffer: VecDeque::new(),
+            last_written_end: None,
+            gc_victim: None,
+            in_gc: false,
+            in_fg_gc: false,
+            pair_cursor: 0,
+            logical_clusters,
+            map,
+            flash,
+            link: NvmeLink::new(config.nvme),
+            stats: BlockSsdStats::default(),
+        }
+    }
+
+    /// Logical capacity in bytes (physical minus over-provisioning).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.logical_clusters * self.config.cluster_bytes as u64
+    }
+
+    /// Device counters.
+    pub fn stats(&self) -> &BlockSsdStats {
+        &self.stats
+    }
+
+    /// The underlying flash (for die-utilization reporting).
+    pub fn flash(&self) -> &FlashDevice {
+        &self.flash
+    }
+
+    /// The FTL configuration.
+    pub fn config(&self) -> &BlockFtlConfig {
+        &self.config
+    }
+
+    /// Free (erased) blocks currently available.
+    pub fn free_blocks(&self) -> u32 {
+        self.free.iter().map(|q| q.len() as u32).sum()
+    }
+
+    /// Reads `len` bytes at byte offset `offset`. Returns completion time.
+    pub fn read(&mut self, now: SimTime, offset: u64, len: u64) -> Result<SimTime, BlockIoError> {
+        self.check_range(offset, len)?;
+        let t = self.link.submit(now, 1, 0);
+        let t = t + self.config.per_cmd_firmware;
+        let mut finish = t;
+        let clusters: Vec<_> = self.clusters_of(offset, len).collect();
+        for (lcn, _, _) in clusters {
+            let done = self.read_cluster(t, lcn);
+            finish = finish.max(done);
+        }
+        self.stats.host_reads += 1;
+        self.stats.host_bytes_read += len;
+        Ok(self.link.complete(finish, len))
+    }
+
+    /// Writes `len` bytes at byte offset `offset`. Returns completion time
+    /// (data durable in the device's protected write buffer, as on real
+    /// enterprise SSDs with power-loss capacitors).
+    pub fn write(&mut self, now: SimTime, offset: u64, len: u64) -> Result<SimTime, BlockIoError> {
+        self.check_range(offset, len)?;
+        let t = self.link.submit(now, 1, len);
+        let mut t = t + self.config.per_cmd_firmware;
+        // Timer-driven flush: stale partial pages from *any* stream are
+        // programmed out (a real FTL's flush timer; here piggybacked on
+        // host activity so an idle stream cannot hold a unit hostage).
+        self.flush_stale(now);
+        // Full-page-sized writes need no coalescing: the FTL programs
+        // them directly at full stripe parallelism even at random
+        // offsets. Smaller random writes pay the reorganization path.
+        let sequential = self.is_sequential(offset, len)
+            || len >= self.flash.geometry().page_bytes as u64;
+        let clusters: Vec<_> = self.clusters_of(offset, len).collect();
+        for &(lcn, _, bytes) in &clusters {
+            t = self.write_cluster(t, lcn, bytes, sequential);
+        }
+        self.last_written_end = Some(offset + len);
+        // Background GC band: steal die time without blocking the host.
+        // Large writes consume many clusters at once, so the background
+        // effort scales with the write size.
+        if self.free_blocks() < self.config.gc_soft_free_blocks {
+            let cpp = self.config.clusters_per_page(self.flash.geometry().page_bytes) as usize;
+            for _ in 0..(1 + clusters.len() / cpp) {
+                self.background_gc_step(t);
+            }
+        }
+        self.stats.host_writes += 1;
+        self.stats.host_bytes_written += len;
+        Ok(self.link.complete(t, 0))
+    }
+
+    /// Deallocates (TRIMs) the given range; cluster-aligned sub-ranges are
+    /// unmapped. Returns completion time.
+    pub fn trim(&mut self, now: SimTime, offset: u64, len: u64) -> Result<SimTime, BlockIoError> {
+        self.check_range(offset, len)?;
+        let t = self.link.submit(now, 1, 0);
+        let mut ops = 0u64;
+        let clusters: Vec<_> = self.clusters_of(offset, len).collect();
+        for (lcn, off_in, bytes) in clusters {
+            if off_in == 0 && bytes == self.config.cluster_bytes as u64 {
+                self.map.invalidate(lcn);
+                ops += 1;
+            }
+        }
+        let t = t + self.config.map_op * ops.max(1);
+        Ok(self.link.complete(t, 0))
+    }
+
+    /// Forces all partially filled buffer pages to flash (end-of-phase
+    /// barrier for experiments). Returns when the last program completes.
+    pub fn flush(&mut self, now: SimTime) -> SimTime {
+        let mut end = now;
+        for which in [WhichStream::Seq, WhichStream::Rand, WhichStream::Gc] {
+            if let Some(done) = self.program_stream(now, which, true) {
+                end = end.max(done);
+            }
+        }
+        end
+    }
+
+    /// Bytes of valid data currently mapped (for space accounting).
+    pub fn valid_bytes(&self) -> u64 {
+        self.map.total_valid() * self.config.cluster_bytes as u64
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn check_range(&self, offset: u64, len: u64) -> Result<(), BlockIoError> {
+        if len == 0 {
+            return Err(BlockIoError::ZeroLength);
+        }
+        let s = self.config.sector_bytes as u64;
+        if !offset.is_multiple_of(s) || !len.is_multiple_of(s) {
+            return Err(BlockIoError::Unaligned { offset, len });
+        }
+        let cap = self.capacity_bytes();
+        if offset + len > cap {
+            return Err(BlockIoError::OutOfRange {
+                end: offset + len,
+                capacity: cap,
+            });
+        }
+        Ok(())
+    }
+
+    /// Yields (lcn, offset-within-cluster, bytes) for a byte range.
+    fn clusters_of(&self, offset: u64, len: u64) -> impl Iterator<Item = (u32, u64, u64)> {
+        let cb = self.config.cluster_bytes as u64;
+        let first = offset / cb;
+        let last = (offset + len - 1) / cb;
+        (first..=last).map(move |c| {
+            let start = (offset).max(c * cb);
+            let end = (offset + len).min((c + 1) * cb);
+            (c as u32, start - c * cb, end - start)
+        })
+    }
+
+    fn is_sequential(&self, offset: u64, _len: u64) -> bool {
+        let cb = self.config.cluster_bytes as u64;
+        // Sequential = byte-contiguous (or nearly so) with the previous
+        // write. Random writes of any size go through the reorganizing
+        // random stream — the "block-SSD FTL ... hold[s] data in buffer
+        // much longer" behavior the paper infers (Sec. IV).
+        match self.last_written_end {
+            Some(end) => offset >= end && offset - end < cb,
+            None => offset == 0,
+        }
+    }
+
+    fn read_cluster(&mut self, t: SimTime, lcn: u32) -> SimTime {
+        let t = t + self.config.map_op;
+        self.drain_buffer(t);
+        // Volatile write-buffer hit: data not yet drained to flash.
+        if self.buffer_resident.contains_key(&lcn) {
+            self.stats.write_buffer_hits += 1;
+            return t + SimDuration::from_micros(1);
+        }
+        let Some(loc) = self.map.lookup(lcn) else {
+            // Unmapped: return zeros straight from the controller.
+            return t;
+        };
+        // Mechanical buffer check: a cluster mapped to a page that has
+        // not reached flash yet is still in the volatile buffer (the
+        // residency map can be clobbered by a stale overwrite's leave).
+        if self.flash.written_pages(loc.block) <= loc.page {
+            self.stats.write_buffer_hits += 1;
+            return t + SimDuration::from_micros(1);
+        }
+        let page = (loc.block, loc.page);
+        if self.read_buffer.contains(&page) {
+            self.stats.read_buffer_hits += 1;
+            return t + SimDuration::from_micros(1);
+        }
+        let addr = PageAddr {
+            block: loc.block,
+            page: loc.page,
+        };
+        let done = self
+            .flash
+            .read_page(t, addr, self.config.cluster_bytes as u64)
+            .expect("FTL mapped cluster must be readable");
+        self.read_buffer.push_back(page);
+        if self.read_buffer.len() > self.config.read_buffer_pages as usize {
+            self.read_buffer.pop_front();
+        }
+        done
+    }
+
+    fn write_cluster(&mut self, t: SimTime, lcn: u32, bytes: u64, sequential: bool) -> SimTime {
+        let mut t = t + self.config.map_op;
+        // Sub-cluster writes of mapped data pay a read-modify-write.
+        if bytes < self.config.cluster_bytes as u64 && self.map.lookup(lcn).is_some() {
+            let in_buffer = self.buffer_resident.contains_key(&lcn);
+            if !in_buffer {
+                self.stats.rmw_reads += 1;
+                t = self.read_cluster(t, lcn);
+            }
+        }
+        // Buffer admission: wait for a slot when the buffer is full.
+        self.drain_buffer(t);
+        let capacity = self.config.write_buffer_clusters;
+        if self.occupancy() >= capacity {
+            let stall_until = match self.buffer_leaves.pop() {
+                Some(Reverse((leave, gone))) => {
+                    self.buffer_resident.remove(&gone);
+                    leave
+                }
+                None => {
+                    // Entire buffer is pending pages: force a flush.
+                    self.program_stream(t, WhichStream::Rand, true)
+                        .or_else(|| self.program_stream(t, WhichStream::Seq, true))
+                        .unwrap_or(t)
+                }
+            };
+            if stall_until > t {
+                self.stats.stall_time += stall_until.since(t);
+                t = stall_until;
+            }
+        }
+        // Admit into the chosen stream and assign its physical slot now.
+        let which = if sequential {
+            WhichStream::Seq
+        } else {
+            WhichStream::Rand
+        };
+        self.admit(t, lcn, which);
+        // DRAM copy of the cluster into the buffer.
+        t + SimDuration::from_micros(1)
+    }
+
+    fn occupancy(&self) -> u32 {
+        self.buffer_leaves.len() as u32 + self.buffer_unassigned
+    }
+
+    fn drain_buffer(&mut self, now: SimTime) {
+        while let Some(&Reverse((leave, lcn))) = self.buffer_leaves.peek() {
+            if leave <= now {
+                self.buffer_leaves.pop();
+                if self.buffer_resident.get(&lcn) == Some(&leave) {
+                    self.buffer_resident.remove(&lcn);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn admit(&mut self, now: SimTime, lcn: u32, which: WhichStream) {
+        self.ensure_stream_open(now, which);
+        let cpp = self.config.clusters_per_page(self.flash.geometry().page_bytes) as usize;
+        let (stream, target_pending) = match which {
+            WhichStream::Seq => {
+                let n = self.seq.blocks.len().max(1);
+                (&mut self.seq, cpp * n)
+            }
+            WhichStream::Rand => (&mut self.rand, cpp),
+            WhichStream::Gc => (&mut self.gc, cpp),
+        };
+        if stream.pending.is_empty() {
+            stream.first_arrival = now;
+        }
+        // Assign the physical slot immediately so the mapping (and GC
+        // validity accounting) is always current.
+        let idx = stream.pending.len();
+        let block = stream.blocks[idx / cpp];
+        let loc = PhysLoc {
+            block,
+            page: stream.next_page,
+            slot: (idx % cpp) as u32,
+        };
+        stream.pending.push((lcn, now));
+        self.map.update(lcn, loc);
+        self.buffer_unassigned += 1;
+        self.buffer_resident.insert(lcn, SimTime::from_nanos(u64::MAX));
+        let full = stream.pending.len() >= target_pending;
+        let first = stream.first_arrival;
+        let timed_out = now.saturating_since(first) >= self.config.partial_flush_timeout;
+        if full || timed_out {
+            self.program_stream(now, which, !full);
+        }
+    }
+
+    /// How many units a stream stripes across. The open set is budgeted
+    /// against the over-provisioning margin: partially filled open
+    /// blocks are unusable capacity, and a tiny device that pins its
+    /// whole OP margin in open stripes cannot absorb overwrite churn.
+    fn unit_target(&self, which: WhichStream) -> usize {
+        let g = self.flash.geometry();
+        let budget_blocks = (g.total_blocks() as usize
+            * self.config.overprovision_pct as usize
+            / 100
+            / 4)
+        .max(1);
+        match which {
+            WhichStream::Seq => (g.dies() as usize).min((budget_blocks / 2).max(1)),
+            // Random data is held and reorganized before programming;
+            // the effective program parallelism is roughly halved.
+            WhichStream::Rand => (g.dies() as usize / 2).max(1).min(budget_blocks),
+            WhichStream::Gc => 1,
+        }
+    }
+
+    /// Opens (allocates or rotates units for) a stream if needed.
+    fn ensure_stream_open(&mut self, now: SimTime, which: WhichStream) {
+        let g = *self.flash.geometry();
+        let want_pair = matches!(which, WhichStream::Seq) && g.planes_per_die >= 2;
+        let need_open = {
+            let s = self.stream(which);
+            s.blocks.is_empty() || s.next_page >= g.pages_per_block
+        };
+        if !need_open {
+            return;
+        }
+        // Close out a fully written unit.
+        let old: Vec<BlockId> = self.stream(which).blocks.clone();
+        if self.stream(which).next_page >= g.pages_per_block {
+            for b in old {
+                if self.state[b.0 as usize] == BlockState::Open {
+                    self.state[b.0 as usize] = BlockState::Closed;
+                }
+            }
+        }
+        // Grow the striped set up to its target while blocks are
+        // plentiful; otherwise rotate to the next parked unit; allocate
+        // fresh only when nothing is parked.
+        let target = self.unit_target(which);
+        let grow = self.stream(which).parked.len() < target.saturating_sub(1)
+            && self.free_blocks() > self.config.gc_soft_free_blocks;
+        fn fresh_unit(dev: &mut BlockSsd, now: SimTime, want_pair: bool) -> Option<Vec<BlockId>> {
+            if want_pair {
+                if let Some(pair) = dev.alloc_pair(now) {
+                    return Some(vec![pair.0, pair.1]);
+                }
+            }
+            dev.alloc_block(now).map(|b| vec![b])
+        }
+        let unit = if grow { fresh_unit(self, now, want_pair) } else { None };
+        let (blocks, next_page) = match unit {
+            Some(blocks) => {
+                for &b in &blocks {
+                    self.state[b.0 as usize] = BlockState::Open;
+                }
+                (blocks, 0)
+            }
+            None => match self.stream_mut(which).parked.pop_front() {
+                Some(parked) => parked,
+                None => match fresh_unit(self, now, want_pair) {
+                    Some(blocks) => {
+                        for &b in &blocks {
+                            self.state[b.0 as usize] = BlockState::Open;
+                        }
+                        (blocks, 0)
+                    }
+                    None => {
+                        // Last resort: steal an open unit from another
+                        // stream (after a fresh sequential fill, all the
+                        // free page slack sits in the filler's open or
+                        // parked stripes). Parked units first, then idle
+                        // current units (no pending data).
+                        let others = [WhichStream::Seq, WhichStream::Rand, WhichStream::Gc];
+                        // Desperation flush: push other streams' partial
+                        // pages out so their units become reclaimable.
+                        for w in others.into_iter().filter(|&w| w != which) {
+                            if !self.stream(w).pending.is_empty() {
+                                self.program_stream(now, w, true);
+                            }
+                        }
+                        let mut stolen = others
+                            .into_iter()
+                            .filter(|&w| w != which)
+                            .find_map(|w| self.stream_mut(w).parked.pop_front());
+                        if stolen.is_none() {
+                            let ppb = g.pages_per_block;
+                            for w in others.into_iter().filter(|&w| w != which) {
+                                let s = self.stream_mut(w);
+                                if !s.blocks.is_empty()
+                                    && s.pending.is_empty()
+                                    && s.next_page < ppb
+                                {
+                                    let unit = (std::mem::take(&mut s.blocks), s.next_page);
+                                    s.next_page = 0;
+                                    stolen = Some(unit);
+                                    break;
+                                }
+                            }
+                        }
+                        stolen.unwrap_or_else(|| {
+                            panic!(
+                                "no block for {which:?} stream: free={}, seq=({:?},np{},p{},pk{}) rand=({:?},np{},p{},pk{}) gc=({:?},np{},p{},pk{})",
+                                self.free_blocks(),
+                                self.seq.blocks, self.seq.next_page, self.seq.pending.len(), self.seq.parked.len(),
+                                self.rand.blocks, self.rand.next_page, self.rand.pending.len(), self.rand.parked.len(),
+                                self.gc.blocks, self.gc.next_page, self.gc.pending.len(), self.gc.parked.len(),
+                            )
+                        })
+                    }
+                },
+            },
+        };
+        let s = self.stream_mut(which);
+        s.blocks = blocks;
+        s.next_page = next_page;
+        debug_assert!(s.pending.is_empty());
+    }
+
+    fn stream(&self, which: WhichStream) -> &Stream {
+        match which {
+            WhichStream::Seq => &self.seq,
+            WhichStream::Rand => &self.rand,
+            WhichStream::Gc => &self.gc,
+        }
+    }
+
+    fn stream_mut(&mut self, which: WhichStream) -> &mut Stream {
+        match which {
+            WhichStream::Seq => &mut self.seq,
+            WhichStream::Rand => &mut self.rand,
+            WhichStream::Gc => &mut self.gc,
+        }
+    }
+
+    /// Programs any stream's pending page whose oldest cluster has been
+    /// waiting longer than the partial-flush timeout.
+    fn flush_stale(&mut self, now: SimTime) {
+        for which in [WhichStream::Seq, WhichStream::Rand, WhichStream::Gc] {
+            let stale = {
+                let s = self.stream(which);
+                !s.pending.is_empty()
+                    && now.saturating_since(s.first_arrival) >= self.config.partial_flush_timeout
+            };
+            if stale {
+                self.program_stream(now, which, true);
+            }
+        }
+    }
+
+    /// Programs the current page(s) of a stream. Returns the program
+    /// completion time, or `None` if there was nothing pending.
+    ///
+    /// Random pages honor the coalescing hold; sequential and GC pages
+    /// program immediately (sequential as multi-plane stripes when the
+    /// stream holds a sibling-plane pair).
+    fn program_stream(
+        &mut self,
+        now: SimTime,
+        which: WhichStream,
+        partial: bool,
+    ) -> Option<SimTime> {
+        let cpp = self.config.clusters_per_page(self.flash.geometry().page_bytes) as usize;
+        let (pending, blocks, next_page, first_arrival) = {
+            let s = self.stream_mut(which);
+            if s.pending.is_empty() {
+                return None;
+            }
+            let pending = std::mem::take(&mut s.pending);
+            let out = (pending, s.blocks.clone(), s.next_page, s.first_arrival);
+            s.next_page += 1;
+            out
+        };
+        let _ = partial;
+        let start = match which {
+            WhichStream::Rand => now.max(first_arrival + self.config.coalesce_hold),
+            _ => now,
+        };
+        let page_bytes = self.flash.geometry().page_bytes as u64;
+        let results = if blocks.len() >= 2 && pending.len() > cpp {
+            // Multi-plane stripe across the pair.
+            let addrs: Vec<PageAddr> = blocks
+                .iter()
+                .take(pending.len().div_ceil(cpp))
+                .map(|&b| PageAddr {
+                    block: b,
+                    page: next_page,
+                })
+                .collect();
+            self.stats.stripe_programs += 1;
+            let rs = self
+                .flash
+                .program_multiplane(start, &addrs, page_bytes)
+                .expect("stripe program on open pair");
+            // Pair blocks advance in lockstep; program any skipped block
+            // too so next_page stays aligned.
+            let mut rs = rs;
+            for &b in blocks.iter().skip(addrs.len()) {
+                let r = self
+                    .flash
+                    .program_page(
+                        start,
+                        PageAddr {
+                            block: b,
+                            page: next_page,
+                        },
+                        0,
+                    )
+                    .expect("pad program on open pair");
+                rs.push(r);
+            }
+            rs
+        } else {
+            let mut rs = Vec::new();
+            for (i, &b) in blocks.iter().enumerate() {
+                let has_data = i * cpp < pending.len();
+                let bytes = if has_data { page_bytes } else { 0 };
+                let r = self
+                    .flash
+                    .program_page(
+                        start,
+                        PageAddr {
+                            block: b,
+                            page: next_page,
+                        },
+                        bytes,
+                    )
+                    .expect("program on open block");
+                rs.push(r);
+            }
+            rs
+        };
+        let done = results.iter().map(|r| r.done).max().expect("nonempty");
+        // Settle buffer accounting and handle injected failures.
+        let mut lost: Vec<u32> = Vec::new();
+        for (i, &(lcn, _)) in pending.iter().enumerate() {
+            let block = blocks[i / cpp];
+            let failed = results
+                .iter()
+                .zip(&blocks)
+                .find(|(_, &b)| b == block)
+                .map(|(r, _)| r.failed)
+                .unwrap_or(false);
+            self.buffer_unassigned -= 1;
+            if failed {
+                // Data still in buffer; it must be re-placed.
+                if let Some(cur) = self.map.lookup(lcn) {
+                    if cur.block == block && cur.page == next_page {
+                        lost.push(lcn);
+                    }
+                }
+                continue;
+            }
+            // Leaves the buffer when the program completes (only if the
+            // mapping still points here — it may have been overwritten
+            // while pending).
+            self.buffer_leaves.push(Reverse((done, lcn)));
+            self.buffer_resident.insert(lcn, done);
+        }
+        for (r, &b) in results.iter().zip(&blocks) {
+            if r.failed {
+                lost.extend(self.retire_block(b));
+            }
+        }
+        if !lost.is_empty() {
+            self.stats.replaced_after_failure += lost.len() as u64;
+            for lcn in lost {
+                self.map.invalidate(lcn);
+                self.admit(done, lcn, WhichStream::Rand);
+            }
+        }
+        // Rotate: park the unit (or close it when full) so the next page
+        // lands on a different die.
+        let ppb = self.flash.geometry().pages_per_block;
+        let s = self.stream_mut(which);
+        if !s.blocks.is_empty() {
+            let unit = std::mem::take(&mut s.blocks);
+            let np = s.next_page;
+            s.next_page = 0;
+            if np < ppb {
+                s.parked.push_back((unit, np));
+            } else {
+                for b in unit {
+                    if self.state[b.0 as usize] == BlockState::Open {
+                        self.state[b.0 as usize] = BlockState::Closed;
+                    }
+                }
+            }
+        }
+        Some(done)
+    }
+
+    fn retire_block(&mut self, b: BlockId) -> Vec<u32> {
+        self.state[b.0 as usize] = BlockState::Dead;
+        // Pull it out of every stream so nothing programs it again, and
+        // re-place any clusters still pending on the torn-down unit
+        // (their slots were assigned but never programmed).
+        let mut replace: Vec<u32> = Vec::new();
+        for which in [WhichStream::Seq, WhichStream::Rand, WhichStream::Gc] {
+            let s = self.stream_mut(which);
+            let in_current = s.blocks.contains(&b);
+            if in_current {
+                for &blk in &s.blocks.clone() {
+                    if self.state[blk.0 as usize] == BlockState::Open {
+                        self.state[blk.0 as usize] = BlockState::Closed;
+                    }
+                }
+                let s = self.stream_mut(which);
+                s.blocks.clear();
+                s.next_page = 0;
+                for (lcn, _) in std::mem::take(&mut s.pending) {
+                    self.buffer_unassigned -= 1;
+                    replace.push(lcn);
+                }
+            } else {
+                // Parked units never hold pending clusters; drop the
+                // dead block's unit from the rotation if present.
+                let s = self.stream_mut(which);
+                s.parked.retain(|(unit, _)| !unit.contains(&b));
+            }
+        }
+        for &lcn in &replace {
+            self.map.invalidate(lcn);
+        }
+        // The caller re-admits these (their data is still buffered).
+        replace
+    }
+
+    /// Pops a free block. Host streams always leave one block in
+    /// reserve for the collector — handing GC's working space to a data
+    /// stream would deadlock relocation the moment the device fills.
+    fn alloc_block(&mut self, now: SimTime) -> Option<BlockId> {
+        if !self.in_gc && self.free_blocks() <= self.config.gc_hard_free_blocks {
+            self.foreground_gc(now);
+        }
+        let reserve = if self.in_gc { 0 } else { 1 };
+        if self.free_blocks() <= reserve && !self.in_gc {
+            // One more synchronous attempt before giving up.
+            self.foreground_gc(now);
+        }
+        if self.free_blocks() <= reserve {
+            return None;
+        }
+        // Round-robin over die-planes for parallelism.
+        for i in 0..self.free.len() {
+            let q = (self.pair_cursor * 2 + i) % self.free.len();
+            if let Some(b) = self.free[q].pop_front() {
+                self.pair_cursor = (self.pair_cursor + 1) % self.free.len().max(1);
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    fn alloc_pair(&mut self, now: SimTime) -> Option<(BlockId, BlockId)> {
+        if !self.in_gc && self.free_blocks() <= self.config.gc_hard_free_blocks {
+            self.foreground_gc(now);
+        }
+        let g = *self.flash.geometry();
+        let planes = g.planes_per_die as usize;
+        let dies = g.dies() as usize;
+        let dpc = g.dies_per_channel as usize;
+        let chans = g.channels as usize;
+        // Round-robin across dies channel-major, so consecutive stripes
+        // land on different channels (transfer parallelism) as well as
+        // different dies (program parallelism).
+        for i in 0..dies {
+            let c = self.pair_cursor + i;
+            let die = (c % chans) * dpc + (c / chans) % dpc;
+            let p0 = die * planes;
+            let p1 = die * planes + 1;
+            if !self.free[p0].is_empty() && !self.free[p1].is_empty() {
+                let a = self.free[p0].pop_front().expect("checked");
+                let b = self.free[p1].pop_front().expect("checked");
+                self.pair_cursor = (self.pair_cursor + i + 1) % dies;
+                return Some((a, b));
+            }
+        }
+        None
+    }
+
+    /// One background GC increment: copy a few clusters off the current
+    /// victim. Runs on die time but does not extend host latency.
+    fn background_gc_step(&mut self, now: SimTime) {
+        for _ in 0..self.config.gc_copies_per_write {
+            if !self.gc_copy_one(now) {
+                break;
+            }
+        }
+    }
+
+    /// Synchronous GC until the hard watermark clears, or until two
+    /// victim cycles make no progress (nothing reclaimable — e.g. blocks
+    /// retired by faults shrank the pool).
+    fn foreground_gc(&mut self, now: SimTime) {
+        self.stats.foreground_gc_events += 1;
+        self.in_gc = true;
+        let mut t = now;
+        self.in_fg_gc = true;
+        let mut futile = 0u32;
+        // Reclaim with hysteresis so back-to-back writes do not re-enter
+        // foreground GC immediately.
+        let target = self.config.gc_hard_free_blocks + 2;
+        while self.free_blocks() <= target && futile < 3 {
+            let before = self.free_blocks();
+            if self.gc_victim.is_none() && !self.select_victim(1) {
+                break;
+            }
+            let v = self.gc_victim.expect("victim selected");
+            let mut guard = 0u32;
+            while self.map.valid_in(v) > 0 {
+                if !self.gc_copy_one(t) {
+                    break;
+                }
+                guard += 1;
+                assert!(guard < 1_000_000, "GC failed to drain block b{}", v.0);
+            }
+            t = self.finish_victim(t);
+            if self.free_blocks() > before {
+                futile = 0;
+            } else {
+                futile += 1;
+            }
+        }
+        self.in_gc = false;
+        self.in_fg_gc = false;
+        // The host write that triggered us resumes after the reclaim.
+        if t > now {
+            self.stats.stall_time += t.since(now);
+        }
+    }
+
+    /// Copies one live cluster off the current victim (selecting one if
+    /// needed). Returns false when no victim work exists.
+    fn gc_copy_one(&mut self, now: SimTime) -> bool {
+        // Guard against reentrancy: the copy's own block allocation must
+        // not trigger a nested foreground-GC episode.
+        let was = self.in_gc;
+        self.in_gc = true;
+        let r = self.gc_copy_one_inner(now);
+        self.in_gc = was;
+        r
+    }
+
+    fn gc_copy_one_inner(&mut self, now: SimTime) -> bool {
+        let min_gain = if self.in_fg_gc {
+            1
+        } else {
+            self.config.clusters_per_page(self.flash.geometry().page_bytes)
+        };
+        if self.gc_victim.is_none() && !self.select_victim(min_gain) {
+            return false;
+        }
+        let v = self.gc_victim.expect("victim selected");
+        let live = self.map.live_clusters(v);
+        match live.first() {
+            Some(&(lcn, loc)) => {
+                let addr = PageAddr {
+                    block: loc.block,
+                    page: loc.page,
+                };
+                let _ = self
+                    .flash
+                    .read_page(now, addr, self.config.cluster_bytes as u64)
+                    .expect("GC read of live cluster");
+                self.admit(now, lcn, WhichStream::Gc);
+                self.stats.gc_copied_clusters += 1;
+                true
+            }
+            None => {
+                self.finish_victim(now);
+                false
+            }
+        }
+    }
+
+    /// Erases the drained victim and returns it to the free pool.
+    fn finish_victim(&mut self, now: SimTime) -> SimTime {
+        let Some(v) = self.gc_victim.take() else {
+            return now;
+        };
+        // A victim handle that went stale (block erased and reused while
+        // the handle lingered) must never take down a live block.
+        if self.state[v.0 as usize] != BlockState::Closed {
+            return now;
+        }
+        if self.map.valid_in(v) > 0 {
+            // Still has live data (copies pending elsewhere) — put back.
+            self.gc_victim = Some(v);
+            return now;
+        }
+        self.map.on_erase(v);
+        let r = self.flash.erase_block(now, v).expect("erase closed victim");
+        self.stats.gc_erases += 1;
+        if r.failed {
+            self.state[v.0 as usize] = BlockState::Dead;
+            return r.done;
+        }
+        self.state[v.0 as usize] = BlockState::Free;
+        let g = self.flash.geometry();
+        let dp = (g.die_of(v) * g.planes_per_die + g.plane_of(v)) as usize;
+        self.free[dp].push_back(v);
+        r.done
+    }
+
+    /// Greedy victim selection: the closed block with the fewest valid
+    /// clusters, and only when erasing it would actually gain space (at
+    /// least a page's worth of dead clusters) — copying fully valid
+    /// blocks around is pure write amplification.
+    fn select_victim(&mut self, min_gain: u32) -> bool {
+        let cpp = self.config.clusters_per_page(self.flash.geometry().page_bytes);
+        let slots = self.flash.geometry().pages_per_block * cpp;
+        let mut best: Option<(u32, BlockId)> = None;
+        for b in 0..self.state.len() {
+            if self.state[b] != BlockState::Closed {
+                continue;
+            }
+            let id = BlockId(b as u32);
+            let v = self.map.valid_in(id);
+            let written = self.flash.written_pages(id) * cpp;
+            if written.min(slots).saturating_sub(v) < min_gain {
+                continue; // not enough reclaimable space
+            }
+            // Greedy on valid count; ties go to the least-worn block (a
+            // light static wear-leveling policy).
+            let wear = self.flash.erase_count(id);
+            if best.is_none_or(|(bv, bid): (u32, BlockId)| {
+                v < bv || (v == bv && wear < self.flash.erase_count(bid))
+            }) {
+                best = Some((v, id));
+            }
+        }
+        match best {
+            Some((_, id)) => {
+                self.gc_victim = Some(id);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WhichStream {
+    Seq,
+    Rand,
+    Gc,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssd() -> BlockSsd {
+        BlockSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            BlockFtlConfig::pm983_like(),
+        )
+    }
+
+    fn bigger() -> BlockSsd {
+        let g = Geometry {
+            channels: 2,
+            dies_per_channel: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 16,
+            pages_per_block: 16,
+            page_bytes: 32 * 1024,
+        };
+        let mut cfg = BlockFtlConfig::pm983_like();
+        cfg.gc_soft_free_blocks = 12;
+        cfg.gc_hard_free_blocks = 4;
+        BlockSsd::new(g, FlashTiming::pm983_like(), cfg)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut d = ssd();
+        let w = d.write(SimTime::ZERO, 0, 4096).unwrap();
+        let r = d.read(w, 0, 4096).unwrap();
+        assert!(r > w);
+        assert_eq!(d.stats().host_writes, 1);
+        assert_eq!(d.stats().host_reads, 1);
+    }
+
+    #[test]
+    fn writes_complete_in_buffer_quickly() {
+        let mut d = ssd();
+        let w = d.write(SimTime::ZERO, 0, 4096).unwrap();
+        // Buffered completion: far less than a page program (~700 us).
+        assert!(
+            w.since(SimTime::ZERO) < SimDuration::from_micros(100),
+            "buffered write took {}",
+            w.since(SimTime::ZERO)
+        );
+    }
+
+    #[test]
+    fn read_of_unwritten_range_returns_fast_zeros() {
+        let mut d = ssd();
+        let r = d.read(SimTime::ZERO, 1 << 20, 4096).unwrap();
+        assert!(r.since(SimTime::ZERO) < SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn buffered_data_is_readable_before_programming() {
+        let mut d = ssd();
+        let w = d.write(SimTime::ZERO, 0, 4096).unwrap();
+        let r = d.read(w, 0, 4096).unwrap();
+        assert!(r.since(w) < SimDuration::from_micros(50));
+        assert!(d.stats().write_buffer_hits >= 1);
+    }
+
+    #[test]
+    fn unaligned_io_rejected() {
+        let mut d = ssd();
+        assert!(matches!(
+            d.write(SimTime::ZERO, 3, 512),
+            Err(BlockIoError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            d.read(SimTime::ZERO, 0, 100),
+            Err(BlockIoError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            d.read(SimTime::ZERO, 0, 0),
+            Err(BlockIoError::ZeroLength)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = ssd();
+        let cap = d.capacity_bytes();
+        assert!(matches!(
+            d.write(SimTime::ZERO, cap - 512, 1024),
+            Err(BlockIoError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sub_cluster_write_of_mapped_data_pays_rmw() {
+        let mut d = ssd();
+        // Map the cluster with a full write, flush it to flash, drain
+        // the buffer residency by advancing far in time.
+        let w = d.write(SimTime::ZERO, 0, 4096).unwrap();
+        let f = d.flush(w);
+        let far = f + SimDuration::from_secs(1);
+        d.drain_buffer(far);
+        let before = d.stats().rmw_reads;
+        d.write(far, 0, 512).unwrap();
+        assert_eq!(d.stats().rmw_reads, before + 1);
+    }
+
+    #[test]
+    fn sequential_fill_uses_stripes() {
+        let mut d = ssd();
+        let mut t = SimTime::ZERO;
+        // 64 sequential clusters = several stripes.
+        for i in 0..64u64 {
+            t = d.write(t, i * 4096, 4096).unwrap();
+        }
+        d.flush(t);
+        assert!(d.stats().stripe_programs > 0);
+    }
+
+    #[test]
+    fn sequential_reads_hit_read_buffer() {
+        let mut d = bigger();
+        let n = 256u64;
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            t = d.write(t, i * 4096, 4096).unwrap();
+        }
+        t = d.flush(t) + SimDuration::from_secs(1);
+        d.drain_buffer(t);
+        d.buffer_resident.clear();
+        let hits_at_start = d.stats().read_buffer_hits;
+        for i in 0..n {
+            t = d.read(t, i * 4096, 4096).unwrap();
+        }
+        let seq_hits = d.stats().read_buffer_hits - hits_at_start;
+        // Eight 4 KiB clusters share a 32 KiB page: ~7/8 of sequential
+        // reads should be buffer hits.
+        assert!(seq_hits >= n * 3 / 4, "only {seq_hits} read-buffer hits");
+        // Scattered reads across many pages mostly miss.
+        let hits_mid = d.stats().read_buffer_hits;
+        let mut scattered = 0u64;
+        let mut idx = 5u64;
+        for _ in 0..n / 2 {
+            idx = idx.wrapping_mul(6364136223846793005).wrapping_add(7) % n;
+            t = d.read(t, idx * 4096, 4096).unwrap();
+            scattered += 1;
+        }
+        let rand_hits = d.stats().read_buffer_hits - hits_mid;
+        assert!(
+            rand_hits * 2 < scattered,
+            "random reads should mostly miss ({rand_hits}/{scattered})"
+        );
+    }
+
+    #[test]
+    fn overwrites_reclaim_space_via_gc() {
+        let mut d = bigger();
+        let cap = d.capacity_bytes();
+        let mut t = SimTime::ZERO;
+        // Fill logical space twice over with 4 KiB writes.
+        for round in 0..3u64 {
+            for off in (0..cap).step_by(4096) {
+                t = d.write(t, off, 4096).unwrap();
+            }
+            let _ = round;
+        }
+        assert!(d.stats().gc_erases > 0, "GC never ran");
+        assert_eq!(d.valid_bytes(), cap);
+    }
+
+    #[test]
+    fn random_overwrites_trigger_foreground_gc_copies() {
+        let mut d = bigger();
+        let cap = d.capacity_bytes();
+        let clusters = cap / 4096;
+        let mut t = SimTime::ZERO;
+        for off in (0..cap).step_by(4096) {
+            t = d.write(t, off, 4096).unwrap();
+        }
+        // Pseudo-random overwrites: stride pattern leaves every block
+        // partially valid, forcing copy work.
+        let mut idx = 1u64;
+        for _ in 0..clusters * 2 {
+            idx = idx
+                .wrapping_mul(2_862_933_555_777_941_757)
+                .wrapping_add(3)
+                % clusters;
+            t = d.write(t, idx * 4096, 4096).unwrap();
+        }
+        assert!(
+            d.stats().gc_copied_clusters > 0,
+            "random overwrites must force GC copies"
+        );
+    }
+
+    #[test]
+    fn trim_invalidates_and_makes_gc_cheap() {
+        let mut d = bigger();
+        let cap = d.capacity_bytes();
+        let mut t = SimTime::ZERO;
+        for off in (0..cap).step_by(4096) {
+            t = d.write(t, off, 4096).unwrap();
+        }
+        t = d.flush(t);
+        let valid_before = d.valid_bytes();
+        t = d.trim(t, 0, cap / 2).unwrap();
+        assert!(d.valid_bytes() < valid_before);
+        // Rewriting the trimmed half should cause few or no GC copies:
+        // victims are fully invalid.
+        let copies_before = d.stats().gc_copied_clusters;
+        for off in (0..cap / 2).step_by(4096) {
+            t = d.write(t, off, 4096).unwrap();
+        }
+        let copies = d.stats().gc_copied_clusters - copies_before;
+        assert!(
+            copies < (cap / 2 / 4096) / 4,
+            "trimmed rewrite caused {copies} copies"
+        );
+    }
+
+    #[test]
+    fn capacity_reflects_overprovisioning() {
+        let d = ssd();
+        let raw = d.flash().geometry().capacity_bytes();
+        assert!(d.capacity_bytes() < raw);
+        assert!(d.capacity_bytes() > raw / 2);
+    }
+
+    #[test]
+    fn flush_programs_partial_pages() {
+        let mut d = ssd();
+        let w = d.write(SimTime::ZERO, 0, 4096).unwrap();
+        let f = d.flush(w);
+        assert!(f > w);
+        assert!(d.flash().stats().programs > 0);
+    }
+
+    #[test]
+    fn buffer_pressure_stalls_writes() {
+        let mut d = ssd();
+        // Slam many random 4 KiB writes at t=0-ish: the write buffer
+        // must fill and later writes must stall.
+        let mut t = SimTime::ZERO;
+        let mut worst = SimDuration::ZERO;
+        let cap = d.capacity_bytes();
+        let clusters = cap / 4096;
+        let mut idx = 7u64;
+        for _ in 0..1_500 {
+            idx = (idx.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)) % clusters;
+            let done = d.write(t, idx * 4096, 4096).unwrap();
+            worst = worst.max(done.since(t));
+            t += SimDuration::from_nanos(100); // near-open-loop arrivals
+        }
+        assert!(d.stats().stall_time > SimDuration::ZERO, "no stalls recorded");
+        assert!(worst > SimDuration::from_micros(300), "worst {worst}");
+    }
+
+    #[test]
+    fn fault_injection_replaces_lost_clusters() {
+        use kvssd_flash::FaultPlan;
+        let flash = FlashDevice::with_faults(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            FaultPlan {
+                program_fail_one_in: Some(10),
+                erase_fail_one_in: None,
+            },
+        );
+        let mut d = BlockSsd::over(flash, BlockFtlConfig::pm983_like());
+        let mut t = SimTime::ZERO;
+        for i in 0..256u64 {
+            t = d.write(t, (i % 128) * 4096, 4096).unwrap();
+        }
+        d.flush(t);
+        // Some programs failed and their clusters were re-placed; all
+        // logical data must still be mapped or buffered.
+        assert!(d.flash().stats().program_failures > 0);
+        assert!(d.stats().replaced_after_failure > 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Cluster-granularity mapping table with validity accounting.
+//!
+//! Maps logical cluster numbers (LCN, 4 KiB units) to physical slots
+//! (block, page, slot-within-page) and keeps the per-block valid-cluster
+//! counts plus reverse maps that garbage collection needs. The whole
+//! structure models the FTL's DRAM-resident tables; its *timing* cost is
+//! charged by the device (`BlockFtlConfig::map_op`), its *behavior* is
+//! exact.
+
+use kvssd_flash::{BlockId, Geometry};
+
+/// A physical cluster slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysLoc {
+    /// The erase block.
+    pub block: BlockId,
+    /// Page within the block.
+    pub page: u32,
+    /// Cluster slot within the page.
+    pub slot: u32,
+}
+
+/// Logical-to-physical mapping plus GC bookkeeping (see module docs).
+#[derive(Debug)]
+pub struct MappingTable {
+    forward: Vec<Option<PhysLoc>>,
+    /// For each block: reverse map slot-index -> LCN (None = invalid/pad).
+    reverse: Vec<Vec<Option<u32>>>,
+    valid: Vec<u32>,
+    clusters_per_page: u32,
+}
+
+impl MappingTable {
+    /// Creates an empty table for `logical_clusters` LCNs over `geometry`.
+    pub fn new(logical_clusters: u64, geometry: &Geometry, clusters_per_page: u32) -> Self {
+        let slots_per_block = geometry.pages_per_block * clusters_per_page;
+        MappingTable {
+            clusters_per_page,
+            forward: vec![None; logical_clusters as usize],
+            reverse: vec![
+                vec![None; slots_per_block as usize];
+                geometry.total_blocks() as usize
+            ],
+            valid: vec![0; geometry.total_blocks() as usize],
+        }
+    }
+
+    /// Number of logical clusters.
+    pub fn logical_clusters(&self) -> u64 {
+        self.forward.len() as u64
+    }
+
+    /// Current physical location of `lcn`, if mapped.
+    pub fn lookup(&self, lcn: u32) -> Option<PhysLoc> {
+        self.forward[lcn as usize]
+    }
+
+    /// Points `lcn` at a new location, invalidating the old one.
+    pub fn update(&mut self, lcn: u32, loc: PhysLoc) {
+        self.invalidate(lcn);
+        self.forward[lcn as usize] = Some(loc);
+        let slot = self.slot_index(loc);
+        let rev = &mut self.reverse[loc.block.0 as usize];
+        debug_assert!(rev[slot].is_none(), "slot written twice without erase");
+        rev[slot] = Some(lcn);
+        self.valid[loc.block.0 as usize] += 1;
+    }
+
+    /// Unmaps `lcn` (overwrite or TRIM), decrementing its old block's
+    /// valid count. Idempotent.
+    pub fn invalidate(&mut self, lcn: u32) {
+        if let Some(old) = self.forward[lcn as usize].take() {
+            let slot = self.slot_index(old);
+            self.reverse[old.block.0 as usize][slot] = None;
+            self.valid[old.block.0 as usize] -= 1;
+        }
+    }
+
+    /// Valid clusters currently living in `block`.
+    pub fn valid_in(&self, block: BlockId) -> u32 {
+        self.valid[block.0 as usize]
+    }
+
+    /// The LCNs still valid in `block`, with their slots (GC's work list).
+    pub fn live_clusters(&self, block: BlockId) -> Vec<(u32, PhysLoc)> {
+        self.reverse[block.0 as usize]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &lcn)| {
+                lcn.map(|l| {
+                    (
+                        l,
+                        PhysLoc {
+                            block,
+                            page: i as u32 / self.clusters_per_page,
+                            slot: i as u32 % self.clusters_per_page,
+                        },
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Clears all reverse-map entries of `block` after its erase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block still holds valid clusters — erasing it would
+    /// lose data, i.e. a GC bug.
+    pub fn on_erase(&mut self, block: BlockId) {
+        assert_eq!(
+            self.valid[block.0 as usize], 0,
+            "erasing block b{} with valid data",
+            block.0
+        );
+        for s in &mut self.reverse[block.0 as usize] {
+            *s = None;
+        }
+    }
+
+    /// Total valid clusters across the device.
+    pub fn total_valid(&self) -> u64 {
+        self.valid.iter().map(|&v| v as u64).sum()
+    }
+
+    fn slot_index(&self, loc: PhysLoc) -> usize {
+        debug_assert!(loc.slot < self.clusters_per_page);
+        (loc.page * self.clusters_per_page + loc.slot) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> MappingTable {
+        let g = Geometry::small();
+        MappingTable::new(1024, &g, 8)
+    }
+
+    fn loc(block: u32, page: u32, slot: u32) -> PhysLoc {
+        PhysLoc {
+            block: BlockId(block),
+            page,
+            slot,
+        }
+    }
+
+    #[test]
+    fn update_then_lookup() {
+        let mut t = table();
+        t.update(7, loc(1, 2, 3));
+        assert_eq!(t.lookup(7), Some(loc(1, 2, 3)));
+        assert_eq!(t.valid_in(BlockId(1)), 1);
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_location() {
+        let mut t = table();
+        t.update(7, loc(1, 0, 0));
+        t.update(7, loc(2, 0, 0));
+        assert_eq!(t.valid_in(BlockId(1)), 0);
+        assert_eq!(t.valid_in(BlockId(2)), 1);
+        assert_eq!(t.lookup(7), Some(loc(2, 0, 0)));
+    }
+
+    #[test]
+    fn invalidate_is_idempotent() {
+        let mut t = table();
+        t.update(3, loc(0, 0, 0));
+        t.invalidate(3);
+        t.invalidate(3);
+        assert_eq!(t.lookup(3), None);
+        assert_eq!(t.valid_in(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn live_clusters_lists_survivors() {
+        let mut t = table();
+        t.update(1, loc(0, 0, 0));
+        t.update(2, loc(0, 0, 1));
+        t.update(3, loc(0, 1, 0));
+        t.invalidate(2);
+        let live = t.live_clusters(BlockId(0));
+        assert_eq!(live.len(), 2);
+        assert!(live.iter().any(|&(l, _)| l == 1));
+        assert!(live.iter().any(|&(l, p)| l == 3 && p.page == 1));
+    }
+
+    #[test]
+    fn erase_requires_empty_block() {
+        let mut t = table();
+        t.update(1, loc(0, 0, 0));
+        t.invalidate(1);
+        t.on_erase(BlockId(0)); // fine: no valid data
+        assert_eq!(t.total_valid(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid data")]
+    fn erase_with_valid_data_panics() {
+        let mut t = table();
+        t.update(1, loc(0, 0, 0));
+        t.on_erase(BlockId(0));
+    }
+
+    #[test]
+    fn total_valid_tracks_all_blocks() {
+        let mut t = table();
+        t.update(1, loc(0, 0, 0));
+        t.update(2, loc(5, 0, 0));
+        assert_eq!(t.total_valid(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Bloom filters for the index managers.
+//!
+//! The paper (Sec. II): "Index manager-resident Bloom filters can be
+//! leveraged to quickly resolve read or exist queries for non-existent
+//! keys." Each index manager owns one; negative answers skip the whole
+//! index walk (including any flash-resident levels).
+//!
+//! Standard double-hashing construction: `k` probe positions derived from
+//! two 32-bit halves of the 64-bit key hash.
+
+use kvssd_sim::rng::mix64;
+
+/// A fixed-size Bloom filter over 64-bit key hashes.
+///
+/// Deletions are not supported (real Bloom filters can't); the device
+/// tolerates stale positives — they just cost an index lookup that ends
+/// in not-found, exactly like a false positive.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: u64,
+    k: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Builds a filter sized for `expected_keys` at `bits_per_key`
+    /// (rounded up to a power-of-two bit count). `k` is chosen as
+    /// `bits_per_key * ln 2`, clamped to `[1, 8]`.
+    pub fn new(expected_keys: u64, bits_per_key: u32) -> Self {
+        assert!(bits_per_key > 0, "need at least one bit per key");
+        let want_bits = (expected_keys.max(1)).saturating_mul(bits_per_key as u64);
+        let nbits = want_bits.next_power_of_two().max(64);
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 8);
+        BloomFilter {
+            bits: vec![0; (nbits / 64) as usize],
+            mask: nbits - 1,
+            k,
+            inserted: 0,
+        }
+    }
+
+    /// Inserts a key hash.
+    pub fn insert(&mut self, hash: u64) {
+        let (mut h, step) = Self::probes(hash);
+        for _ in 0..self.k {
+            let bit = h & self.mask;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            h = h.wrapping_add(step);
+        }
+        self.inserted += 1;
+    }
+
+    /// True if the hash may have been inserted; false means definitely
+    /// not present.
+    pub fn may_contain(&self, hash: u64) -> bool {
+        let (mut h, step) = Self::probes(hash);
+        for _ in 0..self.k {
+            let bit = h & self.mask;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(step);
+        }
+        true
+    }
+
+    /// Number of inserts performed.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Filter size in bits.
+    pub fn bits(&self) -> u64 {
+        self.mask + 1
+    }
+
+    fn probes(hash: u64) -> (u64, u64) {
+        let h2 = mix64(hash) | 1; // odd step
+        (hash, h2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::key_hash;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(10_000, 10);
+        let hashes: Vec<u64> = (0..10_000u64)
+            .map(|i| key_hash(format!("k{i}").as_bytes()))
+            .collect();
+        for &h in &hashes {
+            f.insert(h);
+        }
+        for &h in &hashes {
+            assert!(f.may_contain(h));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(10_000, 10);
+        for i in 0..10_000u64 {
+            f.insert(key_hash(format!("present{i}").as_bytes()));
+        }
+        let fp = (0..10_000u64)
+            .filter(|i| f.may_contain(key_hash(format!("absent{i}").as_bytes())))
+            .count();
+        // 10 bits/key gives ~1 % theoretical FPR; allow 3 %.
+        assert!(fp < 300, "false positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::new(100, 10);
+        for i in 0..1000u64 {
+            assert!(!f.may_contain(key_hash(format!("x{i}").as_bytes())));
+        }
+    }
+
+    #[test]
+    fn sizes_round_to_power_of_two() {
+        let f = BloomFilter::new(1000, 10);
+        assert!(f.bits().is_power_of_two());
+        assert!(f.bits() >= 10_000);
+    }
+
+    #[test]
+    fn tracks_insert_count() {
+        let mut f = BloomFilter::new(10, 10);
+        f.insert(1);
+        f.insert(2);
+        assert_eq!(f.inserted(), 2);
+    }
+}

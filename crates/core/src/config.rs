@@ -1,0 +1,225 @@
+//! KV firmware configuration and calibration constants.
+//!
+//! Every constant here is a *mechanism input* (see `DESIGN.md`,
+//! "Calibration"): limits come from the Samsung KV API spec quoted in the
+//! paper's Sec. II, layout constants from the paper's Sec. IV inferences
+//! (32 KiB physical pages with a ~24 KiB value budget, 1 KiB minimum
+//! allocation), and firmware CPU costs are tens-of-microseconds key
+//! handling consistent with the paper's QD-1 latency gap vs. block I/O.
+
+use kvssd_nvme::{KvCommandSet, NvmeConfig};
+use kvssd_sim::SimDuration;
+
+/// Configuration of the KV firmware personality.
+#[derive(Debug, Clone, Copy)]
+pub struct KvConfig {
+    /// Minimum key length (4 B on the PM983 KV-SSD).
+    pub key_min: usize,
+    /// Maximum key length (255 B).
+    pub key_max: usize,
+    /// Maximum value length (2 MiB).
+    pub value_max: u64,
+    /// Per-blob metadata bytes stored with the pair (key size, value
+    /// size, namespace, ... — Sec. II).
+    pub meta_bytes: u32,
+    /// Header bytes on each continuation segment of a split blob.
+    pub seg_header_bytes: u32,
+    /// Minimum allocation unit. The paper infers 1 KiB (ECC-sector
+    /// argument, Sec. IV "space amplification") — blobs smaller than this
+    /// are padded to it.
+    pub alloc_unit: u32,
+    /// Alignment of allocations beyond the minimum unit ("packs data very
+    /// tightly beyond 1KB").
+    pub fine_align: u32,
+    /// Usable payload bytes per 32 KiB physical page; the rest is
+    /// reserved for recovery/erasure data. 25 088 B lets a 24 KiB value
+    /// plus metadata and a max-size key fit in one page, matching the
+    /// paper's Fig. 5 boundary at 24 KiB.
+    pub page_payload_bytes: u32,
+    /// Number of index managers (partitioned firmware cores handling
+    /// hashing and index operations).
+    pub index_managers: usize,
+    /// Local-index entries accumulated per manager before a merge into
+    /// the global index.
+    pub local_index_entries: usize,
+    /// Bytes per global-index entry (hash, fingerprint, location(s),
+    /// sizes — the multi-level table's amortized per-record footprint).
+    pub index_entry_bytes: u32,
+    /// Device DRAM dedicated to caching the global index. Scaled with the
+    /// 4 GiB default geometry exactly as the PM983's DRAM scales with
+    /// 3.84 TB, so the Fig. 3 overflow happens at the same *relative*
+    /// occupancy.
+    pub index_dram_bytes: u64,
+    /// Global index slot budget — the device KVP limit (~3.1 B on
+    /// 3.84 TB; scaled so that, like the real device, the limit binds
+    /// slightly *below* `capacity / 1 KiB` and tiny-value fills hit the
+    /// KVP ceiling rather than the flash.
+    pub max_kvps: u64,
+    /// Bloom filter bits per expected key, per index manager.
+    pub bloom_bits_per_key: u32,
+    /// Whether index managers consult Bloom filters at all (ablation
+    /// switch; the shipped firmware has them on).
+    pub bloom_enabled: bool,
+    /// Volatile write-buffer capacity in bytes.
+    pub write_buffer_bytes: u64,
+    /// Idle time after which a partially filled open page is programmed
+    /// with padding.
+    pub partial_flush_timeout: SimDuration,
+    /// Fraction of blocks reserved: over-provisioning percent.
+    pub overprovision_pct: u32,
+    /// Fraction of blocks reserved for flash-resident index levels,
+    /// percent of total.
+    pub index_reserve_pct: u32,
+    /// Free-block watermark where background GC starts.
+    pub gc_soft_free_blocks: u32,
+    /// Free-block watermark where writes stall behind foreground GC.
+    pub gc_hard_free_blocks: u32,
+    /// Blob segments copied per store while in the background-GC band.
+    pub gc_copies_per_store: u32,
+    /// Whether iterator buckets retain key copies (disable for macro runs
+    /// that never iterate, to bound host memory).
+    pub iterator_buckets: bool,
+
+    // --- firmware CPU costs (per index-manager core) ---
+    /// Fixed key-hashing cost.
+    pub cost_hash: SimDuration,
+    /// Additional hashing cost per key byte.
+    pub cost_hash_per_byte: SimDuration,
+    /// Bloom-filter membership check.
+    pub cost_membership: SimDuration,
+    /// DRAM-resident index operation (lookup or local insert).
+    pub cost_index_dram: SimDuration,
+    /// Extra bookkeeping per continuation segment (offset pointer
+    /// management for split blobs).
+    pub cost_offset_mgmt: SimDuration,
+    /// Packing cost per blob (append bookkeeping into the open page).
+    pub cost_pack: SimDuration,
+
+    /// NVMe link parameters.
+    pub nvme: NvmeConfig,
+    /// KV command-set rules (inline key limit, compound what-if).
+    pub command_set: KvCommandSet,
+}
+
+impl KvConfig {
+    /// Defaults scaled for the 4 GiB `Geometry::pm983_scaled()` substrate.
+    ///
+    /// Scale factor vs. the real 3.84 TB device is ~983x; the index DRAM
+    /// budget (4 MiB here vs. ~4 GiB-class there) and the KVP limit
+    /// (3.2 M here vs. ~3.1 B there) shrink by the same factor.
+    pub fn pm983_scaled() -> Self {
+        KvConfig {
+            key_min: 4,
+            key_max: 255,
+            value_max: 2 * 1024 * 1024,
+            meta_bytes: 32,
+            seg_header_bytes: 16,
+            alloc_unit: 1024,
+            fine_align: 64,
+            page_payload_bytes: 25_088,
+            index_managers: 4,
+            local_index_entries: 32,
+            index_entry_bytes: 48,
+            index_dram_bytes: 4 * 1024 * 1024,
+            max_kvps: 2_600_000,
+            bloom_bits_per_key: 10,
+            bloom_enabled: true,
+            write_buffer_bytes: 4 * 1024 * 1024,
+            partial_flush_timeout: SimDuration::from_millis(1),
+            overprovision_pct: 7,
+            index_reserve_pct: 5,
+            gc_soft_free_blocks: 24,
+            gc_hard_free_blocks: 6,
+            gc_copies_per_store: 8,
+            iterator_buckets: true,
+            cost_hash: SimDuration::from_micros(3),
+            cost_hash_per_byte: SimDuration::from_nanos(20),
+            cost_membership: SimDuration::from_micros(1),
+            cost_index_dram: SimDuration::from_micros(2),
+            cost_offset_mgmt: SimDuration::from_micros(3),
+            cost_pack: SimDuration::from_micros(2),
+            nvme: NvmeConfig::pm983_like(),
+            command_set: KvCommandSet::samsung(),
+        }
+    }
+
+    /// A configuration for unit tests on `Geometry::small()` (16 MiB):
+    /// tiny watermarks and KVP budget, iterator buckets on.
+    pub fn small() -> Self {
+        KvConfig {
+            index_dram_bytes: 64 * 1024,
+            max_kvps: 50_000,
+            gc_soft_free_blocks: 6,
+            gc_hard_free_blocks: 2,
+            write_buffer_bytes: 256 * 1024,
+            ..Self::pm983_scaled()
+        }
+    }
+
+    /// Key-handling CPU cost for a key of `len` bytes (hash + membership
+    /// machinery, before any index structure access).
+    pub fn key_handling_cost(&self, len: usize) -> SimDuration {
+        self.cost_hash + self.cost_hash_per_byte * len as u64 + self.cost_membership
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on contradictory settings; call after hand-building configs.
+    pub fn validate(&self) {
+        assert!(self.key_min >= 1 && self.key_min <= self.key_max);
+        assert!(self.key_max <= 255, "KV API caps keys at 255 B");
+        assert!(self.alloc_unit >= self.fine_align);
+        assert!(self.alloc_unit.is_power_of_two());
+        assert!(self.fine_align.is_power_of_two());
+        assert!(self.gc_hard_free_blocks < self.gc_soft_free_blocks);
+        assert!(self.index_managers >= 1);
+        assert!(self.local_index_entries >= 1);
+        assert!(
+            self.page_payload_bytes as u64
+                >= self.meta_bytes as u64 + self.key_max as u64 + 1024,
+            "page payload must fit metadata, a max key, and some value"
+        );
+    }
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        Self::pm983_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        KvConfig::pm983_scaled().validate();
+        KvConfig::small().validate();
+    }
+
+    #[test]
+    fn key_handling_cost_scales_with_length() {
+        let c = KvConfig::pm983_scaled();
+        assert!(c.key_handling_cost(255) > c.key_handling_cost(16));
+    }
+
+    #[test]
+    fn page_budget_matches_paper_boundary() {
+        let c = KvConfig::pm983_scaled();
+        // A 24 KiB value + metadata + a 16 B key fits one page...
+        assert!(24 * 1024 + c.meta_bytes + 16 <= c.page_payload_bytes);
+        // ...but a 25 KiB value does not (the Fig. 5 dip).
+        assert!(25 * 1024 + c.meta_bytes + 16 > c.page_payload_bytes);
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_catches_bad_watermarks() {
+        let mut c = KvConfig::pm983_scaled();
+        c.gc_hard_free_blocks = c.gc_soft_free_blocks;
+        c.validate();
+    }
+}

@@ -1,0 +1,1811 @@
+//! The KV-SSD device: NVMe KV command set + KV-FTL over shared NAND.
+//!
+//! Orchestrates the pieces: link ingestion, index-manager key handling,
+//! the exact global index plus its timing model, byte-aligned log packing
+//! with the 1 KiB allocation rule, page-aligned splitting for oversized
+//! values, the volatile write buffer, and background/foreground garbage
+//! collection. Behavior (what is stored where) is exact; time falls out
+//! of the shared resource timelines.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use kvssd_flash::{BlockId, FlashDevice, FlashTiming, Geometry, PageAddr};
+use kvssd_nvme::NvmeLink;
+use kvssd_sim::{Resource, SimDuration, SimTime};
+
+use crate::blob::BlobLayout;
+use crate::bloom::BloomFilter;
+use crate::config::KvConfig;
+use crate::error::KvError;
+use crate::hash::{key_fingerprint, key_hash};
+use crate::index::{GlobalStore, IndexEntry, IndexTiming, IterBuckets, SegLoc};
+use crate::value::Payload;
+
+/// Keys returned by one iterator batch.
+pub type IterBatch = Vec<Box<[u8]>>;
+
+/// Result of a retrieve: when it completed and what it found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lookup {
+    /// Host-visible completion time.
+    pub at: SimTime,
+    /// The value, or `None` for not-found (a routine, timed outcome).
+    pub value: Option<Payload>,
+}
+
+/// Space accounting snapshot (drives Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceReport {
+    /// Bytes of user data stored (keys + values of live pairs).
+    pub user_bytes: u64,
+    /// Bytes allocated on media for those pairs (incl. padding).
+    pub allocated_bytes: u64,
+    /// Usable data capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Live KVP count.
+    pub kvp_count: u64,
+    /// The device KVP limit.
+    pub max_kvps: u64,
+    /// Page-tail bytes currently trapped as internal fragmentation
+    /// (reclaimed when GC erases the owning blocks).
+    pub waste_bytes: u64,
+}
+
+impl SpaceReport {
+    /// Space amplification: allocated / user bytes.
+    pub fn amplification(&self) -> f64 {
+        self.allocated_bytes as f64 / self.user_bytes.max(1) as f64
+    }
+}
+
+/// Device counters.
+#[derive(Debug, Clone, Default)]
+pub struct KvSsdStats {
+    /// Store commands completed.
+    pub stores: u64,
+    /// Retrieve commands completed.
+    pub retrieves: u64,
+    /// Delete commands completed.
+    pub deletes: u64,
+    /// Exist commands completed.
+    pub exists: u64,
+    /// Lookups answered not-found.
+    pub not_found: u64,
+    /// Negative lookups short-circuited by a Bloom filter.
+    pub bloom_negatives: u64,
+    /// Stores whose blob split into multiple segments.
+    pub split_stores: u64,
+    /// Blobs written through (larger than the volatile buffer's half).
+    pub write_through: u64,
+    /// Segments copied by GC.
+    pub gc_copied_segments: u64,
+    /// Blocks erased by GC.
+    pub gc_erases: u64,
+    /// Foreground GC episodes writes waited on.
+    pub foreground_gc_events: u64,
+    /// Total time writes spent stalled (buffer pressure + foreground GC).
+    pub stall_time: SimDuration,
+    /// Reads served from the volatile write buffer.
+    pub write_buffer_hits: u64,
+    /// Segments re-placed after injected program failures.
+    pub replaced_after_failure: u64,
+    /// Local-to-global index merges.
+    pub merges: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BState {
+    Free,
+    Open,
+    Closed,
+    Dead,
+    IndexReserved,
+}
+
+/// A key identity inside the device: (hash, fingerprint).
+type KeyId = (u64, u64);
+
+#[derive(Debug, Clone, Copy)]
+struct PendingSeg {
+    key: KeyId,
+    alloc: u32,
+}
+
+#[derive(Debug)]
+struct OpenPage {
+    block: BlockId,
+    page: u32,
+    used: u32,
+    first_arrival: SimTime,
+    entries: Vec<PendingSeg>,
+}
+
+#[derive(Debug, Default)]
+struct AppendStream {
+    active: VecDeque<BlockId>,
+    open: Option<OpenPage>,
+}
+
+/// A compact reverse-map record: which blob segment lives in a block.
+#[derive(Debug, Clone, Copy)]
+struct BlobRef {
+    key: KeyId,
+    seg_no: u32,
+}
+
+/// The simulated KV-firmware SSD (see crate docs).
+#[derive(Debug)]
+pub struct KvSsd {
+    config: KvConfig,
+    flash: FlashDevice,
+    link: NvmeLink,
+    managers: Vec<Resource>,
+    local_batches: Vec<Vec<u64>>,
+    blooms: Vec<BloomFilter>,
+    index: GlobalStore,
+    itiming: IndexTiming,
+    iters: IterBuckets,
+    free: Vec<VecDeque<BlockId>>,
+    state: Vec<BState>,
+    valid_bytes: Vec<u64>,
+    refs: Vec<Vec<BlobRef>>,
+    data: AppendStream,
+    gc: AppendStream,
+    buffer_used: u64,
+    buffer_leaves: BinaryHeap<Reverse<(SimTime, u64, KeyId)>>,
+    buffer_resident: HashMap<KeyId, SimTime>,
+    /// Recently fetched physical pages (controller read cache): repeated
+    /// reads of co-packed blobs skip tR, which is what keeps sequential
+    /// reads of co-located KVPs from hammering one die.
+    read_cache: VecDeque<(BlockId, u32)>,
+    gc_victim: Option<BlockId>,
+    in_gc: bool,
+    compound_seq: u64,
+    alloc_cursor: usize,
+    data_blocks: u32,
+    user_bytes: u64,
+    allocated_bytes: u64,
+    /// Page-tail bytes lost to internal fragmentation, per block and in
+    /// total (reclaimed when GC erases the block).
+    waste_per_block: Vec<u64>,
+    waste_bytes: u64,
+    data_capacity: u64,
+    stats: KvSsdStats,
+}
+
+impl KvSsd {
+    /// Creates a KV-SSD over fresh flash.
+    pub fn new(geometry: Geometry, timing: FlashTiming, config: KvConfig) -> Self {
+        Self::over(FlashDevice::new(geometry, timing), config)
+    }
+
+    /// Creates a KV-SSD over an existing flash substrate (e.g. with a
+    /// fault plan installed).
+    pub fn over(mut flash: FlashDevice, config: KvConfig) -> Self {
+        config.validate();
+        let g = *flash.geometry();
+        let die_planes = (g.dies() * g.planes_per_die) as usize;
+        // Reserve the index region: the first k blocks of every
+        // die-plane, so index traffic spreads across dies.
+        let per_dp_reserve =
+            (g.blocks_per_plane * config.index_reserve_pct).div_ceil(100).max(1);
+        let mut free = vec![VecDeque::new(); die_planes];
+        let mut state = vec![BState::Free; g.total_blocks() as usize];
+        let mut reserved = Vec::new();
+        for die in 0..g.dies() {
+            for plane in 0..g.planes_per_die {
+                for idx in 0..g.blocks_per_plane {
+                    let b = g.block_at(die, plane, idx);
+                    if idx < per_dp_reserve {
+                        state[b.0 as usize] = BState::IndexReserved;
+                        flash.preprogram_block(b);
+                        reserved.push(b);
+                    } else {
+                        free[(die * g.planes_per_die + plane) as usize].push_back(b);
+                    }
+                }
+            }
+        }
+        let data_blocks = g.total_blocks() as u64 - reserved.len() as u64;
+        let raw_data = data_blocks
+            * g.pages_per_block as u64
+            * config.page_payload_bytes as u64;
+        let data_capacity = raw_data * (100 - config.overprovision_pct as u64) / 100;
+        let expected_keys_per_manager =
+            (config.max_kvps / config.index_managers as u64).max(1024);
+        KvSsd {
+            managers: vec![Resource::new(); config.index_managers],
+            local_batches: vec![Vec::new(); config.index_managers],
+            blooms: (0..config.index_managers)
+                .map(|_| BloomFilter::new(expected_keys_per_manager, config.bloom_bits_per_key))
+                .collect(),
+            index: GlobalStore::new(),
+            itiming: IndexTiming::new(
+                config.index_entry_bytes,
+                config.index_dram_bytes,
+                reserved,
+            ),
+            iters: IterBuckets::new(config.iterator_buckets),
+            valid_bytes: vec![0; g.total_blocks() as usize],
+            refs: vec![Vec::new(); g.total_blocks() as usize],
+            data: AppendStream::default(),
+            gc: AppendStream::default(),
+            buffer_used: 0,
+            buffer_leaves: BinaryHeap::new(),
+            buffer_resident: HashMap::new(),
+            read_cache: VecDeque::new(),
+            gc_victim: None,
+            in_gc: false,
+            compound_seq: 0,
+            alloc_cursor: 0,
+            data_blocks: data_blocks as u32,
+            user_bytes: 0,
+            allocated_bytes: 0,
+            waste_per_block: vec![0; g.total_blocks() as usize],
+            waste_bytes: 0,
+            data_capacity,
+            free,
+            state,
+            link: NvmeLink::new(config.nvme),
+            stats: KvSsdStats::default(),
+            flash,
+            config,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &KvConfig {
+        &self.config
+    }
+
+    /// Device counters.
+    pub fn stats(&self) -> &KvSsdStats {
+        &self.stats
+    }
+
+    /// Index cost-model counters.
+    pub fn index_stats(&self) -> &crate::index::IndexTimingStats {
+        self.itiming.stats()
+    }
+
+    /// The underlying flash (for utilization reporting).
+    pub fn flash(&self) -> &FlashDevice {
+        &self.flash
+    }
+
+    /// Space accounting snapshot.
+    pub fn space(&self) -> SpaceReport {
+        SpaceReport {
+            user_bytes: self.user_bytes,
+            allocated_bytes: self.allocated_bytes,
+            capacity_bytes: self.data_capacity,
+            kvp_count: self.index.len(),
+            max_kvps: self.config.max_kvps,
+            waste_bytes: self.waste_bytes,
+        }
+    }
+
+    /// Live KVP count.
+    pub fn len(&self) -> u64 {
+        self.index.len()
+    }
+
+    /// True when the device holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Free (erased) data blocks currently available.
+    pub fn free_blocks(&self) -> u32 {
+        self.free.iter().map(|q| q.len() as u32).sum()
+    }
+
+    /// Stores a key-value pair; returns the host-visible completion time.
+    pub fn store(
+        &mut self,
+        now: SimTime,
+        key: &[u8],
+        value: Payload,
+    ) -> Result<SimTime, KvError> {
+        self.check_key(key)?;
+        let vlen = value.len();
+        if vlen > self.config.value_max {
+            return Err(KvError::ValueTooLarge {
+                len: vlen,
+                max: self.config.value_max,
+            });
+        }
+        let (h, fp) = (key_hash(key), key_fingerprint(key));
+        let layout = BlobLayout::plan(&self.config, key.len(), vlen);
+        let existing = self.index.get(h, fp).is_some();
+        if !existing && self.index.len() >= self.config.max_kvps {
+            return Err(KvError::IndexFull {
+                max_kvps: self.config.max_kvps,
+            });
+        }
+        let old_alloc = self
+            .index
+            .get(h, fp)
+            .map(IndexEntry::allocated_bytes)
+            .unwrap_or(0);
+        let projected = |d: &Self| {
+            d.allocated_bytes - old_alloc + layout.allocated_bytes() + d.waste_bytes
+        };
+        if projected(self) > self.data_capacity {
+            // Much of the projection may be reclaimable page-tail waste;
+            // give the collector one synchronous chance before failing.
+            let t = self.foreground_gc(now);
+            let _ = t;
+            if projected(self) > self.data_capacity {
+                return Err(KvError::DeviceFull);
+            }
+        }
+
+        // 1. NVMe ingestion: capsule(s) + payload over the link. With
+        // compound commands enabled, only every batch-th store carries a
+        // capsule; the rest ride inside it.
+        let cmds = if self.config.command_set.compound_commands {
+            self.compound_seq += 1;
+            if self.compound_seq % self.config.command_set.compound_batch as u64 == 1
+                || self.config.command_set.compound_batch == 1
+            {
+                self.config.command_set.commands_for_key(key.len())
+            } else {
+                0
+            }
+        } else {
+            self.config.command_set.commands_for_key(key.len())
+        };
+        let t = self
+            .link
+            .submit(now, cmds, (key.len() as u64 + vlen).max(1));
+
+        // 2. Key handling on this key's index manager.
+        let m = (h % self.managers.len() as u64) as usize;
+        let mut handling = self.config.key_handling_cost(key.len())
+            + self.config.cost_index_dram
+            + self.config.cost_pack;
+        if layout.is_split() {
+            handling += self.config.cost_offset_mgmt * (layout.segments() as u64 - 1);
+            self.stats.split_stores += 1;
+        }
+        let mut t = self.managers[m].acquire(t, handling).end;
+
+        // 3. Buffer admission (may stall under pressure). Blobs beyond
+        // half the buffer are written through instead: their completion
+        // waits for the programs rather than for buffer space.
+        let total_alloc = layout.allocated_bytes();
+        let write_through = total_alloc > self.config.write_buffer_bytes / 2;
+        if write_through {
+            self.stats.write_through += 1;
+        } else {
+            t = self.wait_for_buffer_space(t, total_alloc);
+        }
+
+        // 3.5 Hard watermark: reclaim space synchronously before placing
+        // (the foreground-GC stall of Fig. 6).
+        if self.free_pages() <= self.hard_watermark_pages() {
+            t = self.foreground_gc(t);
+        }
+
+        // 4. Invalidate any previous version and commit a skeleton index
+        // record up front: garbage collection may run *while* this store
+        // is placing segments, and it finds live data through the index.
+        if let Some(old) = self.index.remove(h, fp) {
+            self.invalidate_entry(&old);
+        } else {
+            self.iters.insert(key);
+        }
+        self.index.insert(
+            h,
+            fp,
+            IndexEntry {
+                fingerprint: fp,
+                key_len: key.len() as u8,
+                value_len: vlen as u32,
+                payload: value,
+                segs: Vec::with_capacity(layout.segments()),
+            },
+        );
+
+        // 5. Place segments, publishing each location as it lands (GC may
+        // even relocate a just-placed segment; it updates the entry).
+        let mut last_program = t;
+        for (i, (&alloc, &raw)) in layout
+            .segment_alloc
+            .iter()
+            .zip(&layout.segment_raw)
+            .enumerate()
+        {
+            let dedicated = layout.is_split();
+            match self.append_segment_retry(t, (h, fp), i as u32, alloc, raw, dedicated) {
+                Some((loc, programmed)) => {
+                    if let Some(done) = programmed {
+                        last_program = last_program.max(done);
+                    }
+                    self.index
+                        .get_mut(h, fp)
+                        .expect("skeleton committed above")
+                        .segs
+                        .push(loc);
+                }
+                None => {
+                    // Physical exhaustion mid-append: roll back the
+                    // segments already placed and fail the store. The
+                    // previous version is already gone, as it would be on
+                    // a real device that invalidates before overwriting.
+                    if let Some(partial) = self.index.remove(h, fp) {
+                        for placed in &partial.segs {
+                            self.valid_bytes[placed.block.0 as usize] -= placed.alloc as u64;
+                        }
+                    }
+                    self.iters.remove(key);
+                    return Err(KvError::DeviceFull);
+                }
+            }
+        }
+        if write_through {
+            t = t.max(last_program);
+        }
+
+        // 6. Account the committed record.
+        let (ub, ab) = {
+            let entry = self.index.get(h, fp).expect("committed above");
+            (entry.user_bytes(), entry.allocated_bytes())
+        };
+        self.user_bytes += ub;
+        self.allocated_bytes += ab;
+        self.blooms[m].insert(h);
+        if !write_through {
+            self.buffer_resident
+                .entry((h, fp))
+                .or_insert(SimTime::from_nanos(u64::MAX));
+        }
+
+        // 7. Local-index batch; merge into the global index when full.
+        self.local_batches[m].push(h);
+        if self.local_batches[m].len() >= self.config.local_index_entries {
+            let batch = std::mem::take(&mut self.local_batches[m]);
+            let entries = self.index.len();
+            let merged = self.itiming.merge(t, &batch, entries, &mut self.flash);
+            self.stats.merges += 1;
+            t = self.managers[m].acquire_after(t, merged, SimDuration::ZERO).end;
+        }
+
+        // 8. Background GC band.
+        let soft_pages = self.config.gc_soft_free_blocks as u64
+            * self.flash.geometry().pages_per_block as u64;
+        if self.free_blocks() < self.config.gc_soft_free_blocks
+            || self.free_pages() < soft_pages
+        {
+            for _ in 0..self.config.gc_copies_per_store {
+                if !self.gc_copy_one(t) {
+                    break;
+                }
+            }
+        }
+
+        self.stats.stores += 1;
+        Ok(self.link.complete(t, 0))
+    }
+
+    /// Retrieves a value by key.
+    pub fn retrieve(&mut self, now: SimTime, key: &[u8]) -> Result<Lookup, KvError> {
+        self.check_key(key)?;
+        let (h, fp) = (key_hash(key), key_fingerprint(key));
+        let cmds = self.config.command_set.commands_for_key(key.len());
+        let t = self.link.submit(now, cmds, key.len() as u64);
+        let m = (h % self.managers.len() as u64) as usize;
+        let t = self.managers[m]
+            .acquire(t, self.config.key_handling_cost(key.len()))
+            .end;
+        // Bloom filter: definite negatives skip the index walk.
+        if self.config.bloom_enabled && !self.blooms[m].may_contain(h) {
+            self.stats.bloom_negatives += 1;
+            self.stats.not_found += 1;
+            self.stats.retrieves += 1;
+            return Ok(Lookup {
+                at: self.link.complete(t, 0),
+                value: None,
+            });
+        }
+        let t = self.managers[m].acquire(t, self.config.cost_index_dram).end;
+        let entries = self.index.len();
+        let t = self.itiming.lookup(t, h, entries, &mut self.flash);
+        let Some(entry) = self.index.get(h, fp) else {
+            self.stats.not_found += 1;
+            self.stats.retrieves += 1;
+            return Ok(Lookup {
+                at: self.link.complete(t, 0),
+                value: None,
+            });
+        };
+        let value = entry.payload.clone();
+        let vlen = entry.value_len as u64;
+        let segs = entry.segs.clone();
+        let t = self.read_segments(t, (h, fp), &segs);
+        self.stats.retrieves += 1;
+        Ok(Lookup {
+            at: self.link.complete(t, vlen),
+            value: Some(value),
+        })
+    }
+
+    /// Membership check; returns (completion, exists).
+    pub fn exist(&mut self, now: SimTime, key: &[u8]) -> Result<(SimTime, bool), KvError> {
+        self.check_key(key)?;
+        let (h, fp) = (key_hash(key), key_fingerprint(key));
+        let cmds = self.config.command_set.commands_for_key(key.len());
+        let t = self.link.submit(now, cmds, key.len() as u64);
+        let m = (h % self.managers.len() as u64) as usize;
+        let t = self.managers[m]
+            .acquire(t, self.config.key_handling_cost(key.len()))
+            .end;
+        self.stats.exists += 1;
+        if self.config.bloom_enabled && !self.blooms[m].may_contain(h) {
+            self.stats.bloom_negatives += 1;
+            return Ok((self.link.complete(t, 0), false));
+        }
+        let t = self.managers[m].acquire(t, self.config.cost_index_dram).end;
+        let t = self.itiming.lookup(t, h, self.index.len(), &mut self.flash);
+        let found = self.index.get(h, fp).is_some();
+        Ok((self.link.complete(t, 0), found))
+    }
+
+    /// Deletes a key; returns (completion, existed).
+    pub fn delete(&mut self, now: SimTime, key: &[u8]) -> Result<(SimTime, bool), KvError> {
+        self.check_key(key)?;
+        let (h, fp) = (key_hash(key), key_fingerprint(key));
+        let cmds = self.config.command_set.commands_for_key(key.len());
+        let t = self.link.submit(now, cmds, key.len() as u64);
+        let m = (h % self.managers.len() as u64) as usize;
+        let t = self.managers[m]
+            .acquire(
+                t,
+                self.config.key_handling_cost(key.len()) + self.config.cost_index_dram,
+            )
+            .end;
+        let mut t = self.itiming.lookup(t, h, self.index.len(), &mut self.flash);
+        let existed = match self.index.remove(h, fp) {
+            Some(entry) => {
+                self.invalidate_entry(&entry);
+                self.iters.remove(key);
+                // Deletes also dirty the index; count them in a batch.
+                self.local_batches[m].push(h);
+                if self.local_batches[m].len() >= self.config.local_index_entries {
+                    let batch = std::mem::take(&mut self.local_batches[m]);
+                    let entries = self.index.len();
+                    t = self.itiming.merge(t, &batch, entries, &mut self.flash);
+                    self.stats.merges += 1;
+                }
+                true
+            }
+            None => {
+                self.stats.not_found += 1;
+                false
+            }
+        };
+        self.stats.deletes += 1;
+        Ok((self.link.complete(t, 0), existed))
+    }
+
+    /// Opens an iterator over a 4-byte key prefix.
+    pub fn iter_open(&mut self, now: SimTime, prefix: [u8; 4]) -> (SimTime, u64) {
+        let t = self.link.submit(now, 1, 4);
+        let handle = self.iters.open(prefix);
+        (self.link.complete(t + SimDuration::from_micros(5), 0), handle)
+    }
+
+    /// Fetches up to `n` keys from an open iterator.
+    pub fn iter_next(
+        &mut self,
+        now: SimTime,
+        handle: u64,
+        n: usize,
+    ) -> Result<(SimTime, IterBatch), KvError> {
+        let t = self.link.submit(now, 1, 0);
+        let keys = self.iters.next(handle, n).ok_or(KvError::BadIterator)?;
+        // Iterator buckets are scanned from flash in page-sized chunks.
+        let pages = keys.len().div_ceil(100).max(1) as u64;
+        let mut done = t;
+        for i in 0..pages {
+            done = done.max(self.itiming.lookup(
+                t,
+                kvssd_sim::rng::mix64(handle ^ i),
+                self.index.len(),
+                &mut self.flash,
+            ));
+        }
+        let bytes: u64 = keys.iter().map(|k| k.len() as u64).sum();
+        Ok((self.link.complete(done, bytes), keys))
+    }
+
+    /// Closes an iterator.
+    pub fn iter_close(&mut self, now: SimTime, handle: u64) -> Result<SimTime, KvError> {
+        let t = self.link.submit(now, 1, 0);
+        if self.iters.close(handle) {
+            Ok(self.link.complete(t, 0))
+        } else {
+            Err(KvError::BadIterator)
+        }
+    }
+
+    /// Power-cycles the device: flushes the capacitor-backed volatile
+    /// buffer (enterprise power-loss protection — no acknowledged write
+    /// is lost), drops volatile caches, and pays the mount-time cost of
+    /// re-reading the flash-resident index levels. Returns when the
+    /// device is ready again.
+    pub fn power_cycle(&mut self, now: SimTime) -> SimTime {
+        // Capacitor flush of in-flight pages.
+        let mut t = self.flush(now);
+        // Volatile state is gone.
+        self.read_cache.clear();
+        self.drain_buffer(t + SimDuration::from_secs(3600));
+        self.buffer_resident.clear();
+        self.buffer_leaves.clear();
+        self.buffer_used = 0;
+        // Mount: walk the flash-resident index levels back into DRAM.
+        let entries = self.index.len();
+        let resident = self.itiming.resident_fraction(entries);
+        if resident < 1.0 {
+            let flash_bytes =
+                (self.itiming.index_bytes(entries) as f64 * (1.0 - resident)) as u64;
+            let pages = flash_bytes.div_ceil(self.flash.geometry().page_bytes as u64);
+            // Mount reads stream across the reserved region; charge an
+            // aggregate sequential read (channel-limited).
+            let per_page = self
+                .flash
+                .timing()
+                .read_pipeline_time(self.flash.geometry().page_bytes as u64);
+            let channels = self.flash.geometry().channels as u64;
+            t += SimDuration::from_nanos(per_page.as_nanos() * pages / channels.max(1));
+        }
+        t
+    }
+
+    /// Physical segment locations of a live key — diagnostics and
+    /// invariant-testing hook (real firmware exposes the same through
+    /// vendor log pages).
+    pub fn segments_of(&self, key: &[u8]) -> Option<Vec<SegLoc>> {
+        let (h, fp) = (key_hash(key), key_fingerprint(key));
+        self.index.get(h, fp).map(|e| e.segs.clone())
+    }
+
+    /// Programs all partially filled open pages (end-of-phase barrier).
+    pub fn flush(&mut self, now: SimTime) -> SimTime {
+        let mut end = now;
+        if let Some(done) = self.program_open_page(now, StreamKind::Data) {
+            end = end.max(done);
+        }
+        if let Some(done) = self.program_open_page(now, StreamKind::Gc) {
+            end = end.max(done);
+        }
+        end
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn check_key(&self, key: &[u8]) -> Result<(), KvError> {
+        if key.len() < self.config.key_min {
+            return Err(KvError::KeyTooShort {
+                len: key.len(),
+                min: self.config.key_min,
+            });
+        }
+        if key.len() > self.config.key_max {
+            return Err(KvError::KeyTooLong {
+                len: key.len(),
+                max: self.config.key_max,
+            });
+        }
+        Ok(())
+    }
+
+    fn invalidate_entry(&mut self, entry: &IndexEntry) {
+        for seg in &entry.segs {
+            self.valid_bytes[seg.block.0 as usize] -= seg.alloc as u64;
+        }
+        self.user_bytes -= entry.user_bytes();
+        self.allocated_bytes -= entry.allocated_bytes();
+    }
+
+    /// Waits until `bytes` of buffer space are available, returning the
+    /// (possibly stalled) time. The space itself is claimed as segments
+    /// are appended.
+    fn wait_for_buffer_space(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let mut t = now;
+        self.drain_buffer(t);
+        while self.buffer_used + bytes > self.config.write_buffer_bytes {
+            match self.buffer_leaves.pop() {
+                Some(Reverse((leave, gone_bytes, key))) => {
+                    if self.buffer_resident.get(&key) == Some(&leave) {
+                        self.buffer_resident.remove(&key);
+                    }
+                    self.buffer_used -= gone_bytes;
+                    if leave > t {
+                        self.stats.stall_time += leave.since(t);
+                        t = leave;
+                    }
+                }
+                None => {
+                    // Everything unprogrammed: force the open page out.
+                    match self.program_open_page(t, StreamKind::Data) {
+                        Some(done) => {
+                            // Its entries are now in the heap; loop.
+                            let _ = done;
+                        }
+                        None => break, // nothing buffered at all
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    fn drain_buffer(&mut self, now: SimTime) {
+        while let Some(&Reverse((leave, bytes, key))) = self.buffer_leaves.peek() {
+            if leave <= now {
+                self.buffer_leaves.pop();
+                self.buffer_used -= bytes;
+                if self.buffer_resident.get(&key) == Some(&leave) {
+                    self.buffer_resident.remove(&key);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// [`Self::append_segment`] with retry: if the placement landed on a
+    /// page whose program failed (block retired under our feet, and the
+    /// failure handler cannot see an unpublished segment), undo the
+    /// accounting and place it again.
+    fn append_segment_retry(
+        &mut self,
+        now: SimTime,
+        key: KeyId,
+        seg_no: u32,
+        alloc: u32,
+        raw: u32,
+        dedicated: bool,
+    ) -> Option<(SegLoc, Option<SimTime>)> {
+        for attempt in 0..16 {
+            let (loc, done) = self.append_segment(now, key, seg_no, alloc, raw, dedicated)?;
+            if self.state[loc.block.0 as usize] != BState::Dead {
+                return Some((loc, done));
+            }
+            // The copy on the dead block is garbage now; it was counted
+            // once by account_append, so uncount it once and try again.
+            self.valid_bytes[loc.block.0 as usize] -= alloc as u64;
+            let _ = attempt;
+        }
+        panic!("16 consecutive program failures placing one segment — fault rate too high to make progress");
+    }
+
+    /// Appends one segment to a stream; returns its location and, when a
+    /// page was programmed as a side effect, that program's completion.
+    /// `None` means the device is physically out of space.
+    fn append_segment(
+        &mut self,
+        now: SimTime,
+        key: KeyId,
+        seg_no: u32,
+        alloc: u32,
+        raw: u32,
+        dedicated: bool,
+    ) -> Option<(SegLoc, Option<SimTime>)> {
+        let kind = if self.in_gc {
+            StreamKind::Gc
+        } else {
+            StreamKind::Data
+        };
+        if dedicated {
+            // Page-aligned segment: a whole page to itself (the firmware
+            // keeps split-blob offsets page-aligned).
+            let ppb = self.flash.geometry().pages_per_block;
+            let mut block;
+            loop {
+                block = self.pick_block(now, kind)?;
+                // The stream's open page owns its block's next program
+                // slot; flush it before programming anything else there.
+                if self
+                    .stream(kind)
+                    .open
+                    .as_ref()
+                    .is_some_and(|p| p.block == block)
+                {
+                    self.program_open_page(now, kind);
+                }
+                // The flush may have consumed the block's last page.
+                if self.flash.written_pages(block) < ppb {
+                    break;
+                }
+                self.close_if_full(block, kind);
+            }
+            let page = self.flash.written_pages(block);
+            let loc = SegLoc {
+                block,
+                page,
+                offset: 0,
+                alloc,
+                raw,
+            };
+            self.account_append(block, key, seg_no, alloc);
+            self.account_waste(
+                block,
+                self.config.page_payload_bytes.saturating_sub(alloc) as u64,
+            );
+            self.buffer_used += alloc as u64;
+            let r = self
+                .flash
+                .program_page(
+                    now,
+                    PageAddr { block, page },
+                    self.flash.geometry().page_bytes as u64,
+                )
+                .expect("program on open block");
+            let done = r.done;
+            self.close_if_full(block, kind);
+            self.buffer_leaves.push(Reverse((done, alloc as u64, key)));
+            self.buffer_resident.insert(key, done);
+            if r.failed {
+                self.handle_program_failure(done, block, page);
+            }
+            return Some((loc, Some(done)));
+        }
+        // Shared open page: byte-aligned log append.
+        let payload = self.config.page_payload_bytes;
+        let mut programmed = None;
+        let needs_new_page = match self.stream(kind).open.as_ref() {
+            Some(p) => p.used + alloc > payload,
+            None => true,
+        };
+        // Only host data is timeout-flushed (durability expectation);
+        // the GC stream is bursty and must keep filling its page across
+        // episodes or it litters the array with near-empty pages.
+        let timed_out = kind == StreamKind::Data
+            && self
+                .stream(kind)
+                .open
+                .as_ref()
+                .map(|p| {
+                    !p.entries.is_empty()
+                        && now.saturating_since(p.first_arrival)
+                            >= self.config.partial_flush_timeout
+                })
+                .unwrap_or(false);
+        if needs_new_page || timed_out {
+            programmed = self.program_open_page(now, kind);
+            let block = self.pick_block(now, kind)?;
+            let page = self.flash.written_pages(block);
+            self.stream_mut(kind).open = Some(OpenPage {
+                block,
+                page,
+                used: 0,
+                first_arrival: now,
+                entries: Vec::new(),
+            });
+        }
+        let payload_limit = self.config.page_payload_bytes;
+        let alloc_unit = self.config.alloc_unit;
+        let open = self.stream_mut(kind).open.as_mut().expect("opened above");
+        let loc = SegLoc {
+            block: open.block,
+            page: open.page,
+            offset: open.used,
+            alloc,
+            raw,
+        };
+        open.used += alloc;
+        open.entries.push(PendingSeg { key, alloc });
+        let full = open.used + alloc_unit > payload_limit;
+        let block = open.block;
+        self.account_append(block, key, seg_no, alloc);
+        self.buffer_used += alloc as u64;
+        if full {
+            let done = self.program_open_page(now, kind);
+            programmed = programmed.max(done);
+        }
+        Some((loc, programmed))
+    }
+
+    fn account_append(&mut self, block: BlockId, key: KeyId, seg_no: u32, alloc: u32) {
+        self.valid_bytes[block.0 as usize] += alloc as u64;
+        self.refs[block.0 as usize].push(BlobRef { key, seg_no });
+    }
+
+    fn account_waste(&mut self, block: BlockId, bytes: u64) {
+        self.waste_per_block[block.0 as usize] += bytes;
+        self.waste_bytes += bytes;
+    }
+
+    /// Programs the current open page of a stream, if any.
+    fn program_open_page(&mut self, now: SimTime, kind: StreamKind) -> Option<SimTime> {
+        let open = self.stream_mut(kind).open.take()?;
+        if open.entries.is_empty() {
+            // Nothing written: hand the page back by reopening lazily.
+            return None;
+        }
+        self.account_waste(
+            open.block,
+            (self.config.page_payload_bytes - open.used) as u64,
+        );
+        let r = self
+            .flash
+            .program_page(
+                now,
+                PageAddr {
+                    block: open.block,
+                    page: open.page,
+                },
+                self.flash.geometry().page_bytes as u64,
+            )
+            .expect("program on open page");
+        let done = r.done;
+        for seg in &open.entries {
+            self.buffer_leaves
+                .push(Reverse((done, seg.alloc as u64, seg.key)));
+            self.buffer_resident.insert(seg.key, done);
+        }
+        self.close_if_full(open.block, kind);
+        if r.failed {
+            self.handle_program_failure(done, open.block, open.page);
+        }
+        Some(done)
+    }
+
+    /// After a failed program, retire the block and re-place every
+    /// segment that still maps to the failed page.
+    fn handle_program_failure(&mut self, now: SimTime, block: BlockId, page: u32) {
+        self.state[block.0 as usize] = BState::Dead;
+        for stream in [StreamKind::Data, StreamKind::Gc] {
+            let s = self.stream_mut(stream);
+            s.active.retain(|&b| b != block);
+            if s.open.as_ref().is_some_and(|p| p.block == block) {
+                s.open = None;
+            }
+        }
+        // A block's ref list may name the same (key, segment) several
+        // times (stale refs from overwrites that landed in the same
+        // page); each live segment must be re-placed exactly once.
+        let mut seen = std::collections::HashSet::new();
+        let victims: Vec<(KeyId, u32)> = self.refs[block.0 as usize]
+            .iter()
+            .filter(|r| {
+                self.index
+                    .get(r.key.0, r.key.1)
+                    .and_then(|e| e.segs.get(r.seg_no as usize))
+                    .is_some_and(|s| s.block == block && s.page == page)
+            })
+            .map(|r| (r.key, r.seg_no))
+            .filter(|v| seen.insert(*v))
+            .collect();
+        for (key, seg_no) in victims {
+            let Some(entry) = self.index.get(key.0, key.1) else {
+                continue;
+            };
+            let seg = entry.segs[seg_no as usize];
+            self.valid_bytes[block.0 as usize] -= seg.alloc as u64;
+            self.stats.replaced_after_failure += 1;
+            let (new_loc, _) = self
+                .append_segment(now, key, seg_no, seg.alloc, seg.raw, false)
+                .expect("no space to re-place data after a program failure");
+            if let Some(entry) = self.index.get_mut(key.0, key.1) {
+                entry.segs[seg_no as usize] = new_loc;
+            }
+        }
+    }
+
+    fn close_if_full(&mut self, block: BlockId, kind: StreamKind) {
+        if self.flash.written_pages(block) >= self.flash.geometry().pages_per_block {
+            if self.state[block.0 as usize] == BState::Open {
+                self.state[block.0 as usize] = BState::Closed;
+            }
+            self.stream_mut(kind).active.retain(|&b| b != block);
+        }
+    }
+
+    fn stream(&self, kind: StreamKind) -> &AppendStream {
+        match kind {
+            StreamKind::Data => &self.data,
+            StreamKind::Gc => &self.gc,
+        }
+    }
+
+    fn stream_mut(&mut self, kind: StreamKind) -> &mut AppendStream {
+        match kind {
+            StreamKind::Data => &mut self.data,
+            StreamKind::Gc => &mut self.gc,
+        }
+    }
+
+    /// Picks the next block to program for a stream (round-robin across
+    /// its active set, growing the set up to a die-spread target).
+    /// `None` when the device is physically out of programmable blocks.
+    fn pick_block(&mut self, now: SimTime, kind: StreamKind) -> Option<BlockId> {
+        let g = *self.flash.geometry();
+        let die_planes = (g.dies() * g.planes_per_die) as usize;
+        // One open block per die-plane where the block budget allows:
+        // hash-scattered appends stripe across the whole array, which is
+        // what gives the KV side its parallelism at high queue depth.
+        // Tiny test geometries cap the open set so GC still has victims.
+        let budget = (self.data_blocks as usize / 4).max(1);
+        let target = match kind {
+            StreamKind::Data => die_planes.min(budget),
+            StreamKind::Gc => die_planes.min(8).min((self.data_blocks as usize / 8).max(1)),
+        };
+        let need_alloc = {
+            let s = self.stream(kind);
+            s.active.len() < target
+        };
+        if need_alloc {
+            if let Some(b) = self.alloc_block(now) {
+                self.state[b.0 as usize] = BState::Open;
+                self.stream_mut(kind).active.push_back(b);
+            }
+        }
+        let s = self.stream_mut(kind);
+        let b = s.active.pop_front()?;
+        s.active.push_back(b);
+        Some(b)
+    }
+
+    /// Pops a free block, running foreground GC first when the hard
+    /// watermark is hit. Returns `None` only when truly exhausted (the
+    /// caller will panic — capacity checks should prevent this).
+    fn alloc_block(&mut self, now: SimTime) -> Option<BlockId> {
+        if !self.in_gc
+            && (self.free_blocks() <= self.config.gc_hard_free_blocks
+                || self.free_pages() <= self.hard_watermark_pages())
+        {
+            self.foreground_gc(now);
+        }
+        // The last few free blocks are the collector's working space:
+        // handing them to a data stream would wedge GC (nothing to copy
+        // into) the moment the device fills.
+        let reserve = (self.config.gc_hard_free_blocks / 2).max(2);
+        if !self.in_gc && self.free_blocks() <= reserve {
+            return None;
+        }
+        for i in 0..self.free.len() {
+            let q = (self.alloc_cursor + i) % self.free.len();
+            if let Some(b) = self.free[q].pop_front() {
+                self.alloc_cursor = (q + 1) % self.free.len();
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Physically programmable pages remaining: free blocks plus the
+    /// unwritten tails of open blocks. GC progress is measured in these.
+    fn free_pages(&self) -> u64 {
+        let ppb = self.flash.geometry().pages_per_block as u64;
+        let mut pages = self.free_blocks() as u64 * ppb;
+        for b in self.data.active.iter().chain(self.gc.active.iter()) {
+            pages += ppb - self.flash.written_pages(*b) as u64;
+        }
+        pages
+    }
+
+    /// Pages below which the device is considered at its hard watermark.
+    fn hard_watermark_pages(&self) -> u64 {
+        (self.config.gc_hard_free_blocks as u64 + 1)
+            * self.flash.geometry().pages_per_block as u64
+    }
+
+    /// Synchronous GC: reclaim until the hard watermark clears, or until
+    /// two victim cycles produce no *net* free-page gain (fully valid,
+    /// tightly packed victims cannot be compacted — the write will then
+    /// consume the remaining free blocks or fail as device-full).
+    /// Returns when the reclamation finished; the caller stalls until
+    /// then.
+    fn foreground_gc(&mut self, now: SimTime) -> SimTime {
+        self.stats.foreground_gc_events += 1;
+        self.in_gc = true;
+        let mut t = now;
+        let mut futile = 0u32;
+        // Hysteresis: reclaim past the trigger so back-to-back writes do
+        // not re-enter foreground GC immediately.
+        let target = self.hard_watermark_pages()
+            + 2 * self.flash.geometry().pages_per_block as u64;
+        while self.free_pages() <= target && futile < 2 {
+            // Zero-copy wins first: erase fully dead closed blocks.
+            t = self.erase_dead_blocks(t);
+            if self.free_pages() > target {
+                break;
+            }
+            // Drop a victim handle that went stale (erased + reused).
+            if self
+                .gc_victim
+                .is_some_and(|v| self.state[v.0 as usize] != BState::Closed)
+            {
+                self.gc_victim = None;
+            }
+            if self.gc_victim.is_none() && !self.select_victim() {
+                break;
+            }
+            let before = self.free_pages();
+            let v = self.gc_victim.expect("victim selected");
+            // Drain the victim completely, then erase it.
+            let mut guard = 0u32;
+            while self.valid_bytes[v.0 as usize] > 0 {
+                if !self.gc_copy_one(t) {
+                    break;
+                }
+                guard += 1;
+                if guard > 1_000_000 {
+                    panic!("GC failed to drain block b{}", v.0);
+                }
+            }
+            if self.valid_bytes[v.0 as usize] == 0 {
+                t = self.erase_victim(t);
+            } else {
+                // Copy path exhausted (no space to move data into):
+                // abandon this victim so cheaper wins can be retried.
+                self.gc_victim = None;
+                futile += 1;
+                continue;
+            }
+            if self.free_pages() > before {
+                futile = 0;
+            } else {
+                futile += 1;
+            }
+        }
+        self.in_gc = false;
+        if t > now {
+            self.stats.stall_time += t.since(now);
+        }
+        t
+    }
+
+    /// Erases every closed block that holds no valid data (zero-copy
+    /// reclaim). Returns the completion of the last erase.
+    fn erase_dead_blocks(&mut self, now: SimTime) -> SimTime {
+        let sticky = self.gc_victim.take();
+        let mut t = now;
+        for b in 0..self.state.len() {
+            if self.state[b] == BState::Closed && self.valid_bytes[b] == 0 {
+                self.gc_victim = Some(BlockId(b as u32));
+                t = self.erase_victim(t);
+            }
+        }
+        // Restore the in-progress victim only if this sweep did not just
+        // erase it — a stale victim handle would later erase whatever
+        // block reuses that id.
+        self.gc_victim =
+            sticky.filter(|v| self.state[v.0 as usize] == BState::Closed);
+        t
+    }
+
+    /// Copies one live segment off the current victim. Returns false when
+    /// there is no work.
+    fn gc_copy_one(&mut self, now: SimTime) -> bool {
+        if self.gc_victim.is_none() && !self.select_victim() {
+            return false;
+        }
+        let v = self.gc_victim.expect("victim selected");
+        // Find the next still-live ref in the victim.
+        let live = loop {
+            let Some(r) = self.refs[v.0 as usize].pop() else {
+                break None;
+            };
+            let still_here = self
+                .index
+                .get(r.key.0, r.key.1)
+                .and_then(|e| e.segs.get(r.seg_no as usize))
+                .is_some_and(|s| s.block == v);
+            if still_here {
+                break Some(r);
+            }
+        };
+        let Some(r) = live else {
+            if self.valid_bytes[v.0 as usize] == 0 {
+                self.erase_victim(now);
+            } else {
+                // Refs exhausted but bytes remain: accounting bug.
+                panic!(
+                    "victim b{} has {} valid bytes but no refs",
+                    v.0, self.valid_bytes[v.0 as usize]
+                );
+            }
+            return false;
+        };
+        let entry = self.index.get(r.key.0, r.key.1).expect("checked live");
+        let seg = entry.segs[r.seg_no as usize];
+        let _ = self
+            .flash
+            .read_page(
+                now,
+                PageAddr {
+                    block: seg.block,
+                    page: seg.page,
+                },
+                seg.raw as u64,
+            )
+            .expect("GC read of live segment");
+        let was_gc = self.in_gc;
+        self.in_gc = true; // route the re-append to the GC stream
+        let appended = self.append_segment_retry(now, r.key, r.seg_no, seg.alloc, seg.raw, false);
+        self.in_gc = was_gc;
+        let Some((new_loc, _)) = appended else {
+            // Nowhere to move the data: put the ref back and give up.
+            self.refs[v.0 as usize].push(r);
+            return false;
+        };
+        self.valid_bytes[v.0 as usize] -= seg.alloc as u64;
+        if let Some(entry) = self.index.get_mut(r.key.0, r.key.1) {
+            // Only install our copy if the entry still points at the
+            // victim: a program-failure handler may have re-placed it
+            // while our append was in flight.
+            if entry.segs[r.seg_no as usize] == seg {
+                entry.segs[r.seg_no as usize] = new_loc;
+            } else {
+                // Our freshly placed copy is redundant; uncount it.
+                self.valid_bytes[new_loc.block.0 as usize] -= new_loc.alloc as u64;
+            }
+        }
+        self.stats.gc_copied_segments += 1;
+        true
+    }
+
+    fn erase_victim(&mut self, now: SimTime) -> SimTime {
+        let Some(v) = self.gc_victim.take() else {
+            return now;
+        };
+        // Defense in depth: only closed blocks are erasable; a stale
+        // victim handle must never take down a live block.
+        if self.state[v.0 as usize] != BState::Closed {
+            return now;
+        }
+        debug_assert_eq!(self.valid_bytes[v.0 as usize], 0);
+        self.refs[v.0 as usize].clear();
+        self.waste_bytes -= self.waste_per_block[v.0 as usize];
+        self.waste_per_block[v.0 as usize] = 0;
+        let r = self.flash.erase_block(now, v).expect("erase closed victim");
+        self.stats.gc_erases += 1;
+        if r.failed {
+            self.state[v.0 as usize] = BState::Dead;
+            return r.done;
+        }
+        self.state[v.0 as usize] = BState::Free;
+        let g = self.flash.geometry();
+        let dp = (g.die_of(v) * g.planes_per_die + g.plane_of(v)) as usize;
+        self.free[dp].push_back(v);
+        r.done
+    }
+
+    /// Greedy victim selection among closed blocks: fewest valid bytes
+    /// first, and only blocks whose erase would actually gain space
+    /// (dead bytes + trapped waste of at least one page's payload) —
+    /// copying a fully live block around is pure churn.
+    fn select_victim(&mut self) -> bool {
+        let payload = self.config.page_payload_bytes as u64;
+        let mut best: Option<(u64, BlockId)> = None;
+        for b in 0..self.state.len() {
+            if self.state[b] != BState::Closed {
+                continue;
+            }
+            let written = self.flash.written_pages(BlockId(b as u32)) as u64;
+            let gain = written * payload - self.valid_bytes[b];
+            if gain < payload {
+                continue;
+            }
+            let v = self.valid_bytes[b];
+            // Greedy on valid bytes; ties go to the least-worn block (a
+            // light static wear-leveling policy).
+            let wear = self.flash.erase_count(BlockId(b as u32));
+            if best.is_none_or(|(bv, bid): (u64, BlockId)| {
+                v < bv || (v == bv && wear < self.flash.erase_count(bid))
+            }) {
+                best = Some((v, BlockId(b as u32)));
+            }
+        }
+        match best {
+            Some((_, id)) => {
+                self.gc_victim = Some(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads a blob's segments: the head first (it holds the offset
+    /// table), continuations in parallel after it.
+    fn read_segments(&mut self, t: SimTime, key: KeyId, segs: &[SegLoc]) -> SimTime {
+        self.drain_buffer(t);
+        // A blob is served from the volatile buffer when it is tracked as
+        // resident, or — mechanically — when any of its segments has not
+        // reached flash yet (pending in an open page).
+        let unprogrammed = segs
+            .iter()
+            .any(|s| self.flash.written_pages(s.block) <= s.page);
+        if unprogrammed || self.buffer_resident.contains_key(&key) {
+            self.stats.write_buffer_hits += 1;
+            return t + SimDuration::from_micros(1);
+        }
+        let head = segs[0];
+        let t_head = self.read_cached(t, head);
+        let mut finish = t_head;
+        for seg in &segs[1..] {
+            finish = finish.max(self.read_cached(t_head, *seg));
+        }
+        finish
+    }
+
+    /// Reads one segment through the controller's small page cache.
+    fn read_cached(&mut self, t: SimTime, seg: SegLoc) -> SimTime {
+        const READ_CACHE_PAGES: usize = 8;
+        let page = (seg.block, seg.page);
+        if self.read_cache.contains(&page) {
+            return t + SimDuration::from_micros(2);
+        }
+        let done = self
+            .flash
+            .read_page(
+                t,
+                PageAddr {
+                    block: seg.block,
+                    page: seg.page,
+                },
+                seg.raw as u64,
+            )
+            .expect("read segment");
+        self.read_cache.push_back(page);
+        if self.read_cache.len() > READ_CACHE_PAGES {
+            self.read_cache.pop_front();
+        }
+        done
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamKind {
+    Data,
+    Gc,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> KvSsd {
+        KvSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            KvConfig::small(),
+        )
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("key{i:013}").into_bytes() // 16 B keys
+    }
+
+    #[test]
+    fn store_then_retrieve_round_trips() {
+        let mut d = dev();
+        let t = d
+            .store(SimTime::ZERO, b"hello-key", Payload::from_bytes(vec![7; 100]))
+            .unwrap();
+        let got = d.retrieve(t, b"hello-key").unwrap();
+        assert_eq!(got.value.unwrap().as_bytes().unwrap(), &[7u8; 100][..]);
+        assert!(got.at > t);
+    }
+
+    #[test]
+    fn missing_key_is_not_found_not_error() {
+        let mut d = dev();
+        let got = d.retrieve(SimTime::ZERO, b"never-stored").unwrap();
+        assert!(got.value.is_none());
+        assert_eq!(d.stats().not_found, 1);
+        assert_eq!(d.stats().bloom_negatives, 1, "bloom should short-circuit");
+    }
+
+    #[test]
+    fn key_and_value_limits_enforced() {
+        let mut d = dev();
+        assert!(matches!(
+            d.store(SimTime::ZERO, b"abc", Payload::synthetic(1, 0)),
+            Err(KvError::KeyTooShort { .. })
+        ));
+        let long = vec![b'x'; 256];
+        assert!(matches!(
+            d.store(SimTime::ZERO, &long, Payload::synthetic(1, 0)),
+            Err(KvError::KeyTooLong { .. })
+        ));
+        assert!(matches!(
+            d.store(
+                SimTime::ZERO,
+                b"okkey",
+                Payload::synthetic(3 * 1024 * 1024, 0)
+            ),
+            Err(KvError::ValueTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_value_is_legal() {
+        let mut d = dev();
+        let t = d
+            .store(SimTime::ZERO, b"empty-val", Payload::from_bytes(vec![]))
+            .unwrap();
+        let got = d.retrieve(t, b"empty-val").unwrap();
+        assert_eq!(got.value.unwrap().len(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_and_keeps_count() {
+        let mut d = dev();
+        let t = d
+            .store(SimTime::ZERO, b"kkkk1", Payload::from_bytes(vec![1]))
+            .unwrap();
+        let t = d
+            .store(t, b"kkkk1", Payload::from_bytes(vec![2, 2]))
+            .unwrap();
+        assert_eq!(d.len(), 1);
+        let got = d.retrieve(t, b"kkkk1").unwrap();
+        assert_eq!(got.value.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn delete_removes_and_reports() {
+        let mut d = dev();
+        let t = d
+            .store(SimTime::ZERO, b"gone1", Payload::from_bytes(vec![9]))
+            .unwrap();
+        let (t, existed) = d.delete(t, b"gone1").unwrap();
+        assert!(existed);
+        let (_, exists) = d.exist(t, b"gone1").unwrap();
+        assert!(!exists);
+        let (_, existed_again) = d.delete(t, b"gone1").unwrap();
+        assert!(!existed_again);
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.space().user_bytes, 0);
+    }
+
+    #[test]
+    fn exist_answers_both_ways() {
+        let mut d = dev();
+        let t = d
+            .store(SimTime::ZERO, b"here1", Payload::synthetic(10, 0))
+            .unwrap();
+        assert!(d.exist(t, b"here1").unwrap().1);
+        assert!(!d.exist(t, b"there").unwrap().1);
+    }
+
+    #[test]
+    fn space_accounting_tracks_padding() {
+        let mut d = dev();
+        d.store(SimTime::ZERO, b"tiny-key-0000000", Payload::synthetic(50, 0))
+            .unwrap();
+        let s = d.space();
+        assert_eq!(s.user_bytes, 16 + 50);
+        assert_eq!(s.allocated_bytes, 1024);
+        assert!(s.amplification() > 15.0);
+        assert_eq!(s.kvp_count, 1);
+    }
+
+    #[test]
+    fn split_blob_stores_and_reads_back() {
+        let mut d = dev();
+        let big = Payload::synthetic(100 * 1024, 42);
+        let t = d.store(SimTime::ZERO, b"big-blob", big.clone()).unwrap();
+        assert_eq!(d.stats().split_stores, 1);
+        let got = d.retrieve(t, b"big-blob").unwrap();
+        assert_eq!(got.value.unwrap(), big);
+    }
+
+    #[test]
+    fn split_blob_read_costs_more_than_small() {
+        let mut d = dev();
+        let t0 = d
+            .store(SimTime::ZERO, b"small-one", Payload::synthetic(1024, 0))
+            .unwrap();
+        let t1 = d
+            .store(t0, b"large-one", Payload::synthetic(100 * 1024, 0))
+            .unwrap();
+        let t1 = d.flush(t1) + SimDuration::from_millis(10);
+        d.drain_buffer(t1);
+        self_clear_residency(&mut d);
+        let small = d.retrieve(t1, b"small-one").unwrap();
+        let large = d.retrieve(small.at, b"large-one").unwrap();
+        assert!(large.at.since(small.at) > small.at.since(t1));
+    }
+
+    fn self_clear_residency(d: &mut KvSsd) {
+        d.buffer_resident.clear();
+    }
+
+    #[test]
+    fn iterator_walks_prefix() {
+        let mut d = dev();
+        let mut t = SimTime::ZERO;
+        for i in 0..10u32 {
+            t = d
+                .store(t, format!("user{i:04}").as_bytes(), Payload::synthetic(8, 0))
+                .unwrap();
+        }
+        t = d
+            .store(t, b"sess0001", Payload::synthetic(8, 0))
+            .unwrap();
+        let (t, h) = d.iter_open(t, *b"user");
+        let (t, keys) = d.iter_next(t, h, 100).unwrap();
+        assert_eq!(keys.len(), 10);
+        d.iter_close(t, h).unwrap();
+        assert!(matches!(
+            d.iter_next(t, h, 1),
+            Err(KvError::BadIterator)
+        ));
+    }
+
+    #[test]
+    fn kvp_limit_enforced() {
+        let mut cfg = KvConfig::small();
+        cfg.max_kvps = 5;
+        let mut d = KvSsd::new(Geometry::small(), FlashTiming::pm983_like(), cfg);
+        let mut t = SimTime::ZERO;
+        for i in 0..5u64 {
+            t = d.store(t, &key(i), Payload::synthetic(10, 0)).unwrap();
+        }
+        assert!(matches!(
+            d.store(t, &key(5), Payload::synthetic(10, 0)),
+            Err(KvError::IndexFull { .. })
+        ));
+        // Overwrites are still allowed at the limit.
+        d.store(t, &key(0), Payload::synthetic(10, 0)).unwrap();
+    }
+
+    #[test]
+    fn device_full_when_capacity_exhausted() {
+        let mut d = dev();
+        let cap = d.space().capacity_bytes;
+        let huge = 1 << 20; // 1 MiB values
+        let mut t = SimTime::ZERO;
+        let mut stored = 0u64;
+        for i in 0..(cap / huge + 4) {
+            match d.store(t, &key(i), Payload::synthetic(huge as u32, 0)) {
+                Ok(done) => {
+                    t = done;
+                    stored += 1;
+                }
+                Err(KvError::DeviceFull) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(stored > 0);
+        assert!(
+            d.space().allocated_bytes <= d.space().capacity_bytes,
+            "accounting must respect capacity"
+        );
+    }
+
+    #[test]
+    fn updates_drive_gc() {
+        let mut d = dev();
+        let cap = d.space().capacity_bytes;
+        let vsize = 4096u32;
+        let n = (cap * 8 / 10) / (vsize as u64 + 64); // ~80 % fill
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            t = d.store(t, &key(i), Payload::synthetic(vsize, 0)).unwrap();
+        }
+        // Rewrite everything pseudo-randomly.
+        let mut idx = 1u64;
+        for _ in 0..n * 2 {
+            idx = idx.wrapping_mul(6364136223846793005).wrapping_add(1) % n;
+            t = d.store(t, &key(idx), Payload::synthetic(vsize, 0)).unwrap();
+        }
+        assert!(d.stats().gc_erases > 0, "GC must have reclaimed blocks");
+        assert!(d.stats().gc_copied_segments > 0);
+        assert_eq!(d.len(), n);
+        // Every key still readable.
+        for i in (0..n).step_by(7) {
+            let got = d.retrieve(t, &key(i)).unwrap();
+            assert!(got.value.is_some(), "key {i} lost after GC");
+        }
+    }
+
+    #[test]
+    fn sequential_and_random_store_latency_match() {
+        // The Fig. 2 core claim: hashing erases sequentiality. Sequential
+        // and random key orders must cost the same on the KV device.
+        let run = |seq: bool| {
+            let mut d = dev();
+            let mut t = SimTime::ZERO;
+            let n = 500u64;
+            let mut total = SimDuration::ZERO;
+            for i in 0..n {
+                let k = if seq { i } else { (i * 2_654_435_761) % n };
+                let done = d.store(t, &key(k), Payload::synthetic(512, 0)).unwrap();
+                total += done.since(t);
+                t = done;
+            }
+            total / n
+        };
+        let s = run(true);
+        let r = run(false);
+        let ratio = s.as_nanos() as f64 / r.as_nanos() as f64;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "seq {s} vs rand {r} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn hash_collisions_keep_both_records() {
+        // Force the collision path by storing through the raw maps: two
+        // different keys are astronomically unlikely to collide in both
+        // hashes, so verify the (hash, fp) keying directly instead.
+        let mut d = dev();
+        let t = d
+            .store(SimTime::ZERO, b"key-a-01", Payload::synthetic(1, 1))
+            .unwrap();
+        let t = d
+            .store(t, b"key-b-02", Payload::synthetic(2, 2))
+            .unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.retrieve(t, b"key-a-01").unwrap().value.unwrap().len(), 1);
+        assert_eq!(d.retrieve(t, b"key-b-02").unwrap().value.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let mut d = dev();
+        let t = d
+            .store(SimTime::ZERO, b"kkkkk", Payload::synthetic(100, 0))
+            .unwrap();
+        let f1 = d.flush(t);
+        let f2 = d.flush(f1);
+        assert!(f1 > t);
+        assert_eq!(f2, f1);
+    }
+
+    #[test]
+    fn fault_injection_preserves_data() {
+        use kvssd_flash::FaultPlan;
+        let flash = FlashDevice::with_faults(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            FaultPlan {
+                program_fail_one_in: Some(8),
+                erase_fail_one_in: None,
+            },
+        );
+        let mut d = KvSsd::over(flash, KvConfig::small());
+        let mut t = SimTime::ZERO;
+        let n = 600u64;
+        for i in 0..n {
+            t = d.store(t, &key(i), Payload::synthetic(2048, i)).unwrap();
+        }
+        t = d.flush(t);
+        assert!(d.flash().stats().program_failures > 0);
+        for i in 0..n {
+            let got = d.retrieve(t, &key(i)).unwrap();
+            assert_eq!(
+                got.value,
+                Some(Payload::synthetic(2048, i)),
+                "key {i} lost after program failure"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod gc_probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn probe_update_gc() {
+        let mut d = KvSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            KvConfig::small(),
+        );
+        let cap = d.space().capacity_bytes;
+        let vsize = 4096u32;
+        let n = (cap * 8 / 10) / (vsize as u64 + 64);
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            t = d
+                .store(t, format!("key{i:013}").as_bytes(), Payload::synthetic(vsize, 0))
+                .unwrap();
+        }
+        println!(
+            "fill done: n={n} alloc={} waste={} cap={} free_blocks={} free_pages={} programs={} erases={} copies={}",
+            d.allocated_bytes, d.waste_bytes, cap, d.free_blocks(), d.free_pages(),
+            d.flash.stats().programs, d.stats.gc_erases, d.stats.gc_copied_segments
+        );
+        let mut w: Vec<(usize, u64)> = d.waste_per_block.iter().cloned().enumerate().filter(|&(_, v)| v > 0).collect();
+        w.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+        println!("top waste blocks: {:?}", &w[..w.len().min(8)]);
+        let mut idx = 1u64;
+        for j in 0..n * 2 {
+            idx = idx.wrapping_mul(6364136223846793005).wrapping_add(1) % n;
+            match d.store(t, format!("key{idx:013}").as_bytes(), Payload::synthetic(vsize, 0)) {
+                Ok(d2) => t = d2,
+                Err(e) => {
+                    println!(
+                        "FAIL at update {j}: {e}; alloc={} waste={} cap={} free_blocks={} free_pages={} erases={} copies={} fg={}",
+                        d.allocated_bytes, d.waste_bytes, cap, d.free_blocks(), d.free_pages(),
+                        d.stats.gc_erases, d.stats.gc_copied_segments, d.stats.foreground_gc_events
+                    );
+                    let payload = d.config.page_payload_bytes as u64;
+                    let mut per_state = std::collections::HashMap::new();
+                    for b in 0..d.state.len() {
+                        *per_state.entry(format!("{:?}", d.state[b])).or_insert(0u32) += 1;
+                        if d.state[b] == BState::Closed {
+                            let written = d.flash.written_pages(BlockId(b as u32)) as u64;
+                            println!(
+                                "  closed b{b}: written={written} valid={} gain={}",
+                                d.valid_bytes[b],
+                                written * payload - d.valid_bytes[b]
+                            );
+                        }
+                    }
+                    println!("  states: {per_state:?} victim={:?}", d.gc_victim);
+                    println!("  data active: {:?}", d.data.active);
+                    println!("  gc active: {:?}", d.gc.active);
+                    return;
+                }
+            }
+        }
+        println!("all updates ok: erases={} copies={}", d.stats.gc_erases, d.stats.gc_copied_segments);
+    }
+}
+
+#[cfg(test)]
+mod power_cycle_tests {
+    use super::*;
+
+    #[test]
+    fn power_cycle_preserves_every_acknowledged_write() {
+        let mut d = KvSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            KvConfig::small(),
+        );
+        let mut t = SimTime::ZERO;
+        for i in 0..300u64 {
+            let key = format!("pwr.{i:08}");
+            t = d.store(t, key.as_bytes(), Payload::synthetic(777, i)).unwrap();
+        }
+        let up = d.power_cycle(t);
+        assert!(up > t, "mount takes time");
+        for i in 0..300u64 {
+            let key = format!("pwr.{i:08}");
+            let got = d.retrieve(up, key.as_bytes()).unwrap();
+            assert_eq!(got.value, Some(Payload::synthetic(777, i)), "lost {i}");
+        }
+    }
+
+    #[test]
+    fn mount_cost_grows_with_flash_resident_index() {
+        let mut cfg = KvConfig::small();
+        cfg.index_dram_bytes = 16 * 1024; // overflow quickly
+        let mut d = KvSsd::new(Geometry::small(), FlashTiming::pm983_like(), cfg);
+        let mut t = SimTime::ZERO;
+        let t_small_mount = {
+            let mut d2 = KvSsd::new(
+                Geometry::small(),
+                FlashTiming::pm983_like(),
+                KvConfig::small(),
+            );
+            let t2 = d2
+                .store(SimTime::ZERO, b"only-key", Payload::synthetic(8, 0))
+                .unwrap();
+            d2.power_cycle(t2).since(t2)
+        };
+        for i in 0..2_000u64 {
+            let key = format!("mnt.{i:08}");
+            t = d.store(t, key.as_bytes(), Payload::synthetic(64, i)).unwrap();
+        }
+        let big_mount = d.power_cycle(t).since(t);
+        assert!(
+            big_mount > t_small_mount,
+            "overflowed index must mount slower ({big_mount} vs {t_small_mount})"
+        );
+    }
+}

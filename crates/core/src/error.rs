@@ -1,0 +1,88 @@
+//! KV device errors.
+
+use std::fmt;
+
+/// Errors returned by the KV device API.
+///
+/// These are *usage* errors (limit violations, device exhaustion).
+/// A missing key is not an error — lookups report it as data
+/// (`Lookup::value == None`), since not-found is a routine, timed outcome
+/// the experiments measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// Key shorter than the device minimum (4 B on the PM983).
+    KeyTooShort {
+        /// Offending length.
+        len: usize,
+        /// Device minimum.
+        min: usize,
+    },
+    /// Key longer than the device maximum (255 B on the PM983).
+    KeyTooLong {
+        /// Offending length.
+        len: usize,
+        /// Device maximum.
+        max: usize,
+    },
+    /// Value larger than the device maximum (2 MiB on the PM983).
+    ValueTooLarge {
+        /// Offending length.
+        len: u64,
+        /// Device maximum.
+        max: u64,
+    },
+    /// No space left even after garbage collection: the device cannot
+    /// accept the blob.
+    DeviceFull,
+    /// The global index has reached its slot budget — the paper's
+    /// "maximum number of KVPs" limit (~3.1 B on a 3.84 TB device).
+    IndexFull {
+        /// The configured slot budget.
+        max_kvps: u64,
+    },
+    /// An iterator handle that is not open.
+    BadIterator,
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::KeyTooShort { len, min } => {
+                write!(f, "key of {len} B below device minimum of {min} B")
+            }
+            KvError::KeyTooLong { len, max } => {
+                write!(f, "key of {len} B above device maximum of {max} B")
+            }
+            KvError::ValueTooLarge { len, max } => {
+                write!(f, "value of {len} B above device maximum of {max} B")
+            }
+            KvError::DeviceFull => write!(f, "device full: no reclaimable space"),
+            KvError::IndexFull { max_kvps } => {
+                write!(f, "index full: device KVP limit of {max_kvps} reached")
+            }
+            KvError::BadIterator => write!(f, "iterator handle is not open"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_limits() {
+        let e = KvError::KeyTooLong { len: 300, max: 255 };
+        assert!(e.to_string().contains("300"));
+        assert!(e.to_string().contains("255"));
+        let e = KvError::IndexFull { max_kvps: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(KvError::DeviceFull);
+        assert!(e.to_string().contains("full"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Key hashing, implemented in-repo.
+//!
+//! The KV-FTL's defining move is transforming variable-length keys into
+//! fixed-length key hashes before any index or placement decision — which
+//! is exactly why sequential key order stops mattering (Sec. IV, "Impact
+//! of key-value indexing"). We use a 64-bit FNV-1a core with a SplitMix64
+//! finalizer for the primary hash, and an independently seeded variant as
+//! a fingerprint for collision verification (the device never stores full
+//! keys in its global index).
+
+use kvssd_sim::rng::mix64;
+
+/// Primary 64-bit key hash (FNV-1a + finalizer).
+pub fn key_hash(key: &[u8]) -> u64 {
+    mix64(fnv1a(key, 0xcbf2_9ce4_8422_2325))
+}
+
+/// Independent 64-bit fingerprint used to verify identity on hash-slot
+/// collisions.
+pub fn key_fingerprint(key: &[u8]) -> u64 {
+    mix64(fnv1a(key, 0x6c62_272e_07bb_0142) ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+/// The iterator-bucket id: the first four key bytes, zero-padded — the
+/// paper notes keys are grouped for iteration "based on the first 4 bytes
+/// of the key".
+pub fn iter_bucket(key: &[u8]) -> [u8; 4] {
+    let mut b = [0u8; 4];
+    let n = key.len().min(4);
+    b[..n].copy_from_slice(&key[..n]);
+    b
+}
+
+fn fnv1a(data: &[u8], basis: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = basis;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(key_hash(b"hello"), key_hash(b"hello"));
+        assert_ne!(key_hash(b"hello"), key_hash(b"hellp"));
+    }
+
+    #[test]
+    fn hash_and_fingerprint_are_independent() {
+        // Equal hashes never imply equal fingerprints structurally.
+        assert_ne!(key_hash(b"k1"), key_fingerprint(b"k1"));
+    }
+
+    #[test]
+    fn sequential_keys_hash_to_scattered_values() {
+        // The core premise of the paper's Fig. 2 analysis: key order is
+        // destroyed by hashing. Check that consecutive keys do not land
+        // in consecutive hash space.
+        let hashes: Vec<u64> = (0..1000u64)
+            .map(|i| key_hash(format!("key{i:012}").as_bytes()))
+            .collect();
+        let mut adjacent = 0;
+        for w in hashes.windows(2) {
+            if w[1].wrapping_sub(w[0]) < (u64::MAX / 1000) {
+                adjacent += 1;
+            }
+        }
+        assert!(adjacent < 10, "{adjacent} sequential pairs stayed adjacent");
+    }
+
+    #[test]
+    fn no_collisions_on_100k_keys() {
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(key_hash(format!("user.{i}").as_bytes())));
+        }
+    }
+
+    #[test]
+    fn hash_distributes_over_managers() {
+        // Manager dispatch uses `hash % n`; check rough uniformity.
+        let mut counts = [0u32; 4];
+        for i in 0..100_000u64 {
+            counts[(key_hash(format!("k{i}").as_bytes()) % 4) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 25_000).abs() < 1_500, "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn iter_bucket_uses_first_four_bytes() {
+        assert_eq!(iter_bucket(b"abcdef"), *b"abcd");
+        assert_eq!(iter_bucket(b"ab"), [b'a', b'b', 0, 0]);
+        assert_eq!(iter_bucket(b""), [0; 4]);
+    }
+}

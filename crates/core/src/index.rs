@@ -1,0 +1,583 @@
+//! The KV-FTL index subsystem.
+//!
+//! Three cooperating pieces, mirroring the architecture in the paper's
+//! Sec. II / Fig. 1:
+//!
+//! * [`GlobalStore`] — the *functional* global index: an exact map from
+//!   (key-hash, fingerprint) to the blob's location(s) and data. Behavior
+//!   is always exact; only *timing* is modeled.
+//! * [`IndexTiming`] — the *cost* model of the multi-level hash table:
+//!   while the index fits the device-DRAM budget, operations are DRAM
+//!   ops; once it overflows, lookups pay a flash read for non-resident
+//!   leaf segments and merges pay multi-level read/write chains on a
+//!   reserved flash region (real flash ops on the shared substrate, so
+//!   index traffic contends with data traffic — the Fig. 3 mechanism).
+//! * [`IterBuckets`] — iterator buckets keyed by the first 4 key bytes,
+//!   with open-iterator handles (Sec. II: keys are also "stored in an
+//!   iterator bucket ... based on the first 4 bytes of the key").
+
+use std::collections::HashMap;
+
+use kvssd_flash::{BlockId, FlashDevice, PageAddr};
+use kvssd_sim::rng::mix64;
+use kvssd_sim::SimTime;
+
+use crate::value::Payload;
+
+/// Location of one blob segment on flash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegLoc {
+    /// The erase block.
+    pub block: BlockId,
+    /// Page within the block.
+    pub page: u32,
+    /// Byte offset of the segment within the page payload.
+    pub offset: u32,
+    /// Allocated bytes of the segment.
+    pub alloc: u32,
+    /// Raw (useful) bytes of the segment.
+    pub raw: u32,
+}
+
+/// One global-index record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Collision-verification fingerprint.
+    pub fingerprint: u64,
+    /// Key length in bytes.
+    pub key_len: u8,
+    /// Value length in bytes.
+    pub value_len: u32,
+    /// The stored value (the simulator's stand-in for flash contents).
+    pub payload: Payload,
+    /// Segment locations, in order.
+    pub segs: Vec<SegLoc>,
+}
+
+impl IndexEntry {
+    /// Total allocated bytes across segments.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.segs.iter().map(|s| s.alloc as u64).sum()
+    }
+
+    /// User bytes (key + value).
+    pub fn user_bytes(&self) -> u64 {
+        self.key_len as u64 + self.value_len as u64
+    }
+}
+
+/// The exact global index: (hash, fingerprint) -> entry.
+///
+/// Keyed by both hashes so 64-bit hash collisions between distinct keys
+/// stay distinct records, as the device's collision-resolution chain
+/// would keep them.
+#[derive(Debug, Default)]
+pub struct GlobalStore {
+    map: HashMap<(u64, u64), IndexEntry>,
+}
+
+impl GlobalStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of KVPs resident.
+    pub fn len(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// True when no KVPs are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Inserts or replaces; returns the previous entry if any.
+    pub fn insert(&mut self, hash: u64, fp: u64, entry: IndexEntry) -> Option<IndexEntry> {
+        self.map.insert((hash, fp), entry)
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, hash: u64, fp: u64) -> Option<&IndexEntry> {
+        self.map.get(&(hash, fp))
+    }
+
+    /// Mutable lookup (GC relocates segments through this).
+    pub fn get_mut(&mut self, hash: u64, fp: u64) -> Option<&mut IndexEntry> {
+        self.map.get_mut(&(hash, fp))
+    }
+
+    /// Removes and returns an entry.
+    pub fn remove(&mut self, hash: u64, fp: u64) -> Option<IndexEntry> {
+        self.map.remove(&(hash, fp))
+    }
+}
+
+/// Counters for the index cost model.
+#[derive(Debug, Clone, Default)]
+pub struct IndexTimingStats {
+    /// Flash reads paid by lookups that missed the DRAM cache.
+    pub lookup_flash_reads: u64,
+    /// Flash reads paid by local-to-global merges.
+    pub merge_flash_reads: u64,
+    /// Index pages programmed by merges.
+    pub index_programs: u64,
+    /// Index-region block erases (index log wrap-around).
+    pub index_erases: u64,
+    /// Merges executed.
+    pub merges: u64,
+}
+
+/// Timing model of the multi-level hash index (see module docs).
+#[derive(Debug)]
+pub struct IndexTiming {
+    entry_bytes: u32,
+    dram_bytes: u64,
+    reserved: Vec<BlockId>,
+    /// Write cursor into the reserved region: (block index, next page).
+    cursor: (usize, u32),
+    dirty_bytes: u64,
+    stats: IndexTimingStats,
+}
+
+impl IndexTiming {
+    /// Creates the model over `reserved` index-region blocks, which must
+    /// already be pre-programmed (mount-time state).
+    pub fn new(entry_bytes: u32, dram_bytes: u64, reserved: Vec<BlockId>) -> Self {
+        assert!(
+            reserved.len() >= 2,
+            "index region needs at least two blocks (one is the write cursor)"
+        );
+        IndexTiming {
+            entry_bytes,
+            dram_bytes,
+            cursor: (0, u32::MAX), // forces an erase before the first program
+            dirty_bytes: 0,
+            reserved,
+            stats: IndexTimingStats::default(),
+        }
+    }
+
+    /// Cost-model counters.
+    pub fn stats(&self) -> &IndexTimingStats {
+        &self.stats
+    }
+
+    /// Total index size for `entries` records.
+    pub fn index_bytes(&self, entries: u64) -> u64 {
+        entries * self.entry_bytes as u64
+    }
+
+    /// Fraction of leaf segments resident in DRAM.
+    pub fn resident_fraction(&self, entries: u64) -> f64 {
+        let size = self.index_bytes(entries);
+        if size <= self.dram_bytes {
+            1.0
+        } else {
+            self.dram_bytes as f64 / size as f64
+        }
+    }
+
+    /// Levels of the index that live on flash for the current size: the
+    /// deeper the overflow, the longer a merge's read-modify-write chain.
+    pub fn flash_depth(&self, entries: u64) -> u32 {
+        let size = self.index_bytes(entries);
+        if size <= self.dram_bytes {
+            0
+        } else {
+            let ratio = size as f64 / self.dram_bytes as f64;
+            if ratio <= 8.0 {
+                1
+            } else if ratio <= 64.0 {
+                2
+            } else {
+                3
+            }
+        }
+    }
+
+    /// Charges a point lookup at `now` with `entries` records resident.
+    ///
+    /// Upper levels are DRAM-resident by design (they are small); only
+    /// the leaf segment may be on flash — misses cost one flash read.
+    pub fn lookup(
+        &mut self,
+        now: SimTime,
+        hash: u64,
+        entries: u64,
+        flash: &mut FlashDevice,
+    ) -> SimTime {
+        if self.segment_resident(hash, entries) {
+            return now;
+        }
+        self.stats.lookup_flash_reads += 1;
+        self.flash_read(now, hash, flash)
+    }
+
+    /// Charges a local-to-global merge of `hashes` at `now`.
+    ///
+    /// Each merged entry whose leaf segment is non-resident costs
+    /// `flash_depth` reads (the level chain is rewritten leaf-up), and
+    /// the merge appends `entry_bytes` per record to the index log,
+    /// programming pages as they fill.
+    pub fn merge(
+        &mut self,
+        now: SimTime,
+        hashes: &[u64],
+        entries: u64,
+        flash: &mut FlashDevice,
+    ) -> SimTime {
+        self.stats.merges += 1;
+        let depth = self.flash_depth(entries);
+        let mut t = now;
+        for &h in hashes {
+            if !self.segment_resident(h, entries) {
+                for level in 0..depth {
+                    self.stats.merge_flash_reads += 1;
+                    let done = self.flash_read(t, mix64(h ^ level as u64), flash);
+                    t = t.max(done);
+                }
+            }
+            self.dirty_bytes += self.entry_bytes as u64;
+        }
+        // Flush full index pages to the log.
+        let page_bytes = flash.geometry().page_bytes as u64;
+        while self.dirty_bytes >= page_bytes && depth > 0 {
+            self.dirty_bytes -= page_bytes;
+            t = self.flash_program(t, flash);
+        }
+        if depth == 0 {
+            // Fully DRAM-resident: merges are pure DRAM work; drop dirty
+            // accounting (checkpointing is free compared to data traffic).
+            self.dirty_bytes = 0;
+        }
+        t
+    }
+
+    fn segment_resident(&self, hash: u64, entries: u64) -> bool {
+        let frac = self.resident_fraction(entries);
+        if frac >= 1.0 {
+            return true;
+        }
+        // Leaf segments hold ~page/entry_bytes records; residency is a
+        // deterministic pseudo-random property of the segment id.
+        let seg = hash >> 10;
+        (mix64(seg) % 1_000_000) < (frac * 1_000_000.0) as u64
+    }
+
+    /// One index-page read from the reserved region.
+    fn flash_read(&self, now: SimTime, hash: u64, flash: &mut FlashDevice) -> SimTime {
+        let n = self.reserved.len();
+        let mut idx = (mix64(hash ^ 0x1D9) % n as u64) as usize;
+        if idx == self.cursor.0 {
+            idx = (idx + 1) % n;
+        }
+        let block = self.reserved[idx];
+        let pages = flash.written_pages(block);
+        if pages == 0 {
+            return now; // freshly erased cursor neighborhood: DRAM copy
+        }
+        let page = (mix64(hash ^ 0x5E1) % pages as u64) as u32;
+        flash
+            .read_page(now, PageAddr { block, page }, 4096)
+            .expect("index region read")
+    }
+
+    /// One index-page program at the write cursor (erasing the next log
+    /// block when the cursor wraps into it).
+    fn flash_program(&mut self, now: SimTime, flash: &mut FlashDevice) -> SimTime {
+        let pages_per_block = flash.geometry().pages_per_block;
+        let mut t = now;
+        if self.cursor.1 >= pages_per_block {
+            // Advance to the next block in the log and erase it.
+            self.cursor.0 = (self.cursor.0 + 1) % self.reserved.len();
+            self.cursor.1 = 0;
+            let r = flash
+                .erase_block(t, self.reserved[self.cursor.0])
+                .expect("index region erase");
+            self.stats.index_erases += 1;
+            t = r.done;
+        }
+        let addr = PageAddr {
+            block: self.reserved[self.cursor.0],
+            page: self.cursor.1,
+        };
+        let r = flash
+            .program_page(t, addr, flash.geometry().page_bytes as u64)
+            .expect("index region program");
+        self.stats.index_programs += 1;
+        self.cursor.1 += 1;
+        r.done
+    }
+}
+
+/// An open iterator's cursor.
+#[derive(Debug, Clone)]
+struct IterState {
+    bucket: [u8; 4],
+    pos: usize,
+}
+
+/// Iterator buckets: prefix -> keys, plus open-iterator handles.
+#[derive(Debug, Default)]
+pub struct IterBuckets {
+    enabled: bool,
+    buckets: HashMap<[u8; 4], Vec<Box<[u8]>>>,
+    open: HashMap<u64, IterState>,
+    next_handle: u64,
+}
+
+impl IterBuckets {
+    /// Creates the bucket table; when `enabled` is false, inserts are
+    /// no-ops (macro-run memory bound) and iteration returns nothing.
+    pub fn new(enabled: bool) -> Self {
+        IterBuckets {
+            enabled,
+            ..Self::default()
+        }
+    }
+
+    /// Whether key copies are being retained.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a newly stored key.
+    pub fn insert(&mut self, key: &[u8]) {
+        if !self.enabled {
+            return;
+        }
+        self.buckets
+            .entry(crate::hash::iter_bucket(key))
+            .or_default()
+            .push(key.to_vec().into_boxed_slice());
+    }
+
+    /// Removes a deleted key (linear within its bucket).
+    pub fn remove(&mut self, key: &[u8]) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(v) = self.buckets.get_mut(&crate::hash::iter_bucket(key)) {
+            if let Some(i) = v.iter().position(|k| k.as_ref() == key) {
+                v.swap_remove(i);
+            }
+        }
+    }
+
+    /// Opens an iterator over a 4-byte prefix; returns its handle.
+    pub fn open(&mut self, prefix: [u8; 4]) -> u64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.open.insert(
+            h,
+            IterState {
+                bucket: prefix,
+                pos: 0,
+            },
+        );
+        h
+    }
+
+    /// Returns up to `n` keys from an open iterator, advancing it.
+    /// `None` when the handle is not open.
+    pub fn next(&mut self, handle: u64, n: usize) -> Option<Vec<Box<[u8]>>> {
+        let st = self.open.get_mut(&handle)?;
+        let keys = self.buckets.get(&st.bucket);
+        let out = match keys {
+            None => Vec::new(),
+            Some(v) => {
+                let end = (st.pos + n).min(v.len());
+                let out = v[st.pos..end].to_vec();
+                st.pos = end;
+                out
+            }
+        };
+        Some(out)
+    }
+
+    /// Closes an iterator; false when the handle was not open.
+    pub fn close(&mut self, handle: u64) -> bool {
+        self.open.remove(&handle).is_some()
+    }
+
+    /// Keys currently bucketed under `prefix`.
+    pub fn bucket_len(&self, prefix: [u8; 4]) -> usize {
+        self.buckets.get(&prefix).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvssd_flash::{FlashTiming, Geometry};
+
+    fn entry(fp: u64) -> IndexEntry {
+        IndexEntry {
+            fingerprint: fp,
+            key_len: 4,
+            value_len: 10,
+            payload: Payload::synthetic(10, 0),
+            segs: vec![SegLoc {
+                block: BlockId(0),
+                page: 0,
+                offset: 0,
+                alloc: 1024,
+                raw: 46,
+            }],
+        }
+    }
+
+    #[test]
+    fn global_store_distinguishes_colliding_fingerprints() {
+        let mut g = GlobalStore::new();
+        g.insert(42, 1, entry(1));
+        g.insert(42, 2, entry(2));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.get(42, 1).unwrap().fingerprint, 1);
+        assert_eq!(g.get(42, 2).unwrap().fingerprint, 2);
+        assert!(g.remove(42, 1).is_some());
+        assert!(g.get(42, 1).is_none());
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn replace_returns_old_entry() {
+        let mut g = GlobalStore::new();
+        assert!(g.insert(7, 7, entry(7)).is_none());
+        let old = g.insert(7, 7, entry(7)).unwrap();
+        assert_eq!(old.fingerprint, 7);
+        assert_eq!(g.len(), 1);
+    }
+
+    fn timing_fixture() -> (IndexTiming, FlashDevice) {
+        let mut flash = FlashDevice::new(Geometry::small(), FlashTiming::pm983_like());
+        let reserved: Vec<BlockId> = (0..4).map(BlockId).collect();
+        for &b in &reserved {
+            flash.preprogram_block(b);
+        }
+        // 64 KiB DRAM, 48 B entries -> overflow past ~1365 entries.
+        (IndexTiming::new(48, 64 * 1024, reserved), flash)
+    }
+
+    #[test]
+    fn small_index_is_fully_resident() {
+        let (it, _) = timing_fixture();
+        assert_eq!(it.resident_fraction(1_000), 1.0);
+        assert_eq!(it.flash_depth(1_000), 0);
+    }
+
+    #[test]
+    fn lookup_is_free_while_resident() {
+        let (mut it, mut flash) = timing_fixture();
+        let t = it.lookup(SimTime::ZERO, 123, 1_000, &mut flash);
+        assert_eq!(t, SimTime::ZERO);
+        assert_eq!(it.stats().lookup_flash_reads, 0);
+    }
+
+    #[test]
+    fn overflowed_lookups_pay_flash_reads() {
+        let (mut it, mut flash) = timing_fixture();
+        let entries = 1_000_000; // 48 MB index vs 64 KiB DRAM
+        assert!(it.resident_fraction(entries) < 0.01);
+        let mut paid = 0;
+        for h in 0..100u64 {
+            let t = it.lookup(SimTime::ZERO, mix64(h), entries, &mut flash);
+            if t > SimTime::ZERO {
+                paid += 1;
+            }
+        }
+        assert!(paid > 90, "only {paid} lookups paid flash reads");
+        assert_eq!(it.stats().lookup_flash_reads, paid);
+    }
+
+    #[test]
+    fn depth_grows_with_overflow_ratio() {
+        let (it, _) = timing_fixture();
+        // 64 KiB budget, 48 B entries: 1365 entries fill DRAM.
+        assert_eq!(it.flash_depth(1_365), 0);
+        assert_eq!(it.flash_depth(5_000), 1); // ~3.7x
+        assert_eq!(it.flash_depth(50_000), 2); // ~37x
+        assert_eq!(it.flash_depth(500_000), 3); // ~366x
+    }
+
+    #[test]
+    fn merge_is_cheap_resident_expensive_overflowed() {
+        let (mut it, mut flash) = timing_fixture();
+        let hashes: Vec<u64> = (0..32).map(mix64).collect();
+        let cheap = it.merge(SimTime::ZERO, &hashes, 1_000, &mut flash);
+        assert_eq!(cheap, SimTime::ZERO);
+        let costly = it.merge(SimTime::ZERO, &hashes, 1_000_000, &mut flash);
+        assert!(costly > SimTime::ZERO);
+        assert!(it.stats().merge_flash_reads >= 32, "depth >= 1 per entry");
+    }
+
+    #[test]
+    fn merge_programs_index_pages_as_log_fills() {
+        let (mut it, mut flash) = timing_fixture();
+        let hashes: Vec<u64> = (0..64).map(mix64).collect();
+        // Enough merged entries to cross a 32 KiB page: 700 * 48 B per
+        // call, ~10 calls.
+        for round in 0..20u64 {
+            let hs: Vec<u64> = hashes.iter().map(|&h| mix64(h ^ round)).collect();
+            it.merge(SimTime::ZERO, &hs, 1_000_000, &mut flash);
+        }
+        assert!(it.stats().index_programs > 0);
+    }
+
+    #[test]
+    fn iter_buckets_group_by_prefix() {
+        let mut ib = IterBuckets::new(true);
+        ib.insert(b"user0001");
+        ib.insert(b"user0002");
+        ib.insert(b"sess0001");
+        assert_eq!(ib.bucket_len(*b"user"), 2);
+        assert_eq!(ib.bucket_len(*b"sess"), 1);
+        let h = ib.open(*b"user");
+        let batch = ib.next(h, 10).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(ib.next(h, 10).unwrap().is_empty());
+        assert!(ib.close(h));
+        assert!(!ib.close(h));
+    }
+
+    #[test]
+    fn iter_next_paginates() {
+        let mut ib = IterBuckets::new(true);
+        for i in 0..25u32 {
+            ib.insert(format!("pref{i:04}").as_bytes());
+        }
+        let h = ib.open(*b"pref");
+        assert_eq!(ib.next(h, 10).unwrap().len(), 10);
+        assert_eq!(ib.next(h, 10).unwrap().len(), 10);
+        assert_eq!(ib.next(h, 10).unwrap().len(), 5);
+        assert_eq!(ib.next(h, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn disabled_buckets_are_noops() {
+        let mut ib = IterBuckets::new(false);
+        ib.insert(b"abcd1");
+        assert_eq!(ib.bucket_len(*b"abcd"), 0);
+        let h = ib.open(*b"abcd");
+        assert!(ib.next(h, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn remove_drops_key_from_bucket() {
+        let mut ib = IterBuckets::new(true);
+        ib.insert(b"abcd1");
+        ib.insert(b"abcd2");
+        ib.remove(b"abcd1");
+        assert_eq!(ib.bucket_len(*b"abcd"), 1);
+        let h = ib.open(*b"abcd");
+        let keys = ib.next(h, 10).unwrap();
+        assert_eq!(keys[0].as_ref(), b"abcd2");
+    }
+
+    #[test]
+    fn bad_handle_returns_none() {
+        let mut ib = IterBuckets::new(true);
+        assert!(ib.next(999, 5).is_none());
+    }
+}

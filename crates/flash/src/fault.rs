@@ -1,0 +1,113 @@
+//! Deterministic fault injection.
+//!
+//! Real NAND develops grown bad blocks; FTLs must tolerate program and
+//! erase failures by retiring blocks. [`FaultPlan`] injects such failures
+//! deterministically (keyed by block, page, and the block's erase count)
+//! so failure-handling paths can be tested reproducibly.
+
+use kvssd_sim::rng::mix64;
+
+use crate::geometry::BlockId;
+
+/// A deterministic plan for injecting flash faults.
+///
+/// A rate of `one_in = n` fails roughly one in `n` candidate operations,
+/// chosen by a hash of the operation's coordinates — the same run always
+/// fails the same operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Fail roughly one program in this many (`None` disables).
+    pub program_fail_one_in: Option<u64>,
+    /// Fail roughly one erase in this many (`None` disables).
+    pub erase_fail_one_in: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Should the program of (`block`, `page`) on its `erase_count`-th
+    /// program/erase cycle fail?
+    pub fn program_fails(&self, block: BlockId, page: u32, erase_count: u32) -> bool {
+        match self.program_fail_one_in {
+            None => false,
+            Some(n) => {
+                let h = mix64(
+                    (block.0 as u64) << 40 | (page as u64) << 20 | erase_count as u64,
+                );
+                h.is_multiple_of(n)
+            }
+        }
+    }
+
+    /// Should the erase of `block` on cycle `erase_count` fail?
+    pub fn erase_fails(&self, block: BlockId, erase_count: u32) -> bool {
+        match self.erase_fail_one_in {
+            None => false,
+            Some(n) => {
+                let h = mix64(0x5EED ^ ((block.0 as u64) << 32 | erase_count as u64));
+                h.is_multiple_of(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fails() {
+        let p = FaultPlan::none();
+        for b in 0..100 {
+            assert!(!p.program_fails(BlockId(b), 0, 0));
+            assert!(!p.erase_fails(BlockId(b), 0));
+        }
+    }
+
+    #[test]
+    fn fault_rate_is_approximate() {
+        let p = FaultPlan {
+            program_fail_one_in: Some(100),
+            erase_fail_one_in: None,
+        };
+        let mut fails = 0;
+        let trials = 100_000;
+        for i in 0..trials {
+            if p.program_fails(BlockId(i % 512), i % 64, i / 512) {
+                fails += 1;
+            }
+        }
+        let rate = fails as f64 / trials as f64;
+        assert!((rate - 0.01).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn faults_are_deterministic() {
+        let p = FaultPlan {
+            program_fail_one_in: Some(10),
+            erase_fail_one_in: Some(10),
+        };
+        for b in 0..1000 {
+            assert_eq!(
+                p.program_fails(BlockId(b), 3, 1),
+                p.program_fails(BlockId(b), 3, 1)
+            );
+            assert_eq!(p.erase_fails(BlockId(b), 2), p.erase_fails(BlockId(b), 2));
+        }
+    }
+
+    #[test]
+    fn erase_count_changes_outcome_for_some_block() {
+        let p = FaultPlan {
+            program_fail_one_in: Some(7),
+            erase_fail_one_in: None,
+        };
+        let differs = (0..1000).any(|b| {
+            p.program_fails(BlockId(b), 0, 0) != p.program_fails(BlockId(b), 0, 1)
+        });
+        assert!(differs);
+    }
+}

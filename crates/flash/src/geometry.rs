@@ -1,0 +1,217 @@
+//! Physical geometry of the NAND array.
+//!
+//! The hierarchy is `channel → die → plane → block → page`. Blocks get a
+//! flat [`BlockId`] so FTL mapping tables stay compact; helpers recover
+//! the channel/die/plane coordinates needed for contention modeling.
+
+use std::fmt;
+
+/// Flat identifier of a physical erase block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// A physical flash page: a block plus the page offset within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageAddr {
+    /// The erase block.
+    pub block: BlockId,
+    /// Page index within the block (programmed strictly in order).
+    pub page: u32,
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}p{}", self.block.0, self.page)
+    }
+}
+
+/// Geometry of the NAND array.
+///
+/// The defaults model a PM983-class device scaled down ~1000x so macro
+/// experiments (fill the device, rewrite it all) finish in seconds of host
+/// time. All paper effects are ratio effects, so scaling capacity and the
+/// firmware DRAM budgets together preserves every threshold (see
+/// `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Independent data channels between controller and dies.
+    pub channels: u32,
+    /// Dies attached to each channel.
+    pub dies_per_channel: u32,
+    /// Planes per die (multi-plane programming doubles program bandwidth
+    /// for stripe-aligned writes).
+    pub planes_per_die: u32,
+    /// Erase blocks per plane.
+    pub blocks_per_plane: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Physical page size in bytes. The paper infers 32 KiB for the PM983
+    /// with KV firmware (Sec. IV, Fig. 5 analysis).
+    pub page_bytes: u32,
+}
+
+impl Geometry {
+    /// Scaled PM983-class default: 4 channels x 8 dies x 2 planes x
+    /// 32 blocks x 64 pages x 32 KiB = 4 GiB.
+    pub fn pm983_scaled() -> Self {
+        Geometry {
+            channels: 4,
+            dies_per_channel: 8,
+            planes_per_die: 2,
+            blocks_per_plane: 32,
+            pages_per_block: 64,
+            page_bytes: 32 * 1024,
+        }
+    }
+
+    /// A tiny geometry for unit tests: 2 channels x 2 dies x 2 planes x
+    /// 4 blocks x 8 pages x 32 KiB = 16 MiB.
+    pub fn small() -> Self {
+        Geometry {
+            channels: 2,
+            dies_per_channel: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 4,
+            pages_per_block: 8,
+            page_bytes: 32 * 1024,
+        }
+    }
+
+    /// Total number of dies.
+    pub fn dies(&self) -> u32 {
+        self.channels * self.dies_per_channel
+    }
+
+    /// Total number of erase blocks.
+    pub fn total_blocks(&self) -> u32 {
+        self.dies() * self.planes_per_die * self.blocks_per_plane
+    }
+
+    /// Total raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_blocks() as u64 * self.block_bytes()
+    }
+
+    /// Bytes per erase block.
+    pub fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_bytes as u64
+    }
+
+    /// The die a block lives on.
+    pub fn die_of(&self, block: BlockId) -> u32 {
+        block.0 / (self.planes_per_die * self.blocks_per_plane)
+    }
+
+    /// The plane (within its die) a block lives on.
+    pub fn plane_of(&self, block: BlockId) -> u32 {
+        (block.0 / self.blocks_per_plane) % self.planes_per_die
+    }
+
+    /// The channel a block's die is attached to.
+    pub fn channel_of(&self, block: BlockId) -> u32 {
+        self.die_of(block) / self.dies_per_channel
+    }
+
+    /// Block id for explicit (die, plane, index) coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn block_at(&self, die: u32, plane: u32, index: u32) -> BlockId {
+        assert!(die < self.dies(), "die {die} out of range");
+        assert!(plane < self.planes_per_die, "plane {plane} out of range");
+        assert!(
+            index < self.blocks_per_plane,
+            "block index {index} out of range"
+        );
+        BlockId((die * self.planes_per_die + plane) * self.blocks_per_plane + index)
+    }
+
+    /// Validates a page address against this geometry.
+    pub fn contains(&self, addr: PageAddr) -> bool {
+        addr.block.0 < self.total_blocks() && addr.page < self.pages_per_block
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self::pm983_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_default_is_4gib() {
+        let g = Geometry::pm983_scaled();
+        assert_eq!(g.capacity_bytes(), 4 * 1024 * 1024 * 1024);
+        assert_eq!(g.dies(), 32);
+        assert_eq!(g.total_blocks(), 2048);
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let g = Geometry::small();
+        for die in 0..g.dies() {
+            for plane in 0..g.planes_per_die {
+                for idx in 0..g.blocks_per_plane {
+                    let b = g.block_at(die, plane, idx);
+                    assert_eq!(g.die_of(b), die);
+                    assert_eq!(g.plane_of(b), plane);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_ids_are_dense_and_unique() {
+        let g = Geometry::small();
+        let mut seen = std::collections::HashSet::new();
+        for die in 0..g.dies() {
+            for plane in 0..g.planes_per_die {
+                for idx in 0..g.blocks_per_plane {
+                    assert!(seen.insert(g.block_at(die, plane, idx)));
+                }
+            }
+        }
+        assert_eq!(seen.len() as u32, g.total_blocks());
+        assert!(seen.iter().all(|b| b.0 < g.total_blocks()));
+    }
+
+    #[test]
+    fn channel_of_groups_dies() {
+        let g = Geometry::pm983_scaled();
+        let b0 = g.block_at(0, 0, 0);
+        let b7 = g.block_at(7, 0, 0);
+        let b8 = g.block_at(8, 0, 0);
+        assert_eq!(g.channel_of(b0), 0);
+        assert_eq!(g.channel_of(b7), 0);
+        assert_eq!(g.channel_of(b8), 1);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let g = Geometry::small();
+        assert!(g.contains(PageAddr {
+            block: BlockId(0),
+            page: 0
+        }));
+        assert!(!g.contains(PageAddr {
+            block: BlockId(g.total_blocks()),
+            page: 0
+        }));
+        assert!(!g.contains(PageAddr {
+            block: BlockId(0),
+            page: g.pages_per_block
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_at_rejects_bad_die() {
+        let g = Geometry::small();
+        let _ = g.block_at(g.dies(), 0, 0);
+    }
+}

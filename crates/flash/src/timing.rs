@@ -1,0 +1,103 @@
+//! Flash timing parameters.
+//!
+//! These are the calibration inputs of the whole study (see the
+//! "Calibration" section of `DESIGN.md`): datasheet-class numbers for a
+//! PM983-era 3D TLC device. They are *inputs* to the mechanisms, not
+//! fitted outputs — every figure's shape must emerge from firmware policy
+//! on top of these constants.
+
+use kvssd_sim::SimDuration;
+
+/// NAND and interconnect timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashTiming {
+    /// Array-to-register page read time (tR).
+    pub t_read: SimDuration,
+    /// Register-to-array page program time (tPROG).
+    pub t_program: SimDuration,
+    /// Block erase time (tBERS).
+    pub t_erase: SimDuration,
+    /// Channel (ONFI bus) bandwidth in bytes/second. Transfers between
+    /// controller and die registers serialize per channel.
+    pub channel_bytes_per_sec: u64,
+    /// Controller-side ECC decode cost per transferred byte on reads,
+    /// expressed as ns per KiB. Charged on the channel pipeline: the read
+    /// path (transfer + decode) is what saturates first for large
+    /// transfers at high queue depth.
+    pub ecc_decode_ns_per_kib: u64,
+    /// Controller-side ECC encode cost per byte on programs (ns per KiB).
+    pub ecc_encode_ns_per_kib: u64,
+    /// Fixed per-flash-command die overhead (command/address cycles).
+    pub t_cmd_overhead: SimDuration,
+}
+
+impl FlashTiming {
+    /// Datasheet-class constants for a PM983-era TLC device:
+    /// tR 90 us, tPROG 700 us, tBERS 5 ms, 400 MB/s per channel,
+    /// 1 us/KiB ECC decode, 0.25 us/KiB encode, 3 us command overhead.
+    pub fn pm983_like() -> Self {
+        FlashTiming {
+            t_read: SimDuration::from_micros(90),
+            t_program: SimDuration::from_micros(700),
+            t_erase: SimDuration::from_millis(5),
+            channel_bytes_per_sec: 400_000_000,
+            ecc_decode_ns_per_kib: 1_000,
+            ecc_encode_ns_per_kib: 250,
+            t_cmd_overhead: SimDuration::from_micros(3),
+        }
+    }
+
+    /// Channel occupancy for moving `bytes` plus the ECC work that rides
+    /// the same pipeline, for the read direction.
+    pub fn read_pipeline_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes(bytes, self.channel_bytes_per_sec)
+            + SimDuration::from_nanos(bytes.div_ceil(1024) * self.ecc_decode_ns_per_kib)
+    }
+
+    /// Channel occupancy for moving `bytes` toward the die, including ECC
+    /// encode.
+    pub fn write_pipeline_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes(bytes, self.channel_bytes_per_sec)
+            + SimDuration::from_nanos(bytes.div_ceil(1024) * self.ecc_encode_ns_per_kib)
+    }
+}
+
+impl Default for FlashTiming {
+    fn default() -> Self {
+        Self::pm983_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_costs_scale_with_bytes() {
+        let t = FlashTiming::pm983_like();
+        let small = t.read_pipeline_time(1024);
+        let large = t.read_pipeline_time(4096);
+        assert!(large > small * 3 && large < small * 5);
+    }
+
+    #[test]
+    fn read_pipeline_includes_decode() {
+        let t = FlashTiming::pm983_like();
+        // 4 KiB: 10.24 us transfer + 4 us decode.
+        let d = t.read_pipeline_time(4096);
+        assert!((d.as_micros_f64() - 14.24).abs() < 0.1, "got {d}");
+    }
+
+    #[test]
+    fn write_pipeline_cheaper_ecc_than_read() {
+        let t = FlashTiming::pm983_like();
+        assert!(t.write_pipeline_time(32 * 1024) < t.read_pipeline_time(32 * 1024));
+    }
+
+    #[test]
+    fn zero_bytes_cost_nothing() {
+        let t = FlashTiming::pm983_like();
+        assert_eq!(t.read_pipeline_time(0), SimDuration::ZERO);
+        assert_eq!(t.write_pipeline_time(0), SimDuration::ZERO);
+    }
+}

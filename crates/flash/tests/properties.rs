@@ -1,0 +1,120 @@
+//! Property tests: the flash device enforces the NAND contract under
+//! arbitrary operation sequences, checked against a reference state
+//! machine.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use kvssd_flash::{BlockId, FlashDevice, FlashTiming, Geometry, PageAddr};
+use kvssd_sim::SimTime;
+
+#[derive(Debug, Clone)]
+enum FlashOp {
+    Program { block: u8, bytes: u16 },
+    Read { block: u8, page: u8, bytes: u16 },
+    Erase { block: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = FlashOp> {
+    prop_oneof![
+        (any::<u8>(), 1u16..32_768).prop_map(|(b, n)| FlashOp::Program { block: b, bytes: n }),
+        (any::<u8>(), any::<u8>(), 1u16..32_768)
+            .prop_map(|(b, p, n)| FlashOp::Read { block: b, page: p, bytes: n }),
+        any::<u8>().prop_map(|b| FlashOp::Erase { block: b }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The device's accept/reject decisions and its visible state match
+    /// a trivial reference model for any op sequence.
+    #[test]
+    fn device_matches_reference_state_machine(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let g = Geometry::small();
+        let mut dev = FlashDevice::new(g, FlashTiming::pm983_like());
+        // Reference: block -> pages programmed since last erase.
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        let nblocks = g.total_blocks();
+        let mut t = SimTime::ZERO;
+        for op in ops {
+            match op {
+                FlashOp::Program { block, bytes } => {
+                    let b = block as u32 % nblocks;
+                    let next = *model.get(&b).unwrap_or(&0);
+                    let addr = PageAddr { block: BlockId(b), page: next };
+                    if next < g.pages_per_block {
+                        let r = dev.program_page(t, addr, bytes as u64).unwrap();
+                        prop_assert!(!r.failed, "no fault plan installed");
+                        t = t.max(r.done);
+                        model.insert(b, next + 1);
+                    } else {
+                        // Full block: programming must be rejected.
+                        prop_assert!(dev
+                            .program_page(t, addr, bytes as u64)
+                            .is_err());
+                    }
+                }
+                FlashOp::Read { block, page, bytes } => {
+                    let b = block as u32 % nblocks;
+                    let p = page as u32 % g.pages_per_block;
+                    let written = *model.get(&b).unwrap_or(&0);
+                    let addr = PageAddr { block: BlockId(b), page: p };
+                    let res = dev.read_page(t, addr, bytes as u64);
+                    if p < written {
+                        let done = res.unwrap();
+                        prop_assert!(done > t, "reads take time");
+                        t = done;
+                    } else {
+                        prop_assert!(res.is_err(), "unwritten page must not read");
+                    }
+                }
+                FlashOp::Erase { block } => {
+                    let b = block as u32 % nblocks;
+                    let r = dev.erase_block(t, BlockId(b)).unwrap();
+                    prop_assert!(!r.failed);
+                    t = t.max(r.done);
+                    model.insert(b, 0);
+                }
+            }
+            // Visible counters agree with the model at every step.
+            for (&b, &pages) in &model {
+                prop_assert_eq!(dev.written_pages(BlockId(b)), pages);
+            }
+        }
+    }
+
+    /// Timing sanity under load: total die busy time equals the sum of
+    /// array-operation times, independent of interleaving.
+    #[test]
+    fn die_busy_time_is_conserved(
+        programs in prop::collection::vec(any::<u8>(), 1..60),
+    ) {
+        let g = Geometry::small();
+        let mut dev = FlashDevice::new(g, FlashTiming::pm983_like());
+        let timing = *dev.timing();
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        let mut issued = 0u64;
+        for b in programs {
+            let blk = b as u32 % g.total_blocks();
+            let next = counts.entry(blk).or_insert(0);
+            if *next >= g.pages_per_block {
+                continue;
+            }
+            dev.program_page(
+                SimTime::ZERO,
+                PageAddr { block: BlockId(blk), page: *next },
+                1024,
+            )
+            .unwrap();
+            *next += 1;
+            issued += 1;
+        }
+        let per_op = timing.t_cmd_overhead + timing.t_program;
+        prop_assert_eq!(dev.die_busy_total().as_nanos(), per_op.as_nanos() * issued);
+        prop_assert_eq!(dev.stats().programs, issued);
+    }
+}

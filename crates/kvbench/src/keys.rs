@@ -1,0 +1,133 @@
+//! Deterministic key generation.
+//!
+//! Keys are derived from a dense index space `0..n`: a fixed 4-byte
+//! prefix (which doubles as the KV-SSD's iterator bucket), a zero-padded
+//! decimal body, and optional padding to reach the requested length.
+//! `key(i)` is injective and stable, so phases can regenerate the same
+//! population without storing it.
+
+/// Generates fixed-length keys from dense indices.
+#[derive(Debug, Clone)]
+pub struct KeyGen {
+    prefix: [u8; 4],
+    key_bytes: usize,
+}
+
+impl KeyGen {
+    /// A generator for `key_bytes`-long keys (minimum 4: the prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_bytes` is out of the device's 4..=255 range.
+    pub fn new(key_bytes: usize) -> Self {
+        Self::with_prefix(*b"usr.", key_bytes)
+    }
+
+    /// A generator with an explicit 4-byte prefix (iterator bucket).
+    pub fn with_prefix(prefix: [u8; 4], key_bytes: usize) -> Self {
+        assert!(
+            (4..=255).contains(&key_bytes),
+            "key length {key_bytes} outside the device's 4..=255"
+        );
+        KeyGen { prefix, key_bytes }
+    }
+
+    /// Key length produced.
+    pub fn key_bytes(&self) -> usize {
+        self.key_bytes
+    }
+
+    /// The key for index `i`.
+    pub fn key(&self, i: u64) -> Vec<u8> {
+        let mut k = Vec::with_capacity(self.key_bytes);
+        k.extend_from_slice(&self.prefix);
+        if self.key_bytes <= 4 {
+            k.truncate(self.key_bytes);
+            return k;
+        }
+        let body = self.key_bytes - 4;
+        if body >= 20 {
+            // Room for the full decimal form plus filler.
+            let digits = format!("{i:020}");
+            k.extend_from_slice(digits.as_bytes());
+            while k.len() < self.key_bytes {
+                k.push(b'x');
+            }
+        } else {
+            // Compact base-36 body, zero-padded; 8 base-36 digits cover
+            // 2.8e12 indices — far beyond any run here.
+            let mut buf = [b'0'; 20];
+            let mut v = i;
+            let mut pos = body;
+            while pos > 0 {
+                pos -= 1;
+                let d = (v % 36) as u8;
+                buf[pos] = if d < 10 { b'0' + d } else { b'a' + d - 10 };
+                v /= 36;
+            }
+            assert_eq!(v, 0, "index {i} does not fit in a {body}-char key body");
+            k.extend_from_slice(&buf[..body]);
+        }
+        debug_assert_eq!(k.len(), self.key_bytes);
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_have_requested_length() {
+        for len in [4, 8, 16, 24, 64, 255] {
+            let g = KeyGen::new(len);
+            assert_eq!(g.key(0).len(), len);
+            assert_eq!(g.key(123_456).len(), len);
+        }
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let g = KeyGen::new(16);
+        let mut seen = HashSet::new();
+        for i in 0..100_000 {
+            assert!(seen.insert(g.key(i)), "duplicate at {i}");
+        }
+    }
+
+    #[test]
+    fn keys_share_iterator_prefix() {
+        let g = KeyGen::new(16);
+        assert_eq!(&g.key(7)[..4], b"usr.");
+        let g2 = KeyGen::with_prefix(*b"sens", 16);
+        assert_eq!(&g2.key(7)[..4], b"sens");
+    }
+
+    #[test]
+    fn sequential_indices_make_ordered_keys() {
+        let g = KeyGen::new(16);
+        let a = g.key(41);
+        let b = g.key(42);
+        assert!(a < b, "key order must follow index order");
+    }
+
+    #[test]
+    fn tiny_keys_work() {
+        let g = KeyGen::new(4);
+        assert_eq!(g.key(0), b"usr.");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflowing_body_panics() {
+        let g = KeyGen::new(5); // 1-char body: 36 indices max
+        let _ = g.key(36);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_length_rejected() {
+        let _ = KeyGen::new(3);
+    }
+}

@@ -1,0 +1,534 @@
+//! Queue-depth workload execution and metric collection.
+
+use kvssd_sim::{
+    BandwidthSeries, DeterministicRng, LatencyHistogram, QueueRunner, SimDuration, SimTime,
+    ZipfianDistribution,
+};
+
+use crate::keys::KeyGen;
+use crate::spec::{AccessPattern, OpMix, ValueSize, WorkloadSpec};
+use crate::KvStore;
+
+/// Everything measured during one phase.
+#[derive(Debug)]
+pub struct RunMetrics {
+    /// The workload's label.
+    pub name: String,
+    /// The store's label.
+    pub store: &'static str,
+    /// Insert/update latencies.
+    pub writes: LatencyHistogram,
+    /// Read latencies.
+    pub reads: LatencyHistogram,
+    /// Completed-bytes time series (user bytes).
+    pub bandwidth: BandwidthSeries,
+    /// Phase start.
+    pub started: SimTime,
+    /// Last completion.
+    pub finished: SimTime,
+    /// Reads that found no value.
+    pub not_found: u64,
+    /// Host CPU consumed during this phase.
+    pub cpu_busy: SimDuration,
+}
+
+impl RunMetrics {
+    /// Wall-clock (virtual) duration of the phase.
+    pub fn elapsed(&self) -> SimDuration {
+        self.finished.since(self.started)
+    }
+
+    /// Mean user-data bandwidth in MB/s.
+    pub fn mean_mbps(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.bandwidth.total_bytes() as f64 / 1e6 / secs
+    }
+
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (self.writes.count() + self.reads.count()) as f64 / secs
+    }
+
+    /// Host CPU utilization over the phase, normalized to one core.
+    pub fn cpu_cores_used(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.cpu_busy.as_secs_f64() / secs
+    }
+
+    /// Combined mean op latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        let n = self.writes.count() + self.reads.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let total = self.writes.mean().as_micros_f64() * self.writes.count() as f64
+            + self.reads.mean().as_micros_f64() * self.reads.count() as f64;
+        total / n as f64
+    }
+}
+
+/// Runs one workload phase against a store, starting at `start`.
+/// Returns the metrics; the store is flushed afterwards so subsequent
+/// phases see settled state.
+pub fn run_phase(store: &mut dyn KvStore, spec: &WorkloadSpec, start: SimTime) -> RunMetrics {
+    spec.validate();
+    let keygen = KeyGen::new(spec.key_bytes);
+    let mut rng = DeterministicRng::seed_from(spec.seed);
+    let zipf = match spec.pattern {
+        AccessPattern::Zipfian { theta } => {
+            let population = if matches!(spec.mix, OpMix::InsertOnly) {
+                spec.ops
+            } else {
+                spec.key_space
+            };
+            Some(ZipfianDistribution::new(population.max(1), theta))
+        }
+        _ => None,
+    };
+    // Recency distribution for ReadLatest mixes (YCSB-D).
+    let latest = matches!(spec.mix, OpMix::ReadLatest { .. })
+        .then(|| ZipfianDistribution::new(spec.key_space.max(2), 0.99));
+    let mut grown = spec.key_space;
+    let mut runner = QueueRunner::starting_at(spec.queue_depth, start);
+    let mut writes = LatencyHistogram::new();
+    let mut reads = LatencyHistogram::new();
+    let mut bandwidth = BandwidthSeries::new(SimDuration::from_millis(100));
+    let mut not_found = 0u64;
+    let cpu_before = store.host_cpu_busy();
+
+    for i in 0..spec.ops {
+        let idx = pick_index(spec, &mut rng, zipf.as_ref(), i);
+        let key = keygen.key(idx);
+        let vlen = match spec.value {
+            ValueSize::Fixed(n) => n,
+            ValueSize::Uniform { lo, hi } => rng.between(lo as u64, hi as u64) as u32,
+            ValueSize::Discrete { choices } => {
+                let wsum: u64 = choices.iter().map(|&(_, w)| w as u64).sum();
+                let mut pick = rng.below(wsum.max(1));
+                let mut chosen = choices[0].0;
+                for &(s, w) in &choices {
+                    if pick < w as u64 {
+                        chosen = s;
+                        break;
+                    }
+                    pick -= w as u64;
+                }
+                chosen
+            }
+        };
+        let is_read = match spec.mix {
+            OpMix::InsertOnly | OpMix::UpdateOnly => false,
+            OpMix::ReadOnly => true,
+            OpMix::Mixed { read_pct } | OpMix::ReadLatest { read_pct } => {
+                rng.below(100) < read_pct as u64
+            }
+        };
+        // ReadLatest overrides key choice: inserts append, reads skew to
+        // the most recent keys.
+        let key = if let Some(z) = &latest {
+            let idx = if is_read {
+                let back = z.sample(&mut rng).min(grown - 1);
+                spec.insert_base + (grown - 1 - back)
+            } else {
+                let fresh = grown;
+                grown += 1;
+                spec.insert_base + fresh
+            };
+            keygen.key(idx)
+        } else {
+            key
+        };
+        let user_bytes = key.len() as u64 + if is_read { 0 } else { vlen as u64 };
+        let mut found = true;
+        let timing = runner.submit(|issue| {
+            if is_read {
+                let (done, hit) = store.read(issue, &key);
+                found = hit;
+                done
+            } else {
+                store.insert(issue, &key, vlen, idx)
+            }
+        });
+        if is_read {
+            reads.record(timing.latency());
+            if !found {
+                not_found += 1;
+            }
+        } else {
+            writes.record(timing.latency());
+        }
+        // The series is phase-relative so window 0 is the phase start.
+        bandwidth.record(
+            SimTime::from_nanos(timing.completed.since(start).as_nanos()),
+            user_bytes,
+        );
+    }
+    let finished = runner.drain();
+    let settled = store.flush(finished);
+    RunMetrics {
+        name: spec.name.clone(),
+        store: store.name(),
+        writes,
+        reads,
+        bandwidth,
+        started: start,
+        finished: settled.max(finished),
+        not_found,
+        cpu_busy: store.host_cpu_busy() - cpu_before,
+    }
+}
+
+fn pick_index(
+    spec: &WorkloadSpec,
+    rng: &mut DeterministicRng,
+    zipf: Option<&ZipfianDistribution>,
+    op: u64,
+) -> u64 {
+    if matches!(spec.mix, OpMix::InsertOnly) {
+        // Insert phases honor the access pattern as an insertion ORDER:
+        // sequential inserts ascend; random and Zipfian inserts walk a
+        // bijective permutation of the population (every key inserted
+        // exactly once, in scattered order, so later read phases always
+        // hit). The Zipfian *skew* applies to update/read phases.
+        return match spec.pattern {
+            AccessPattern::Sequential | AccessPattern::SlidingWindow { .. } => {
+                spec.insert_base + op
+            }
+            AccessPattern::Uniform | AccessPattern::Zipfian { .. } => {
+                spec.insert_base + permute(op, spec.ops)
+            }
+        };
+    }
+    match spec.pattern {
+        AccessPattern::Sequential => op % spec.key_space,
+        AccessPattern::Uniform => rng.below(spec.key_space),
+        AccessPattern::Zipfian { .. } => {
+            // YCSB-style scramble: hot ranks scatter over the key space.
+            let rank = zipf.expect("zipf built").sample(rng);
+            kvssd_sim::rng::mix64(rank) % spec.key_space
+        }
+        AccessPattern::SlidingWindow { window } => {
+            // Footnote 2: slide a window across the population.
+            let span = spec.key_space.saturating_sub(window);
+            let base = if spec.ops <= 1 {
+                0
+            } else {
+                span * op / (spec.ops - 1).max(1)
+            };
+            base + rng.below(window)
+        }
+    }
+}
+
+/// A bijective pseudo-random permutation of `[0, n)` (cycle-walking
+/// Feistel over the next power of two).
+pub fn permute(i: u64, n: u64) -> u64 {
+    assert!(i < n, "permute index out of range");
+    if n <= 2 {
+        return i;
+    }
+    let bits = 64 - (n - 1).leading_zeros();
+    let half = bits.div_ceil(2);
+    let mask = (1u64 << half) - 1;
+    let mut x = i;
+    loop {
+        // Two Feistel rounds over (hi, lo) halves.
+        let mut hi = x >> half;
+        let mut lo = x & mask;
+        for round in 0..2u64 {
+            let f = kvssd_sim::rng::mix64(lo ^ (round.wrapping_mul(0x9E37_79B9))) & mask;
+            let new_lo = hi ^ f;
+            hi = lo;
+            lo = new_lo & mask;
+        }
+        x = (hi << half) | lo;
+        x &= (1u64 << (2 * half)) - 1;
+        if x < n {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::KvSsdStore;
+    use kvssd_core::{KvConfig, KvSsd};
+    use kvssd_flash::{FlashTiming, Geometry};
+
+    fn store() -> KvSsdStore {
+        KvSsdStore::new(KvSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            KvConfig::small(),
+        ))
+    }
+
+    fn insert_spec(n: u64) -> WorkloadSpec {
+        WorkloadSpec::new("fill", n, n)
+            .mix(OpMix::InsertOnly)
+            .value(ValueSize::Fixed(512))
+    }
+
+    #[test]
+    fn insert_phase_populates_store() {
+        let mut s = store();
+        let m = run_phase(&mut s, &insert_spec(200), SimTime::ZERO);
+        assert_eq!(m.writes.count(), 200);
+        assert_eq!(m.reads.count(), 0);
+        assert_eq!(s.device().len(), 200);
+        assert!(m.elapsed() > SimDuration::ZERO);
+        assert!(m.mean_mbps() > 0.0);
+    }
+
+    #[test]
+    fn read_phase_finds_all_keys() {
+        let mut s = store();
+        let m1 = run_phase(&mut s, &insert_spec(200), SimTime::ZERO);
+        let spec = WorkloadSpec::new("read", 300, 200)
+            .mix(OpMix::ReadOnly)
+            .value(ValueSize::Fixed(512));
+        let m2 = run_phase(&mut s, &spec, m1.finished);
+        assert_eq!(m2.reads.count(), 300);
+        assert_eq!(m2.not_found, 0, "all reads should hit");
+        assert!(m2.started >= m1.finished);
+    }
+
+    #[test]
+    fn mixed_phase_splits_ops() {
+        let mut s = store();
+        let m1 = run_phase(&mut s, &insert_spec(100), SimTime::ZERO);
+        let spec = WorkloadSpec::new("mixed", 1_000, 100)
+            .mix(OpMix::Mixed { read_pct: 70 })
+            .value(ValueSize::Fixed(256));
+        let m2 = run_phase(&mut s, &spec, m1.finished);
+        let reads = m2.reads.count() as f64;
+        assert!((reads / 1_000.0 - 0.7).abs() < 0.1, "read share {reads}");
+    }
+
+    #[test]
+    fn deeper_queues_shorten_read_wall_time() {
+        // QD benefits show on reads (die parallelism); sustained writes
+        // are drain-limited by flash programs at any queue depth.
+        let run_at = |qd: usize| {
+            let mut s = store();
+            let fill = run_phase(&mut s, &insert_spec(500), SimTime::ZERO);
+            let spec = WorkloadSpec::new("read", 500, 500)
+                .mix(OpMix::ReadOnly)
+                .queue_depth(qd)
+                .seed(3);
+            run_phase(&mut s, &spec, fill.finished + SimDuration::from_secs(1)).elapsed()
+        };
+        let qd1 = run_at(1);
+        let qd16 = run_at(16);
+        assert!(
+            qd16.as_nanos() * 2 < qd1.as_nanos(),
+            "QD16 reads {qd16} should beat QD1 {qd1} by > 2x"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_results() {
+        let run_once = || {
+            let mut s = store();
+            let m1 = run_phase(&mut s, &insert_spec(100), SimTime::ZERO);
+            let spec = WorkloadSpec::new("u", 200, 100)
+                .pattern(AccessPattern::Zipfian { theta: 0.99 })
+                .value(ValueSize::Fixed(128));
+            let m = run_phase(&mut s, &spec, m1.finished);
+            (m.finished, m.writes.mean())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn sliding_window_touches_whole_population() {
+        let spec = WorkloadSpec::new("w", 1_000, 1_000)
+            .pattern(AccessPattern::SlidingWindow { window: 50 });
+        let mut rng = DeterministicRng::seed_from(1);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for i in 0..1_000 {
+            let idx = pick_index(&spec, &mut rng, None, i);
+            assert!(idx < 1_000);
+            lo_seen |= idx < 100;
+            hi_seen |= idx > 900;
+        }
+        assert!(lo_seen && hi_seen, "window must sweep the population");
+    }
+
+    #[test]
+    fn zipfian_updates_favor_hot_keys() {
+        let spec = WorkloadSpec::new("z", 10_000, 1_000)
+            .pattern(AccessPattern::Zipfian { theta: 0.99 });
+        let zipf = ZipfianDistribution::new(1_000, 0.99);
+        let mut rng = DeterministicRng::seed_from(5);
+        let mut counts = vec![0u32; 1_000];
+        for i in 0..10_000 {
+            counts[pick_index(&spec, &mut rng, Some(&zipf), i) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 500, "hottest key only {max} hits");
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use crate::adapters::KvSsdStore;
+    use kvssd_core::{KvConfig, KvSsd};
+    use kvssd_flash::{FlashTiming, Geometry};
+
+    #[test]
+    #[ignore]
+    fn probe_qd_scaling() {
+        for qd in [1usize, 16] {
+            let mut s = KvSsdStore::new(KvSsd::new(
+                Geometry::small(),
+                FlashTiming::pm983_like(),
+                KvConfig::small(),
+            ));
+            let mut runner = QueueRunner::new(qd);
+            let keygen = KeyGen::new(16);
+            let mut lat = Vec::new();
+            for i in 0..500u64 {
+                let key = keygen.key(i);
+                let t = runner.submit(|issue| s.insert(issue, &key, 512, i));
+                lat.push(t.latency().as_micros_f64());
+            }
+            let end = runner.drain();
+            let st = s.device().stats().clone();
+            println!(
+                "qd={qd} wall={} lat[0..5]={:?} lat[100..105]={:?} stall={} merges={} programs={}",
+                end, &lat[0..5], &lat[100..105], st.stall_time, st.merges,
+                s.device().flash().stats().programs
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod probe2 {
+    use super::*;
+    use crate::adapters::KvSsdStore;
+    use kvssd_core::{KvConfig, KvSsd};
+    use kvssd_flash::{FlashTiming, Geometry};
+
+    #[test]
+    #[ignore]
+    fn probe_read_parallelism() {
+        let mut s = KvSsdStore::new(KvSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            KvConfig::small(),
+        ));
+        let fill = run_phase(
+            &mut s,
+            &WorkloadSpec::new("fill", 500, 500)
+                .mix(OpMix::InsertOnly)
+                .value(ValueSize::Fixed(512)),
+            SimTime::ZERO,
+        );
+        let start = fill.finished + SimDuration::from_secs(1);
+        let reads_before = s.device().flash().stats().reads;
+        let hits_before = s.device().stats().write_buffer_hits;
+        let spec = WorkloadSpec::new("read", 500, 500)
+            .mix(OpMix::ReadOnly)
+            .queue_depth(16)
+            .seed(3);
+        let m = run_phase(&mut s, &spec, start);
+        println!(
+            "elapsed={} flash_reads={} buffer_hits={} lookup_flash={} mean={}",
+            m.elapsed(),
+            s.device().flash().stats().reads - reads_before,
+            s.device().stats().write_buffer_hits - hits_before,
+            s.device().index_stats().lookup_flash_reads,
+            m.reads.mean()
+        );
+        println!("die_util={:.3}", s.device().flash().die_utilization(m.finished));
+    }
+}
+
+#[cfg(test)]
+mod permute_tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn permute_is_a_bijection() {
+        for n in [2u64, 7, 100, 1000, 4096] {
+            let mut seen = HashSet::new();
+            for i in 0..n {
+                let p = permute(i, n);
+                assert!(p < n, "out of range for n={n}");
+                assert!(seen.insert(p), "collision for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn permute_scatters_neighbors() {
+        let n = 10_000u64;
+        let mut adjacent = 0;
+        for i in 0..n - 1 {
+            if permute(i + 1, n) == permute(i, n) + 1 {
+                adjacent += 1;
+            }
+        }
+        assert!(adjacent < 50, "{adjacent} adjacent pairs survived");
+    }
+
+    #[test]
+    fn random_order_insert_covers_population() {
+        let spec = WorkloadSpec::new("fill", 500, 500)
+            .mix(OpMix::InsertOnly)
+            .pattern(AccessPattern::Uniform);
+        let mut rng = DeterministicRng::seed_from(1);
+        let mut seen = HashSet::new();
+        for i in 0..500 {
+            seen.insert(pick_index(&spec, &mut rng, None, i));
+        }
+        assert_eq!(seen.len(), 500, "random-order insert must cover all keys");
+    }
+}
+
+#[cfg(test)]
+mod read_latest_tests {
+    use super::*;
+    use crate::adapters::KvSsdStore;
+    use kvssd_core::{KvConfig, KvSsd};
+    use kvssd_flash::{FlashTiming, Geometry};
+
+    #[test]
+    fn read_latest_grows_population_and_hits() {
+        let mut s = KvSsdStore::new(KvSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            KvConfig::small(),
+        ));
+        let fill = WorkloadSpec::new("fill", 500, 500)
+            .mix(OpMix::InsertOnly)
+            .value(ValueSize::Fixed(128));
+        let f = run_phase(&mut s, &fill, SimTime::ZERO);
+        let d = WorkloadSpec::new("d", 2_000, 500)
+            .mix(OpMix::ReadLatest { read_pct: 95 })
+            .value(ValueSize::Fixed(128))
+            .seed(19);
+        let m = run_phase(&mut s, &d, f.finished);
+        assert_eq!(m.not_found, 0, "recency reads must always hit");
+        // ~5% inserts grew the store past the initial population.
+        assert!(s.device().len() > 550, "population grew to {}", s.device().len());
+        let reads = m.reads.count() as f64 / 2_000.0;
+        assert!((reads - 0.95).abs() < 0.03, "read share {reads}");
+    }
+}

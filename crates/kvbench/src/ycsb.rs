@@ -1,0 +1,120 @@
+//! YCSB-style workload presets.
+//!
+//! The paper's conclusion names YCSB as future work ("we plan to explore
+//! KV-SSD performance behavior under real-world workloads and
+//! benchmarks, such as YCSB"); these presets express the YCSB core
+//! workloads in this harness's terms so that exploration is one function
+//! call. Mapping:
+//!
+//! | preset | YCSB | mix | skew |
+//! |---|---|---|---|
+//! | A | update heavy | 50 % reads / 50 % updates | Zipfian 0.99 |
+//! | B | read mostly  | 95 % reads / 5 % updates  | Zipfian 0.99 |
+//! | C | read only    | 100 % reads               | Zipfian 0.99 |
+//! | D | read latest  | 95 % reads / 5 % inserts  | inserts grow the population; reads Zipfian over recency |
+//! | F | read-modify-write | 50 % reads / 50 % updates (each update preceded by a read at the runner level) | Zipfian 0.99 |
+//!
+//! Workload E (short scans) maps to the KV-SSD's prefix iterators and is
+//! exercised directly in the device tests/examples rather than through
+//! the point-op runner.
+//!
+//! YCSB's standard record is 1 KiB (10 fields x 100 B); key length stays
+//! at this harness's 16 B default.
+
+use crate::spec::{AccessPattern, OpMix, ValueSize, WorkloadSpec};
+
+/// YCSB default record size: 10 fields x 100 B.
+pub const RECORD_BYTES: u32 = 1000;
+
+/// YCSB default Zipfian constant.
+pub const THETA: f64 = 0.99;
+
+fn base(name: &str, ops: u64, population: u64) -> WorkloadSpec {
+    WorkloadSpec::new(name, ops, population)
+        .pattern(AccessPattern::Zipfian { theta: THETA })
+        .value(ValueSize::Fixed(RECORD_BYTES))
+        .queue_depth(8)
+}
+
+/// The load phase: insert the whole population.
+pub fn load(population: u64) -> WorkloadSpec {
+    WorkloadSpec::new("ycsb-load", population, population)
+        .mix(OpMix::InsertOnly)
+        .value(ValueSize::Fixed(RECORD_BYTES))
+        .queue_depth(8)
+}
+
+/// Workload A: update heavy (50/50).
+pub fn workload_a(ops: u64, population: u64) -> WorkloadSpec {
+    base("ycsb-a", ops, population).mix(OpMix::Mixed { read_pct: 50 })
+}
+
+/// Workload B: read mostly (95/5).
+pub fn workload_b(ops: u64, population: u64) -> WorkloadSpec {
+    base("ycsb-b", ops, population).mix(OpMix::Mixed { read_pct: 95 })
+}
+
+/// Workload C: read only.
+pub fn workload_c(ops: u64, population: u64) -> WorkloadSpec {
+    base("ycsb-c", ops, population).mix(OpMix::ReadOnly)
+}
+
+/// Workload D: read latest — 5 % inserts grow the population and 95 %
+/// reads sample Zipfian over recency.
+pub fn workload_d(ops: u64, population: u64) -> WorkloadSpec {
+    base("ycsb-d", ops, population).mix(OpMix::ReadLatest { read_pct: 95 })
+}
+
+/// Workload F: read-modify-write expressed as its I/O footprint — every
+/// logical RMW is one read plus one update, i.e. a 50/50 mix at twice
+/// the logical operation count.
+pub fn workload_f(ops: u64, population: u64) -> WorkloadSpec {
+    base("ycsb-f", ops * 2, population).mix(OpMix::Mixed { read_pct: 50 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::KvSsdStore;
+    use crate::runner::run_phase;
+    use kvssd_core::{KvConfig, KvSsd};
+    use kvssd_flash::{FlashTiming, Geometry};
+    use kvssd_sim::SimTime;
+
+    #[test]
+    fn presets_validate() {
+        for spec in [
+            load(100),
+            workload_a(100, 100),
+            workload_b(100, 100),
+            workload_c(100, 100),
+            workload_d(100, 100),
+            workload_f(100, 100),
+        ] {
+            spec.validate();
+        }
+    }
+
+    #[test]
+    fn mixes_match_ycsb_definitions() {
+        assert_eq!(workload_a(1, 1).mix, OpMix::Mixed { read_pct: 50 });
+        assert_eq!(workload_b(1, 1).mix, OpMix::Mixed { read_pct: 95 });
+        assert_eq!(workload_c(1, 1).mix, OpMix::ReadOnly);
+        assert_eq!(workload_f(10, 1).ops, 20, "F counts read+write per RMW");
+    }
+
+    #[test]
+    fn ycsb_a_runs_end_to_end_on_the_device() {
+        let mut store = KvSsdStore::new(KvSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            KvConfig::small(),
+        ));
+        let l = run_phase(&mut store, &load(300), SimTime::ZERO);
+        let a = run_phase(&mut store, &workload_a(600, 300), l.finished);
+        assert_eq!(a.reads.count() + a.writes.count(), 600);
+        assert_eq!(a.not_found, 0, "zipf reads stay inside the population");
+        let share = a.reads.count() as f64 / 600.0;
+        assert!((share - 0.5).abs() < 0.1, "read share {share}");
+    }
+}

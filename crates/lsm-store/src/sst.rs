@@ -1,0 +1,256 @@
+//! Sorted string tables: in-memory functional form plus merge logic.
+//!
+//! An SST is a sorted run of `(key, value-or-tombstone)` entries. The
+//! bytes live "on disk" via the filesystem (which tracks extents and
+//! timing); the functional content lives here so reads are exact.
+
+use kvssd_core::bloom::BloomFilter;
+use kvssd_core::hash::key_hash;
+use kvssd_core::Payload;
+use kvssd_host_stack::FileId;
+
+/// One table's sorted entries. `None` values are tombstones.
+#[derive(Debug, Clone)]
+pub struct SstData {
+    entries: Vec<(Box<[u8]>, Option<Payload>)>,
+}
+
+impl SstData {
+    /// Builds from entries that must already be sorted and unique.
+    pub fn from_sorted(entries: Vec<(Box<[u8]>, Option<Payload>)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted SST");
+        SstData { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Binary-searches for a key; `Some(index)` on hit.
+    pub fn find(&self, key: &[u8]) -> Option<usize> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+            .ok()
+    }
+
+    /// Entry at `idx`.
+    pub fn entry(&self, idx: usize) -> (&[u8], Option<&Payload>) {
+        let (k, v) = &self.entries[idx];
+        (k, v.as_ref())
+    }
+
+    /// All entries (for merging).
+    pub fn entries(&self) -> &[(Box<[u8]>, Option<Payload>)] {
+        &self.entries
+    }
+
+    /// Smallest key.
+    pub fn min_key(&self) -> &[u8] {
+        &self.entries.first().expect("nonempty SST").0
+    }
+
+    /// Largest key.
+    pub fn max_key(&self) -> &[u8] {
+        &self.entries.last().expect("nonempty SST").0
+    }
+
+    /// Total user bytes (keys + live values).
+    pub fn user_bytes(&self, overhead: u64) -> u64 {
+        self.entries
+            .iter()
+            .map(|(k, v)| {
+                k.len() as u64 + v.as_ref().map_or(0, Payload::len) + overhead
+            })
+            .sum()
+    }
+}
+
+/// Host-memory metadata of one on-disk SST.
+#[derive(Debug)]
+pub struct SstMeta {
+    /// Backing file.
+    pub file: FileId,
+    /// Encoded size in bytes.
+    pub size_bytes: u64,
+    /// Entry count.
+    pub entries: u64,
+    /// Smallest key.
+    pub min_key: Box<[u8]>,
+    /// Largest key.
+    pub max_key: Box<[u8]>,
+    /// Per-table Bloom filter (filter block, kept cached as RocksDB
+    /// pins filter blocks).
+    pub bloom: BloomFilter,
+}
+
+impl SstMeta {
+    /// Builds metadata for `data` backed by `file`.
+    pub fn describe(file: FileId, data: &SstData, size_bytes: u64, bloom_bits: u32) -> Self {
+        let mut bloom = BloomFilter::new(data.len() as u64, bloom_bits);
+        for (k, _) in data.entries() {
+            bloom.insert(key_hash(k));
+        }
+        SstMeta {
+            file,
+            size_bytes,
+            entries: data.len() as u64,
+            min_key: data.min_key().into(),
+            max_key: data.max_key().into(),
+            bloom,
+        }
+    }
+
+    /// True when `key` falls inside this table's key range.
+    pub fn covers(&self, key: &[u8]) -> bool {
+        self.min_key.as_ref() <= key && key <= self.max_key.as_ref()
+    }
+
+    /// True when this table's range overlaps `[lo, hi]`.
+    pub fn overlaps(&self, lo: &[u8], hi: &[u8]) -> bool {
+        self.min_key.as_ref() <= hi && lo <= self.max_key.as_ref()
+    }
+}
+
+/// Merges sorted runs (newest first) into one run, dropping shadowed
+/// versions. Tombstones are kept unless `drop_tombstones` (bottom level).
+pub fn merge_runs(
+    runs: Vec<&SstData>,
+    drop_tombstones: bool,
+) -> Vec<(Box<[u8]>, Option<Payload>)> {
+    // Newest-first priority: on equal keys, the earliest run wins.
+    let mut cursors: Vec<(usize, usize)> = runs.iter().map(|_| (0, 0)).collect();
+    for (i, c) in cursors.iter_mut().enumerate() {
+        c.0 = i;
+    }
+    let mut out: Vec<(Box<[u8]>, Option<Payload>)> = Vec::new();
+    loop {
+        // Find the smallest current key; ties resolved to newest run.
+        let mut best: Option<(usize, &[u8])> = None;
+        for &(run, pos) in &cursors {
+            if pos >= runs[run].len() {
+                continue;
+            }
+            let k = runs[run].entries()[pos].0.as_ref();
+            best = match best {
+                None => Some((run, k)),
+                Some((brun, bk)) => {
+                    if k < bk || (k == bk && run < brun) {
+                        Some((run, k))
+                    } else {
+                        Some((brun, bk))
+                    }
+                }
+            };
+        }
+        let Some((winner, key)) = best else { break };
+        let key = key.to_vec().into_boxed_slice();
+        let (_, v) = &runs[winner].entries()[cursors[winner].1];
+        if !(drop_tombstones && v.is_none()) {
+            out.push((key.clone(), v.clone()));
+        }
+        // Advance every run past this key.
+        for c in &mut cursors {
+            let run = &runs[c.0];
+            while c.1 < run.len() && run.entries()[c.1].0 == key {
+                c.1 += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(k: &str, v: Option<&str>) -> (Box<[u8]>, Option<Payload>) {
+        (
+            k.as_bytes().into(),
+            v.map(|s| Payload::from_bytes(s.as_bytes().to_vec())),
+        )
+    }
+
+    fn sst(pairs: &[(&str, Option<&str>)]) -> SstData {
+        SstData::from_sorted(pairs.iter().map(|&(k, v)| kv(k, v)).collect())
+    }
+
+    #[test]
+    fn find_and_entry() {
+        let s = sst(&[("a", Some("1")), ("c", Some("3"))]);
+        assert_eq!(s.find(b"a"), Some(0));
+        assert_eq!(s.find(b"b"), None);
+        let (k, v) = s.entry(1);
+        assert_eq!(k, b"c");
+        assert_eq!(v.unwrap().as_bytes().unwrap(), b"3");
+    }
+
+    #[test]
+    fn meta_covers_and_overlaps() {
+        let s = sst(&[("b", Some("1")), ("f", Some("2"))]);
+        let m = SstMeta::describe(FileId(1), &s, 100, 10);
+        assert!(m.covers(b"d"));
+        assert!(!m.covers(b"a"));
+        assert!(m.overlaps(b"a", b"c"));
+        assert!(!m.overlaps(b"g", b"z"));
+        assert_eq!(m.entries, 2);
+    }
+
+    #[test]
+    fn bloom_rejects_absent_keys() {
+        let s = sst(&[("key1", Some("v")), ("key2", Some("v"))]);
+        let m = SstMeta::describe(FileId(1), &s, 100, 10);
+        assert!(m.bloom.may_contain(key_hash(b"key1")));
+        // Absent keys are almost always rejected.
+        let rejected = (0..100)
+            .filter(|i| !m.bloom.may_contain(key_hash(format!("zz{i}").as_bytes())))
+            .count();
+        assert!(rejected > 90);
+    }
+
+    #[test]
+    fn merge_newest_wins() {
+        let newer = sst(&[("a", Some("new")), ("b", Some("b1"))]);
+        let older = sst(&[("a", Some("old")), ("c", Some("c1"))]);
+        let merged = merge_runs(vec![&newer, &older], false);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(
+            merged[0].1.as_ref().unwrap().as_bytes().unwrap(),
+            b"new",
+            "newer run must shadow older"
+        );
+    }
+
+    #[test]
+    fn merge_keeps_or_drops_tombstones() {
+        let newer = sst(&[("a", None)]);
+        let older = sst(&[("a", Some("old")), ("b", Some("b1"))]);
+        let kept = merge_runs(vec![&newer, &older], false);
+        assert_eq!(kept.len(), 2);
+        assert!(kept[0].1.is_none(), "tombstone shadows older value");
+        let dropped = merge_runs(vec![&newer, &older], true);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].0.as_ref(), b"b");
+    }
+
+    #[test]
+    fn merge_of_disjoint_runs_concatenates() {
+        let a = sst(&[("a", Some("1")), ("b", Some("2"))]);
+        let b = sst(&[("x", Some("3")), ("y", Some("4"))]);
+        let merged = merge_runs(vec![&a, &b], false);
+        let keys: Vec<&[u8]> = merged.iter().map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec![&b"a"[..], b"b", b"x", b"y"]);
+    }
+
+    #[test]
+    fn user_bytes_counts_live_data() {
+        let s = sst(&[("aa", Some("xyz")), ("bb", None)]);
+        // 2+3 + 2+0 user, plus 2 * overhead.
+        assert_eq!(s.user_bytes(10), 2 + 3 + 2 + 20);
+    }
+}

@@ -1,0 +1,65 @@
+//! Embedded IoT scenario from the paper's introduction: a gateway logging
+//! many small sensor readings, choosing between a KV-SSD and host-side KV
+//! stores on a block-SSD.
+//!
+//! The run compares host CPU (the paper's embedded-systems argument: small
+//! IoT CPUs), insert latency, and — the KV-SSD's catch — space
+//! amplification for tiny readings.
+//!
+//! ```sh
+//! cargo run --release --example sensor_logger
+//! ```
+
+use kvssd_study::bench::setup;
+use kvssd_study::kvbench::{run_phase, KvStore, OpMix, Table, ValueSize, WorkloadSpec};
+use kvssd_study::sim::SimTime;
+
+fn main() {
+    // 50k readings of ~64 B (sensor id + timestamp + value), bursts of 8.
+    let readings = 50_000;
+    let spec = WorkloadSpec::new("sensor-log", readings, readings)
+        .mix(OpMix::InsertOnly)
+        .value(ValueSize::Uniform { lo: 40, hi: 120 })
+        .queue_depth(8);
+
+    let mut systems: Vec<Box<dyn KvStore>> = vec![
+        Box::new(setup::kv_ssd()),
+        Box::new(setup::rocksdb()),
+        Box::new(setup::aerospike()),
+    ];
+
+    println!("Logging {readings} sensor readings (40-120 B) on each stack:\n");
+    let mut table = Table::new(&[
+        "system",
+        "mean insert (us)",
+        "p99 (us)",
+        "host CPU (cores)",
+        "space amp",
+    ]);
+    let mut kv_cpu = 0.0;
+    let mut rdb_cpu = 0.0;
+    for store in &mut systems {
+        let m = run_phase(store.as_mut(), &spec, SimTime::ZERO);
+        let usage = store.space();
+        table.row(&[
+            store.name(),
+            &format!("{:.1}", m.writes.mean().as_micros_f64()),
+            &format!("{:.1}", m.writes.percentile(99.0).as_micros_f64()),
+            &format!("{:.2}", m.cpu_cores_used()),
+            &format!("{:.1}x", usage.amplification()),
+        ]);
+        match store.name() {
+            "KV-SSD" => kv_cpu = m.cpu_cores_used(),
+            "RocksDB" => rdb_cpu = m.cpu_cores_used(),
+            _ => {}
+        }
+    }
+    println!("{table}");
+    println!(
+        "The embedded-systems takeaway (paper Sec. I/V): the KV-SSD offloads\n\
+         indexing to the device, using {:.0}x less host CPU than RocksDB here —\n\
+         but tiny readings pay its 1 KiB padding, so batch readings into\n\
+         >= 1 KiB records before storing them.",
+        (rdb_cpu / kv_cpu.max(1e-9)).max(1.0)
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the KV-SSD study reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use kvssd_study::...`. See the README for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub use kvssd_bench as bench;
+pub use kvssd_block_ftl as block_ftl;
+pub use kvssd_core as core;
+pub use kvssd_flash as flash;
+pub use kvssd_hash_store as hash_store;
+pub use kvssd_host_stack as host_stack;
+pub use kvssd_kvbench as kvbench;
+pub use kvssd_lsm_store as lsm_store;
+pub use kvssd_nvme as nvme;
+pub use kvssd_sim as sim;

@@ -1,0 +1,121 @@
+//! Queue-depth behavior: the paper's "KV-SSD ... provide[s] better
+//! performance at high concurrency" (Sec. V), as testable shapes.
+
+use kvssd_study::bench::setup;
+use kvssd_study::kvbench::{run_phase, KvStore, OpMix, ValueSize, WorkloadSpec};
+use kvssd_study::sim::{SimDuration, SimTime};
+
+/// (mean latency us, ops/s) for a phase on a fresh KV device.
+fn kv_read_point(qd: usize) -> (f64, f64) {
+    let mut s = setup::kv_ssd();
+    let n = 4_000;
+    let f = run_phase(
+        &mut s,
+        &WorkloadSpec::new("fill", n, n)
+            .mix(OpMix::InsertOnly)
+            .value(ValueSize::Fixed(1024))
+            .queue_depth(16),
+        SimTime::ZERO,
+    );
+    let m = run_phase(
+        &mut s,
+        &WorkloadSpec::new("read", n, n)
+            .mix(OpMix::ReadOnly)
+            .queue_depth(qd)
+            .seed(83),
+        f.finished + SimDuration::from_secs(1),
+    );
+    (m.reads.mean().as_micros_f64(), m.ops_per_sec())
+}
+
+#[test]
+fn read_latency_rises_and_throughput_saturates_with_depth() {
+    let pts: Vec<(usize, (f64, f64))> =
+        [1, 4, 16, 64].iter().map(|&qd| (qd, kv_read_point(qd))).collect();
+    // Latency is non-decreasing in depth (queueing).
+    for w in pts.windows(2) {
+        let (qd_a, (lat_a, thr_a)) = w[0];
+        let (qd_b, (lat_b, thr_b)) = w[1];
+        assert!(
+            lat_b >= lat_a * 0.95,
+            "latency fell from QD{qd_a} ({lat_a}) to QD{qd_b} ({lat_b})"
+        );
+        assert!(
+            thr_b >= thr_a * 0.95,
+            "throughput fell from QD{qd_a} ({thr_a}) to QD{qd_b} ({thr_b})"
+        );
+    }
+    // Going 1 -> 64 must have bought real throughput (die parallelism).
+    let thr_1 = pts[0].1 .1;
+    let thr_64 = pts[3].1 .1;
+    assert!(
+        thr_64 > thr_1 * 4.0,
+        "QD64 should scale reads well past QD1 ({thr_1} -> {thr_64})"
+    );
+}
+
+#[test]
+fn kv_write_advantage_appears_at_depth_for_small_values() {
+    // The Fig. 4 claim as a QD sweep at 2 KiB: KV loses at QD 1 or wins
+    // mildly, and wins clearly at QD 64.
+    let ratio_at = |qd: usize| {
+        let measure = |store: &mut dyn KvStore| {
+            let n = 3_000;
+            let f = run_phase(
+                store,
+                &WorkloadSpec::new("fill", n, n)
+                    .mix(OpMix::InsertOnly)
+                    .value(ValueSize::Fixed(2048))
+                    .queue_depth(16),
+                SimTime::ZERO,
+            );
+            run_phase(
+                store,
+                &WorkloadSpec::new("w", n, n)
+                    .mix(OpMix::UpdateOnly)
+                    .value(ValueSize::Fixed(2048))
+                    .queue_depth(qd)
+                    .seed(89),
+                f.finished + SimDuration::from_millis(200),
+            )
+            .writes
+            .mean()
+            .as_micros_f64()
+        };
+        let kv = measure(&mut setup::kv_ssd());
+        let blk = measure(&mut setup::block_direct(2048));
+        kv / blk
+    };
+    let qd1 = ratio_at(1);
+    let qd64 = ratio_at(64);
+    assert!(
+        qd64 < qd1,
+        "depth should move the ratio in KV's favor ({qd1:.2} -> {qd64:.2})"
+    );
+    assert!(qd64 < 1.0, "KV must win at depth (ratio {qd64:.2})");
+}
+
+#[test]
+fn sustained_write_throughput_is_depth_insensitive() {
+    // Writes complete in the buffer; sustained throughput is drain-bound,
+    // so depth should barely move it (unlike reads).
+    let thr_at = |qd: usize| {
+        let mut s = setup::kv_ssd();
+        let n = 20_000;
+        run_phase(
+            &mut s,
+            &WorkloadSpec::new("fill", n, n)
+                .mix(OpMix::InsertOnly)
+                .value(ValueSize::Fixed(4096))
+                .queue_depth(qd),
+            SimTime::ZERO,
+        )
+        .mean_mbps()
+    };
+    let a = thr_at(8);
+    let b = thr_at(64);
+    assert!(
+        (a - b).abs() / a.max(b) < 0.35,
+        "sustained write bandwidth should not swing with depth ({a:.0} vs {b:.0} MB/s)"
+    );
+}

@@ -1,0 +1,64 @@
+//! Cross-run determinism: identical seeds must give bit-identical
+//! virtual-time results for every system and for whole experiments —
+//! the property that makes the reproduction's numbers citable.
+
+use kvssd_study::bench::experiments::{fig5, fig7};
+use kvssd_study::bench::{setup, Scale};
+use kvssd_study::kvbench::{run_phase, AccessPattern, KvStore, OpMix, ValueSize, WorkloadSpec};
+use kvssd_study::sim::SimTime;
+
+fn signature(store: &mut dyn KvStore) -> (u64, u64, u64) {
+    let spec = WorkloadSpec::new("sig", 1_500, 1_500)
+        .mix(OpMix::InsertOnly)
+        .pattern(AccessPattern::Uniform)
+        .value(ValueSize::Uniform { lo: 32, hi: 6_000 })
+        .queue_depth(8)
+        .seed(20_26);
+    let f = run_phase(store, &spec, SimTime::ZERO);
+    let mixed = WorkloadSpec::new("mix", 2_000, 1_500)
+        .mix(OpMix::Mixed { read_pct: 60 })
+        .pattern(AccessPattern::Zipfian { theta: 0.8 })
+        .value(ValueSize::facebook_like())
+        .queue_depth(16)
+        .seed(7_7);
+    let m = run_phase(store, &mixed, f.finished);
+    (
+        m.finished.as_nanos(),
+        m.writes.mean().as_nanos(),
+        m.reads.percentile(99.0).as_nanos(),
+    )
+}
+
+#[test]
+fn every_stack_is_deterministic_per_seed() {
+    let kv = |_: ()| signature(&mut setup::kv_ssd());
+    assert_eq!(kv(()), kv(()), "KV-SSD");
+    let rdb = |_: ()| signature(&mut setup::rocksdb());
+    assert_eq!(rdb(()), rdb(()), "RocksDB");
+    let hs = |_: ()| signature(&mut setup::aerospike());
+    assert_eq!(hs(()), hs(()), "Aerospike");
+    let blk = |_: ()| signature(&mut setup::block_direct(4096));
+    assert_eq!(blk(()), blk(()), "block direct");
+}
+
+#[test]
+fn whole_experiments_are_deterministic() {
+    let a = fig7::run(Scale::Tiny);
+    let b = fig7::run(Scale::Tiny);
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.system, rb.system);
+        assert_eq!(
+            ra.amplification.to_bits(),
+            rb.amplification.to_bits(),
+            "fig7 {}@{}",
+            ra.system,
+            ra.value_bytes
+        );
+    }
+    let a = fig5::run(Scale::Tiny);
+    let b = fig5::run(Scale::Tiny);
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.kv_mbps.to_bits(), rb.kv_mbps.to_bits());
+        assert_eq!(ra.blk_mbps.to_bits(), rb.blk_mbps.to_bits());
+    }
+}

@@ -1,0 +1,140 @@
+//! Shape assertions over the paper's experiments at `Scale::Tiny`.
+//!
+//! These are the reproduction's regression tests: each checks the
+//! *direction and rough magnitude* of a paper finding (who wins, where
+//! crossovers and cliffs fall), not absolute microseconds.
+
+use kvssd_study::bench::experiments::{fig3, fig4, fig5, fig6, fig7, fig8};
+use kvssd_study::bench::Scale;
+
+#[test]
+fn fig3_index_occupancy_cliff() {
+    let r = fig3::run(Scale::Tiny);
+    // KV-SSD writes degrade far more than reads; the block-SSD is flat.
+    let kv_w = r.write_degradation("KV-SSD");
+    let kv_r = r.read_degradation("KV-SSD");
+    assert!(kv_w > 3.0, "KV write degradation {kv_w} (paper: up to 16.4x)");
+    assert!(kv_r > 1.2, "KV read degradation {kv_r} (paper: up to 2x)");
+    assert!(
+        kv_w > kv_r * 1.5,
+        "writes must degrade harder than reads ({kv_w} vs {kv_r})"
+    );
+    let blk_w = r.write_degradation("Block-SSD");
+    let blk_r = r.read_degradation("Block-SSD");
+    assert!(blk_w < 2.0, "block writes should stay ~flat ({blk_w})");
+    assert!(blk_r < 1.5, "block reads should stay ~flat ({blk_r})");
+}
+
+#[test]
+fn fig4_crossover_at_page_budget() {
+    let r = fig4::run(Scale::Tiny);
+    // At QD 64: KV wins below the 24 KiB page payload budget...
+    assert!(
+        r.row(2048, 64).write_ratio() < 1.0,
+        "2 KiB @ QD64: KV should win writes ({})",
+        r.row(2048, 64).write_ratio()
+    );
+    assert!(
+        r.row(24576, 64).write_ratio() < 1.1,
+        "24 KiB @ QD64: KV should still be competitive ({})",
+        r.row(24576, 64).write_ratio()
+    );
+    // ...and loses once values split across pages.
+    assert!(
+        r.row(32768, 64).write_ratio() > 1.2,
+        "32 KiB @ QD64: splitting should cost KV ({})",
+        r.row(32768, 64).write_ratio()
+    );
+    // At QD 1 large values, the key handling keeps KV behind.
+    assert!(
+        r.row(32768, 1).write_ratio() > 1.0,
+        "32 KiB @ QD1 ({})",
+        r.row(32768, 1).write_ratio()
+    );
+}
+
+#[test]
+fn fig5_bandwidth_dips_past_page_budget() {
+    let r = fig5::run(Scale::Tiny);
+    let at = |v: u32| r.kv_mbps(v * 1024);
+    // Sharp dip just past 24 KiB, recovery by 48 KiB, second dip at 49.
+    assert!(
+        at(25) < at(24) * 0.75,
+        "25 KiB should dip vs 24 KiB ({} vs {})",
+        at(25),
+        at(24)
+    );
+    assert!(
+        at(48) > at(25) * 1.3,
+        "48 KiB should recover vs 25 KiB ({} vs {})",
+        at(48),
+        at(25)
+    );
+    assert!(
+        at(49) < at(48) * 0.85,
+        "49 KiB should dip again ({} vs {})",
+        at(49),
+        at(48)
+    );
+    // The block side is smooth: its worst point stays close to its best.
+    let blk: Vec<f64> = r.rows.iter().map(|x| x.blk_mbps).collect();
+    let (min, max) = blk
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(a, b), &v| (a.min(v), b.max(v)));
+    assert!(
+        min > max * 0.6,
+        "block bandwidth should be smooth ({min}..{max})"
+    );
+}
+
+#[test]
+fn fig6_foreground_gc_hits_kv_not_block() {
+    let r = fig6::run(Scale::Tiny);
+    let rdb = r.panel("a-rocksdb-block");
+    let kv = r.panel("b-kvssd-uniform");
+    let win = r.panel("c-kvssd-window");
+    // The block device under RocksDB does no copy work (TRIM'd SSTs).
+    assert_eq!(rdb.copies, 0, "RocksDB/block should see no GC copies");
+    // The KV device goes foreground and copies heavily, in both the
+    // uniform and the sliding-window (footnote 2) patterns.
+    assert!(kv.foreground_gc_events > 0, "uniform updates must trigger fg GC");
+    assert!(kv.copies > 0);
+    assert!(win.foreground_gc_events > 0, "window updates must trigger fg GC");
+    assert!(win.copies > 0);
+}
+
+#[test]
+fn fig7_space_amplification_ordering() {
+    let r = fig7::run(Scale::Tiny);
+    // KV-SSD at 50 B: an order of magnitude (paper: 17x).
+    let kv50 = r.amp("KV-SSD", 50);
+    assert!(kv50 > 10.0 && kv50 < 25.0, "KV @50B amp {kv50}");
+    // Aerospike stays low single digits; RocksDB near 1.
+    let as50 = r.amp("Aerospike", 50);
+    assert!(as50 < 3.0, "Aerospike @50B amp {as50} (paper: 1.8x)");
+    assert!(as50 > 1.0);
+    let rdb50 = r.amp("RocksDB", 50);
+    assert!(rdb50 < 1.8, "RocksDB @50B amp {rdb50} (paper: ~1.11x)");
+    // KV-SSD packs tightly at 1-4 KiB.
+    assert!(r.amp("KV-SSD", 1024) < 1.2);
+    assert!(r.amp("KV-SSD", 4096) < 1.1);
+    // Ordering at small values: KV >> Aerospike > RocksDB.
+    assert!(kv50 > as50 && as50 > rdb50);
+}
+
+#[test]
+fn fig8_second_command_halves_async_throughput() {
+    let r = fig8::run(Scale::Tiny);
+    assert_eq!(r.row(16).commands, 1);
+    assert_eq!(r.row(20).commands, 2);
+    let drop = r.row(20).async_kops / r.row(16).async_kops;
+    assert!(
+        (0.35..0.75).contains(&drop),
+        "16->20 B async drop {drop} (paper: ~0.53x)"
+    );
+    // Sync I/O also pays, but less dramatically.
+    let sync_drop = r.row(20).sync_kops / r.row(16).sync_kops;
+    assert!(sync_drop < 0.95 && sync_drop > drop - 0.25);
+    // Throughput decreases monotonically-ish with key length overall.
+    assert!(r.row(255).async_kops <= r.row(20).async_kops * 1.05);
+}

@@ -1,0 +1,133 @@
+//! Validates the analytical model (the paper's future-work item) against
+//! the simulator: predictions must land within a factor-of-two band of
+//! measurement, and every *shape* (cliffs, dips, crossovers) must match.
+
+use kvssd_study::bench::setup;
+use kvssd_study::core::{KvConfig, KvModel};
+use kvssd_study::flash::{FlashTiming, Geometry};
+use kvssd_study::kvbench::{run_phase, OpMix, ValueSize, WorkloadSpec};
+use kvssd_study::sim::SimTime;
+
+fn model() -> KvModel {
+    KvModel::new(
+        KvConfig::pm983_scaled(),
+        Geometry::pm983_scaled(),
+        FlashTiming::pm983_like(),
+    )
+}
+
+/// Measured (store, retrieve) mean latency at QD 1 for a population.
+fn measure_latency(value: u32, n: u64) -> (f64, f64) {
+    let mut s = setup::kv_ssd_with(setup::kv_config_macro());
+    let f = run_phase(
+        &mut s,
+        &WorkloadSpec::new("fill", n, n)
+            .mix(OpMix::InsertOnly)
+            .value(ValueSize::Fixed(value))
+            .queue_depth(16),
+        SimTime::ZERO,
+    );
+    let w = run_phase(
+        &mut s,
+        &WorkloadSpec::new("w", 1_500, n)
+            .mix(OpMix::UpdateOnly)
+            .value(ValueSize::Fixed(value))
+            .queue_depth(1)
+            .seed(71),
+        f.finished + kvssd_study::sim::SimDuration::from_millis(200),
+    );
+    let r = run_phase(
+        &mut s,
+        &WorkloadSpec::new("r", 1_500, n)
+            .mix(OpMix::ReadOnly)
+            .queue_depth(1)
+            .seed(73),
+        w.finished + kvssd_study::sim::SimDuration::from_millis(200),
+    );
+    (
+        w.writes.mean().as_micros_f64(),
+        r.reads.mean().as_micros_f64(),
+    )
+}
+
+fn within_2x(predicted: f64, measured: f64) -> bool {
+    predicted > measured * 0.5 && predicted < measured * 2.0
+}
+
+#[test]
+fn model_predicts_low_occupancy_latencies() {
+    let m = model();
+    let (w, r) = measure_latency(512, 5_000);
+    let pw = m.store_latency_us(16, 512, 5_000);
+    let pr = m.retrieve_latency_us(16, 512, 5_000);
+    assert!(within_2x(pw, w), "store: predicted {pw:.1}, measured {w:.1}");
+    assert!(within_2x(pr, r), "retrieve: predicted {pr:.1}, measured {r:.1}");
+}
+
+#[test]
+fn model_predicts_the_occupancy_cliff() {
+    let m = model();
+    let n_high = 400_000;
+    let (w_low, r_low) = measure_latency(512, 5_000);
+    let (w_high, r_high) = measure_latency(512, n_high);
+    let measured_w_deg = w_high / w_low;
+    let predicted_w_deg = m.write_degradation(16, 512, n_high);
+    assert!(
+        predicted_w_deg > measured_w_deg * 0.4 && predicted_w_deg < measured_w_deg * 2.5,
+        "write degradation: predicted {predicted_w_deg:.1}x, measured {measured_w_deg:.1}x"
+    );
+    // Reads degrade too, but far less — in both worlds.
+    let measured_r_deg = r_high / r_low;
+    let predicted_r_deg =
+        m.retrieve_latency_us(16, 512, n_high) / m.retrieve_latency_us(16, 512, 5_000);
+    assert!(measured_w_deg > measured_r_deg, "sim: writes degrade harder");
+    assert!(predicted_w_deg > predicted_r_deg, "model: writes degrade harder");
+}
+
+#[test]
+fn model_predicts_insert_bandwidth_within_2x() {
+    let m = model();
+    for value in [4096u32, 24 * 1024, 25 * 1024] {
+        let mut s = setup::kv_ssd();
+        let n = (400u64 << 20) / value as u64;
+        let f = run_phase(
+            &mut s,
+            &WorkloadSpec::new("fill", n, n)
+                .mix(OpMix::InsertOnly)
+                .value(ValueSize::Fixed(value))
+                .queue_depth(64),
+            SimTime::ZERO,
+        );
+        let measured = f.mean_mbps();
+        let predicted = m.write_bandwidth_mbps(16, value as u64);
+        assert!(
+            within_2x(predicted, measured),
+            "{value} B: predicted {predicted:.0} MB/s, measured {measured:.0} MB/s"
+        );
+    }
+}
+
+#[test]
+fn model_and_simulator_agree_on_the_fig5_dip() {
+    let m = model();
+    let dip_model = m.write_bandwidth_mbps(16, 25 * 1024) / m.write_bandwidth_mbps(16, 24 * 1024);
+    let measure = |value: u32| {
+        let mut s = setup::kv_ssd();
+        let n = (200u64 << 20) / value as u64;
+        run_phase(
+            &mut s,
+            &WorkloadSpec::new("fill", n, n)
+                .mix(OpMix::InsertOnly)
+                .value(ValueSize::Fixed(value))
+                .queue_depth(64),
+            SimTime::ZERO,
+        )
+        .mean_mbps()
+    };
+    let dip_sim = measure(25 * 1024) / measure(24 * 1024);
+    assert!(dip_model < 0.75 && dip_sim < 0.75, "both must dip (model {dip_model:.2}, sim {dip_sim:.2})");
+    assert!(
+        (dip_model - dip_sim).abs() < 0.25,
+        "dip depth should agree: model {dip_model:.2} vs sim {dip_sim:.2}"
+    );
+}

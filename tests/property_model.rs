@@ -1,0 +1,173 @@
+//! Property-based model checking: devices and stores against reference
+//! models under arbitrary operation sequences.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use kvssd_study::core::{KvConfig, KvSsd, Payload};
+use kvssd_study::flash::{FlashTiming, Geometry};
+use kvssd_study::host_stack::ExtFs;
+use kvssd_study::lsm_store::{LsmConfig, LsmStore};
+use kvssd_study::sim::SimTime;
+
+/// One step of a key-value workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Store(u8, u16),
+    Delete(u8),
+    Get(u8),
+    Exist(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u16..6000).prop_map(|(k, v)| Op::Store(k, v)),
+        any::<u8>().prop_map(Op::Delete),
+        any::<u8>().prop_map(Op::Get),
+        any::<u8>().prop_map(Op::Exist),
+    ]
+}
+
+fn key_of(k: u8) -> Vec<u8> {
+    format!("prop.key.{k:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The KV device agrees with a HashMap model on any op sequence —
+    /// through packing, padding, buffering, and GC.
+    #[test]
+    fn kvssd_matches_hashmap_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut dev = KvSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            KvConfig::small(),
+        );
+        let mut model: HashMap<Vec<u8>, (u16, u64)> = HashMap::new();
+        let mut t = SimTime::ZERO;
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Store(k, v) => {
+                    t = dev
+                        .store(t, &key_of(k), Payload::synthetic(v as u32, i as u64))
+                        .unwrap();
+                    model.insert(key_of(k), (v, i as u64));
+                }
+                Op::Delete(k) => {
+                    let (t2, existed) = dev.delete(t, &key_of(k)).unwrap();
+                    t = t2;
+                    prop_assert_eq!(existed, model.remove(&key_of(k)).is_some());
+                }
+                Op::Get(k) => {
+                    let l = dev.retrieve(t, &key_of(k)).unwrap();
+                    prop_assert!(l.at >= t);
+                    t = l.at;
+                    match model.get(&key_of(k)) {
+                        Some(&(v, tag)) => {
+                            prop_assert_eq!(l.value, Some(Payload::synthetic(v as u32, tag)));
+                        }
+                        None => prop_assert!(l.value.is_none()),
+                    }
+                }
+                Op::Exist(k) => {
+                    let (t2, found) = dev.exist(t, &key_of(k)).unwrap();
+                    t = t2;
+                    prop_assert_eq!(found, model.contains_key(&key_of(k)));
+                }
+            }
+        }
+        // Global accounting invariants hold at every end state.
+        let space = dev.space();
+        prop_assert_eq!(space.kvp_count, model.len() as u64);
+        let user: u64 = model
+            .iter()
+            .map(|(k, &(v, _))| k.len() as u64 + v as u64)
+            .sum();
+        prop_assert_eq!(space.user_bytes, user);
+        prop_assert!(space.allocated_bytes >= space.user_bytes || model.is_empty());
+        prop_assert!(space.allocated_bytes <= space.capacity_bytes);
+    }
+
+    /// The LSM store agrees with a HashMap model across flushes and
+    /// compactions.
+    #[test]
+    fn lsm_matches_hashmap_model(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let dev = kvssd_study::block_ftl::BlockSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            kvssd_study::block_ftl::BlockFtlConfig::pm983_like(),
+        );
+        let mut store = LsmStore::new(ExtFs::format(dev), LsmConfig::tiny());
+        let mut model: HashMap<Vec<u8>, (u16, u64)> = HashMap::new();
+        let mut t = SimTime::ZERO;
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Store(k, v) => {
+                    t = store.put(t, &key_of(k), Payload::synthetic(v as u32, i as u64));
+                    model.insert(key_of(k), (v, i as u64));
+                }
+                Op::Delete(k) => {
+                    t = store.delete(t, &key_of(k));
+                    model.remove(&key_of(k));
+                }
+                Op::Get(k) | Op::Exist(k) => {
+                    let (t2, got) = store.get(t, &key_of(k));
+                    t = t2;
+                    match model.get(&key_of(k)) {
+                        Some(&(v, tag)) => {
+                            prop_assert_eq!(got, Some(Payload::synthetic(v as u32, tag)));
+                        }
+                        None => prop_assert!(got.is_none()),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(store.len(), model.len() as u64);
+    }
+
+    /// Virtual time is monotone and every store is readable immediately
+    /// after its completion, for any interleaving.
+    #[test]
+    fn kvssd_time_is_monotone(seed in 0u64..1_000, n in 1usize..80) {
+        let mut dev = KvSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            KvConfig::small(),
+        );
+        let mut rng = kvssd_study::sim::DeterministicRng::seed_from(seed);
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            let k = key_of(rng.below(64) as u8);
+            let before = t;
+            t = dev.store(t, &k, Payload::synthetic(rng.below(4096) as u32, i as u64)).unwrap();
+            prop_assert!(t >= before, "store completion moved backwards");
+            let l = dev.retrieve(t, &k).unwrap();
+            prop_assert!(l.value.is_some(), "read-your-write failed");
+            prop_assert!(l.at >= t);
+            t = l.at;
+        }
+    }
+
+    /// Blob layout planning conserves bytes and respects page budgets for
+    /// arbitrary shapes.
+    #[test]
+    fn blob_layout_invariants(key_len in 4usize..=255, value_len in 0u64..2_097_152) {
+        let cfg = KvConfig::pm983_scaled();
+        let l = kvssd_study::core::blob::BlobLayout::plan(&cfg, key_len, value_len);
+        prop_assert_eq!(l.user_bytes, key_len as u64 + value_len);
+        prop_assert!(l.allocated_bytes() >= l.user_bytes);
+        for (&a, &r) in l.segment_alloc.iter().zip(&l.segment_raw) {
+            prop_assert!(a >= r);
+            prop_assert!(r <= cfg.page_payload_bytes);
+            prop_assert!(a >= cfg.alloc_unit || l.segments() == 1);
+        }
+        // Raw bytes across segments carry the value exactly once.
+        let raw: u64 = l.segment_raw.iter().map(|&r| r as u64).sum();
+        let overhead = cfg.meta_bytes as u64
+            + key_len as u64
+            + (l.segments() as u64 - 1) * cfg.seg_header_bytes as u64;
+        prop_assert_eq!(raw, value_len + overhead);
+    }
+}
