@@ -6,13 +6,34 @@ fn main() {
     let scale = Scale::from_env();
     let only = std::env::args().nth(1);
     let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
-    if want("fig2") { experiments::fig2::report(scale); }
-    if want("fig3") { experiments::fig3::report(scale); }
-    if want("fig4") { experiments::fig4::report(scale); }
-    if want("fig5") { experiments::fig5::report(scale); }
-    if want("fig6") { experiments::fig6::report(scale); }
-    if want("fig7") { experiments::fig7::report(scale); }
-    if want("fig8") { experiments::fig8::report(scale); }
-    if want("headline") { experiments::headline::report(scale); }
-    if want("ablations") { experiments::ablations::report(scale); }
+    if want("fig2") {
+        experiments::fig2::report(scale);
+    }
+    if want("fig3") {
+        experiments::fig3::report(scale);
+    }
+    if want("fig4") {
+        experiments::fig4::report(scale);
+    }
+    if want("fig5") {
+        experiments::fig5::report(scale);
+    }
+    if want("fig6") {
+        experiments::fig6::report(scale);
+    }
+    if want("fig7") {
+        experiments::fig7::report(scale);
+    }
+    if want("fig8") {
+        experiments::fig8::report(scale);
+    }
+    if want("headline") {
+        experiments::headline::report(scale);
+    }
+    if want("ablations") {
+        experiments::ablations::report(scale);
+    }
+    if want("scaleout") {
+        experiments::scaleout::report(scale);
+    }
 }

@@ -146,8 +146,16 @@ pub fn report(scale: Scale) -> AblationResult {
     let r = run(scale);
     println!("\n=== Ablations ===");
     let mut t = Table::new(&["ablation", "config", "measured"]);
-    t.row(&["bloom filters", "on", &format!("{:.2} us / miss", r.miss_with_bloom_us)]);
-    t.row(&["bloom filters", "off", &format!("{:.2} us / miss", r.miss_without_bloom_us)]);
+    t.row(&[
+        "bloom filters",
+        "on",
+        &format!("{:.2} us / miss", r.miss_with_bloom_us),
+    ]);
+    t.row(&[
+        "bloom filters",
+        "off",
+        &format!("{:.2} us / miss", r.miss_without_bloom_us),
+    ]);
     for (unit, amp) in &r.alloc_amp {
         t.row(&[
             "alloc unit @50B values",
@@ -167,8 +175,16 @@ pub fn report(scale: Scale) -> AblationResult {
         "1KiB alloc unit",
         &format!("{:.1}x space amp", r.facebook_amp),
     ]);
-    t.row(&["command set @128B keys", "stock", &format!("{:.1} Kops/s", r.largekey_stock_kops)]);
-    t.row(&["command set @128B keys", "compound x8", &format!("{:.1} Kops/s", r.largekey_compound_kops)]);
+    t.row(&[
+        "command set @128B keys",
+        "stock",
+        &format!("{:.1} Kops/s", r.largekey_stock_kops),
+    ]);
+    t.row(&[
+        "command set @128B keys",
+        "compound x8",
+        &format!("{:.1} Kops/s", r.largekey_compound_kops),
+    ]);
     println!("{t}");
     println!(
         "bloom speedup on misses: {:.2}x; compound-command gain @128B keys: {:.2}x",

@@ -148,7 +148,12 @@ pub fn report(scale: Scale) -> Fig2Result {
     println!("\n=== Fig. 2: end-to-end latency, 16 B keys / 4 KiB values (QD 8) ===");
     for op in ["insert", "update", "read"] {
         let mut t = Table::new(&[
-            "op", "system", "Seq mean(us)", "Rand mean(us)", "Zipf mean(us)", "Rand p99(us)",
+            "op",
+            "system",
+            "Seq mean(us)",
+            "Rand mean(us)",
+            "Zipf mean(us)",
+            "Rand p99(us)",
             "Rand CPU(cores)",
         ]);
         for system in ["KV-SSD", "RocksDB", "Aerospike"] {

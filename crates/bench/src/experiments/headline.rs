@@ -86,11 +86,13 @@ pub fn run(scale: Scale) -> HeadlineResult {
     if std::env::var("KVSSD_DEBUG").is_ok() {
         eprintln!(
             "DEBUG seq/rand: rw={} sw={} rr={} sr={}",
-            rw.writes.mean(), sw.writes.mean(), rr.reads.mean(), sr.reads.mean()
+            rw.writes.mean(),
+            sw.writes.mean(),
+            rr.reads.mean(),
+            sr.reads.mean()
         );
     }
-    out.block_seq_write_ratio =
-        sw.writes.mean().as_micros_f64() / rw.writes.mean().as_micros_f64();
+    out.block_seq_write_ratio = sw.writes.mean().as_micros_f64() / rw.writes.mean().as_micros_f64();
     out.block_seq_read_ratio = sr.reads.mean().as_micros_f64() / rr.reads.mean().as_micros_f64();
 
     // "As low as" bandwidth ratios: the paper's worst cases come from
@@ -179,16 +181,56 @@ pub fn report(scale: Scale) -> HeadlineResult {
     let r = run(scale);
     println!("\n=== Headline ratios (Sec. I) — 4 KiB random direct I/O ===");
     let mut t = Table::new(&["metric", "measured", "paper"]);
-    t.row(&["KV/blk write latency (QD1)", &format!("{:.2}x", r.write_latency_ratio), "up to 2.63x"]);
-    t.row(&["KV/blk read latency (QD1)", &format!("{:.2}x", r.read_latency_ratio), "up to 8.1x (1.7x typical)"]);
-    t.row(&["KV/blk write bandwidth (QD32)", &format!("{:.2}x", r.write_bw_ratio), "as low as 0.22x"]);
-    t.row(&["KV/blk read bandwidth (QD32)", &format!("{:.2}x", r.read_bw_ratio), "as low as 0.44x"]);
-    t.row(&["RocksDB/KV host CPU", &format!("{:.2}x", r.cpu_ratio_rocksdb), "~13x"]);
-    t.row(&["Aerospike/KV host CPU", &format!("{:.2}x", r.cpu_ratio_aerospike), "smaller than RocksDB's"]);
-    t.row(&["blk seq/rand read latency", &f2(r.block_seq_read_ratio), "<= 0.8x"]);
-    t.row(&["blk seq/rand write latency", &f2(r.block_seq_write_ratio), "<= 0.6x"]);
-    t.row(&["KV/blk write BW, worst (25KiB)", &format!("{:.2}x", r.worst_write_bw_ratio), "as low as 0.22x"]);
-    t.row(&["KV/blk read BW, worst (64KiB)", &format!("{:.2}x", r.worst_read_bw_ratio), "as low as 0.44x"]);
+    t.row(&[
+        "KV/blk write latency (QD1)",
+        &format!("{:.2}x", r.write_latency_ratio),
+        "up to 2.63x",
+    ]);
+    t.row(&[
+        "KV/blk read latency (QD1)",
+        &format!("{:.2}x", r.read_latency_ratio),
+        "up to 8.1x (1.7x typical)",
+    ]);
+    t.row(&[
+        "KV/blk write bandwidth (QD32)",
+        &format!("{:.2}x", r.write_bw_ratio),
+        "as low as 0.22x",
+    ]);
+    t.row(&[
+        "KV/blk read bandwidth (QD32)",
+        &format!("{:.2}x", r.read_bw_ratio),
+        "as low as 0.44x",
+    ]);
+    t.row(&[
+        "RocksDB/KV host CPU",
+        &format!("{:.2}x", r.cpu_ratio_rocksdb),
+        "~13x",
+    ]);
+    t.row(&[
+        "Aerospike/KV host CPU",
+        &format!("{:.2}x", r.cpu_ratio_aerospike),
+        "smaller than RocksDB's",
+    ]);
+    t.row(&[
+        "blk seq/rand read latency",
+        &f2(r.block_seq_read_ratio),
+        "<= 0.8x",
+    ]);
+    t.row(&[
+        "blk seq/rand write latency",
+        &f2(r.block_seq_write_ratio),
+        "<= 0.6x",
+    ]);
+    t.row(&[
+        "KV/blk write BW, worst (25KiB)",
+        &format!("{:.2}x", r.worst_write_bw_ratio),
+        "as low as 0.22x",
+    ]);
+    t.row(&[
+        "KV/blk read BW, worst (64KiB)",
+        &format!("{:.2}x", r.worst_read_bw_ratio),
+        "as low as 0.44x",
+    ]);
     println!("{t}");
     r
 }

@@ -13,8 +13,11 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod headline;
+pub mod scaleout;
 
-use kvssd_kvbench::{run_phase, AccessPattern, KvStore, OpMix, RunMetrics, ValueSize, WorkloadSpec};
+use kvssd_kvbench::{
+    run_phase, AccessPattern, KvStore, OpMix, RunMetrics, ValueSize, WorkloadSpec,
+};
 use kvssd_sim::SimTime;
 
 /// Fills a store with `n` sequential-order keys of `value_bytes` values

@@ -5,11 +5,12 @@
 //! in firmware/stack — the paper's methodology.
 
 use kvssd_block_ftl::{BlockFtlConfig, BlockSsd};
+use kvssd_cluster::{ClusterConfig, KvCluster};
 use kvssd_core::{KvConfig, KvSsd};
 use kvssd_flash::{FlashTiming, Geometry};
 use kvssd_hash_store::{HashStore, HashStoreConfig};
 use kvssd_host_stack::ExtFs;
-use kvssd_kvbench::{HashKvStore, KvSsdStore, LsmKvStore, RawBlockStore};
+use kvssd_kvbench::{ClusterStore, HashKvStore, KvSsdStore, LsmKvStore, RawBlockStore};
 use kvssd_lsm_store::{LsmConfig, LsmStore};
 
 /// The shared hardware: scaled PM983 geometry.
@@ -69,9 +70,37 @@ pub fn rocksdb_small_host() -> LsmKvStore {
     ))
 }
 
+/// A KV-SSD cluster of `shards` scaled-PM983 devices behind the default
+/// pass-through submission queues (1 shard == the single-device setup).
+pub fn kv_cluster(shards: usize, seed: u64) -> ClusterStore {
+    kv_cluster_with(shards, seed, kv_config_macro())
+}
+
+/// A KV-SSD cluster with a custom per-device configuration.
+pub fn kv_cluster_with(shards: usize, seed: u64, config: KvConfig) -> ClusterStore {
+    ClusterStore::new(KvCluster::new(ClusterConfig::new(shards, seed), |_| {
+        KvSsd::new(geometry(), timing(), config)
+    }))
+}
+
+/// A KV-SSD cluster of unit-test-geometry devices, for Tiny-scale runs
+/// where occupancy (not absolute size) drives the mechanism.
+pub fn kv_cluster_small(shards: usize, seed: u64) -> ClusterStore {
+    ClusterStore::new(KvCluster::new(ClusterConfig::new(shards, seed), |_| {
+        KvSsd::new(
+            Geometry::small(),
+            FlashTiming::pm983_like(),
+            KvConfig::small(),
+        )
+    }))
+}
+
 /// Aerospike-like store with direct device I/O.
 pub fn aerospike() -> HashKvStore {
-    HashKvStore::new(HashStore::new(block_ssd(), HashStoreConfig::aerospike_like()))
+    HashKvStore::new(HashStore::new(
+        block_ssd(),
+        HashStoreConfig::aerospike_like(),
+    ))
 }
 
 #[cfg(test)]

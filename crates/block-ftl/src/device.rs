@@ -170,8 +170,7 @@ impl BlockSsd {
             .min((blocks / 16).max(1))
             .min(config.gc_soft_free_blocks - 1);
         let cpp = config.clusters_per_page(g.page_bytes);
-        let total_clusters =
-            g.total_blocks() as u64 * g.pages_per_block as u64 * cpp as u64;
+        let total_clusters = g.total_blocks() as u64 * g.pages_per_block as u64 * cpp as u64;
         let logical_clusters = total_clusters * (100 - config.overprovision_pct as u64) / 100;
         let mut free = vec![VecDeque::new(); (g.dies() * g.planes_per_die) as usize];
         for die in 0..g.dies() {
@@ -262,8 +261,8 @@ impl BlockSsd {
         // Full-page-sized writes need no coalescing: the FTL programs
         // them directly at full stripe parallelism even at random
         // offsets. Smaller random writes pay the reorganization path.
-        let sequential = self.is_sequential(offset, len)
-            || len >= self.flash.geometry().page_bytes as u64;
+        let sequential =
+            self.is_sequential(offset, len) || len >= self.flash.geometry().page_bytes as u64;
         let clusters: Vec<_> = self.clusters_of(offset, len).collect();
         for &(lcn, _, bytes) in &clusters {
             t = self.write_cluster(t, lcn, bytes, sequential);
@@ -273,7 +272,9 @@ impl BlockSsd {
         // Large writes consume many clusters at once, so the background
         // effort scales with the write size.
         if self.free_blocks() < self.config.gc_soft_free_blocks {
-            let cpp = self.config.clusters_per_page(self.flash.geometry().page_bytes) as usize;
+            let cpp = self
+                .config
+                .clusters_per_page(self.flash.geometry().page_bytes) as usize;
             for _ in 0..(1 + clusters.len() / cpp) {
                 self.background_gc_step(t);
             }
@@ -461,7 +462,9 @@ impl BlockSsd {
 
     fn admit(&mut self, now: SimTime, lcn: u32, which: WhichStream) {
         self.ensure_stream_open(now, which);
-        let cpp = self.config.clusters_per_page(self.flash.geometry().page_bytes) as usize;
+        let cpp = self
+            .config
+            .clusters_per_page(self.flash.geometry().page_bytes) as usize;
         let (stream, target_pending) = match which {
             WhichStream::Seq => {
                 let n = self.seq.blocks.len().max(1);
@@ -485,7 +488,8 @@ impl BlockSsd {
         stream.pending.push((lcn, now));
         self.map.update(lcn, loc);
         self.buffer_unassigned += 1;
-        self.buffer_resident.insert(lcn, SimTime::from_nanos(u64::MAX));
+        self.buffer_resident
+            .insert(lcn, SimTime::from_nanos(u64::MAX));
         let full = stream.pending.len() >= target_pending;
         let first = stream.first_arrival;
         let timed_out = now.saturating_since(first) >= self.config.partial_flush_timeout;
@@ -500,11 +504,8 @@ impl BlockSsd {
     /// whole OP margin in open stripes cannot absorb overwrite churn.
     fn unit_target(&self, which: WhichStream) -> usize {
         let g = self.flash.geometry();
-        let budget_blocks = (g.total_blocks() as usize
-            * self.config.overprovision_pct as usize
-            / 100
-            / 4)
-        .max(1);
+        let budget_blocks =
+            (g.total_blocks() as usize * self.config.overprovision_pct as usize / 100 / 4).max(1);
         match which {
             WhichStream::Seq => (g.dies() as usize).min((budget_blocks / 2).max(1)),
             // Random data is held and reorganized before programming;
@@ -548,7 +549,11 @@ impl BlockSsd {
             }
             dev.alloc_block(now).map(|b| vec![b])
         }
-        let unit = if grow { fresh_unit(self, now, want_pair) } else { None };
+        let unit = if grow {
+            fresh_unit(self, now, want_pair)
+        } else {
+            None
+        };
         let (blocks, next_page) = match unit {
             Some(blocks) => {
                 for &b in &blocks {
@@ -587,9 +592,7 @@ impl BlockSsd {
                             let ppb = g.pages_per_block;
                             for w in others.into_iter().filter(|&w| w != which) {
                                 let s = self.stream_mut(w);
-                                if !s.blocks.is_empty()
-                                    && s.pending.is_empty()
-                                    && s.next_page < ppb
+                                if !s.blocks.is_empty() && s.pending.is_empty() && s.next_page < ppb
                                 {
                                     let unit = (std::mem::take(&mut s.blocks), s.next_page);
                                     s.next_page = 0;
@@ -660,7 +663,9 @@ impl BlockSsd {
         which: WhichStream,
         partial: bool,
     ) -> Option<SimTime> {
-        let cpp = self.config.clusters_per_page(self.flash.geometry().page_bytes) as usize;
+        let cpp = self
+            .config
+            .clusters_per_page(self.flash.geometry().page_bytes) as usize;
         let (pending, blocks, next_page, first_arrival) = {
             let s = self.stream_mut(which);
             if s.pending.is_empty() {
@@ -946,7 +951,8 @@ impl BlockSsd {
         let min_gain = if self.in_fg_gc {
             1
         } else {
-            self.config.clusters_per_page(self.flash.geometry().page_bytes)
+            self.config
+                .clusters_per_page(self.flash.geometry().page_bytes)
         };
         if self.gc_victim.is_none() && !self.select_victim(min_gain) {
             return false;
@@ -1008,7 +1014,9 @@ impl BlockSsd {
     /// least a page's worth of dead clusters) — copying fully valid
     /// blocks around is pure write amplification.
     fn select_victim(&mut self, min_gain: u32) -> bool {
-        let cpp = self.config.clusters_per_page(self.flash.geometry().page_bytes);
+        let cpp = self
+            .config
+            .clusters_per_page(self.flash.geometry().page_bytes);
         let slots = self.flash.geometry().pages_per_block * cpp;
         let mut best: Option<(u32, BlockId)> = None;
         for b in 0..self.state.len() {
@@ -1229,10 +1237,7 @@ mod tests {
         // partially valid, forcing copy work.
         let mut idx = 1u64;
         for _ in 0..clusters * 2 {
-            idx = idx
-                .wrapping_mul(2_862_933_555_777_941_757)
-                .wrapping_add(3)
-                % clusters;
+            idx = idx.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(3) % clusters;
             t = d.write(t, idx * 4096, 4096).unwrap();
         }
         assert!(
@@ -1294,12 +1299,18 @@ mod tests {
         let clusters = cap / 4096;
         let mut idx = 7u64;
         for _ in 0..1_500 {
-            idx = (idx.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)) % clusters;
+            idx = (idx
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407))
+                % clusters;
             let done = d.write(t, idx * 4096, 4096).unwrap();
             worst = worst.max(done.since(t));
             t += SimDuration::from_nanos(100); // near-open-loop arrivals
         }
-        assert!(d.stats().stall_time > SimDuration::ZERO, "no stalls recorded");
+        assert!(
+            d.stats().stall_time > SimDuration::ZERO,
+            "no stalls recorded"
+        );
         assert!(worst > SimDuration::from_micros(300), "worst {worst}");
     }
 

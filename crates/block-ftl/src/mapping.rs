@@ -37,10 +37,7 @@ impl MappingTable {
         MappingTable {
             clusters_per_page,
             forward: vec![None; logical_clusters as usize],
-            reverse: vec![
-                vec![None; slots_per_block as usize];
-                geometry.total_blocks() as usize
-            ],
+            reverse: vec![vec![None; slots_per_block as usize]; geometry.total_blocks() as usize],
             valid: vec![0; geometry.total_blocks() as usize],
         }
     }

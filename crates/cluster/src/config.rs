@@ -1,0 +1,58 @@
+//! Cluster shape and placement parameters.
+
+use kvssd_nvme::SqConfig;
+use kvssd_sim::SimDuration;
+
+/// How a [`crate::KvCluster`] routes, queues, and measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Initial shard (device) count.
+    pub shards: usize,
+    /// Virtual nodes per shard on the hash ring. More vnodes flatten the
+    /// per-shard key-share spread at the cost of a bigger ring.
+    pub vnodes_per_shard: usize,
+    /// Seed for ring point placement (deterministic from the workload
+    /// seed so runs are reproducible end to end).
+    pub seed: u64,
+    /// Per-shard NVMe submission queue shape. The pass-through default
+    /// keeps a 1-shard cluster bit-identical to a bare device.
+    pub sq: SqConfig,
+    /// Window for the per-shard and aggregate bandwidth series.
+    pub bandwidth_window: SimDuration,
+}
+
+impl ClusterConfig {
+    /// `shards` devices with placement seed `seed`, everything else
+    /// default.
+    pub fn new(shards: usize, seed: u64) -> Self {
+        ClusterConfig {
+            shards,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the per-shard submission-queue shape.
+    pub fn sq(mut self, sq: SqConfig) -> Self {
+        self.sq = sq;
+        self
+    }
+
+    /// Sets the bandwidth-series window.
+    pub fn window(mut self, window: SimDuration) -> Self {
+        self.bandwidth_window = window;
+        self
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 1,
+            vnodes_per_shard: 64,
+            seed: 0,
+            sq: SqConfig::passthrough(),
+            bandwidth_window: SimDuration::from_millis(10),
+        }
+    }
+}

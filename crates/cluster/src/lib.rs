@@ -1,0 +1,48 @@
+//! Sharded multi-device scale-out layer for the KV-SSD study.
+//!
+//! The paper characterizes one PM983; production deployments of
+//! hash-partitioned stores (the Aerospike shape) spread keys over many
+//! devices. This crate is the host-side shard router that lets every
+//! experiment in the repo run at cluster scale:
+//!
+//! * [`HashRing`] — consistent-hash key→shard placement with virtual
+//!   nodes, deterministic from a seed, with exact moved-fraction
+//!   accounting when shards join or leave,
+//! * [`KvCluster`] — N independent [`kvssd_core::KvSsd`] devices sharing
+//!   one virtual clock, each behind its own NVMe submission queue
+//!   ([`kvssd_nvme::SubmissionQueue`]), with fan-out/fan-in completion
+//!   handling ([`kvssd_sim::FanIn`]) so concurrent operations on
+//!   different shards overlap in virtual time,
+//! * cluster-level metrics: merged latency histograms plus per-shard and
+//!   aggregate bandwidth series, and a byte-stable [`ClusterReport`]
+//!   table for determinism checks.
+//!
+//! A 1-shard cluster behind the default pass-through submission queue is
+//! *bit-identical* to a bare device: same seed, same virtual-time
+//! results. That degenerate-equivalence property is what anchors the
+//! scale-out numbers to the single-device reproduction.
+//!
+//! # Example
+//!
+//! ```
+//! use kvssd_cluster::{ClusterConfig, KvCluster};
+//! use kvssd_core::Payload;
+//! use kvssd_sim::SimTime;
+//!
+//! let mut cluster = KvCluster::for_test(4);
+//! let t = cluster
+//!     .store(SimTime::ZERO, b"user:42", Payload::synthetic(512, 7))
+//!     .unwrap();
+//! let l = cluster.retrieve(t, b"user:42").unwrap();
+//! assert!(l.value.is_some());
+//! assert_eq!(cluster.len(), 1);
+//! # let _ = ClusterConfig::default();
+//! ```
+
+pub mod cluster;
+pub mod config;
+pub mod ring;
+
+pub use cluster::{ClusterReport, ClusterStats, KvCluster, RebalanceReport, Shard};
+pub use config::ClusterConfig;
+pub use ring::{HashRing, RingDelta};

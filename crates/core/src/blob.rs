@@ -173,9 +173,8 @@ mod tests {
         assert!(l.segments() > 80 && l.segments() < 90, "{}", l.segments());
         // Conservation: raw segments carry all the value bytes once.
         let raw: u64 = l.segment_raw.iter().map(|&r| r as u64).sum();
-        let overhead = c.meta_bytes as u64
-            + 255
-            + (l.segments() as u64 - 1) * c.seg_header_bytes as u64;
+        let overhead =
+            c.meta_bytes as u64 + 255 + (l.segments() as u64 - 1) * c.seg_header_bytes as u64;
         assert_eq!(raw, c.value_max + overhead);
     }
 

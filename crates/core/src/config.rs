@@ -177,8 +177,7 @@ impl KvConfig {
         assert!(self.index_managers >= 1);
         assert!(self.local_index_entries >= 1);
         assert!(
-            self.page_payload_bytes as u64
-                >= self.meta_bytes as u64 + self.key_max as u64 + 1024,
+            self.page_payload_bytes as u64 >= self.meta_bytes as u64 + self.key_max as u64 + 1024,
             "page payload must fit metadata, a max key, and some value"
         );
     }

@@ -188,8 +188,9 @@ impl KvSsd {
         let die_planes = (g.dies() * g.planes_per_die) as usize;
         // Reserve the index region: the first k blocks of every
         // die-plane, so index traffic spreads across dies.
-        let per_dp_reserve =
-            (g.blocks_per_plane * config.index_reserve_pct).div_ceil(100).max(1);
+        let per_dp_reserve = (g.blocks_per_plane * config.index_reserve_pct)
+            .div_ceil(100)
+            .max(1);
         let mut free = vec![VecDeque::new(); die_planes];
         let mut state = vec![BState::Free; g.total_blocks() as usize];
         let mut reserved = Vec::new();
@@ -208,12 +209,9 @@ impl KvSsd {
             }
         }
         let data_blocks = g.total_blocks() as u64 - reserved.len() as u64;
-        let raw_data = data_blocks
-            * g.pages_per_block as u64
-            * config.page_payload_bytes as u64;
+        let raw_data = data_blocks * g.pages_per_block as u64 * config.page_payload_bytes as u64;
         let data_capacity = raw_data * (100 - config.overprovision_pct as u64) / 100;
-        let expected_keys_per_manager =
-            (config.max_kvps / config.index_managers as u64).max(1024);
+        let expected_keys_per_manager = (config.max_kvps / config.index_managers as u64).max(1024);
         KvSsd {
             managers: vec![Resource::new(); config.index_managers],
             local_batches: vec![Vec::new(); config.index_managers],
@@ -221,11 +219,7 @@ impl KvSsd {
                 .map(|_| BloomFilter::new(expected_keys_per_manager, config.bloom_bits_per_key))
                 .collect(),
             index: GlobalStore::new(),
-            itiming: IndexTiming::new(
-                config.index_entry_bytes,
-                config.index_dram_bytes,
-                reserved,
-            ),
+            itiming: IndexTiming::new(config.index_entry_bytes, config.index_dram_bytes, reserved),
             iters: IterBuckets::new(config.iterator_buckets),
             valid_bytes: vec![0; g.total_blocks() as usize],
             refs: vec![Vec::new(); g.total_blocks() as usize],
@@ -302,12 +296,7 @@ impl KvSsd {
     }
 
     /// Stores a key-value pair; returns the host-visible completion time.
-    pub fn store(
-        &mut self,
-        now: SimTime,
-        key: &[u8],
-        value: Payload,
-    ) -> Result<SimTime, KvError> {
+    pub fn store(&mut self, now: SimTime, key: &[u8], value: Payload) -> Result<SimTime, KvError> {
         self.check_key(key)?;
         let vlen = value.len();
         if vlen > self.config.value_max {
@@ -329,9 +318,8 @@ impl KvSsd {
             .get(h, fp)
             .map(IndexEntry::allocated_bytes)
             .unwrap_or(0);
-        let projected = |d: &Self| {
-            d.allocated_bytes - old_alloc + layout.allocated_bytes() + d.waste_bytes
-        };
+        let projected =
+            |d: &Self| d.allocated_bytes - old_alloc + layout.allocated_bytes() + d.waste_bytes;
         if projected(self) > self.data_capacity {
             // Much of the projection may be reclaimable page-tail waste;
             // give the collector one synchronous chance before failing.
@@ -470,15 +458,15 @@ impl KvSsd {
             let entries = self.index.len();
             let merged = self.itiming.merge(t, &batch, entries, &mut self.flash);
             self.stats.merges += 1;
-            t = self.managers[m].acquire_after(t, merged, SimDuration::ZERO).end;
+            t = self.managers[m]
+                .acquire_after(t, merged, SimDuration::ZERO)
+                .end;
         }
 
         // 8. Background GC band.
-        let soft_pages = self.config.gc_soft_free_blocks as u64
-            * self.flash.geometry().pages_per_block as u64;
-        if self.free_blocks() < self.config.gc_soft_free_blocks
-            || self.free_pages() < soft_pages
-        {
+        let soft_pages =
+            self.config.gc_soft_free_blocks as u64 * self.flash.geometry().pages_per_block as u64;
+        if self.free_blocks() < self.config.gc_soft_free_blocks || self.free_pages() < soft_pages {
             for _ in 0..self.config.gc_copies_per_store {
                 if !self.gc_copy_one(t) {
                     break;
@@ -594,7 +582,10 @@ impl KvSsd {
     pub fn iter_open(&mut self, now: SimTime, prefix: [u8; 4]) -> (SimTime, u64) {
         let t = self.link.submit(now, 1, 4);
         let handle = self.iters.open(prefix);
-        (self.link.complete(t + SimDuration::from_micros(5), 0), handle)
+        (
+            self.link.complete(t + SimDuration::from_micros(5), 0),
+            handle,
+        )
     }
 
     /// Fetches up to `n` keys from an open iterator.
@@ -649,8 +640,7 @@ impl KvSsd {
         let entries = self.index.len();
         let resident = self.itiming.resident_fraction(entries);
         if resident < 1.0 {
-            let flash_bytes =
-                (self.itiming.index_bytes(entries) as f64 * (1.0 - resident)) as u64;
+            let flash_bytes = (self.itiming.index_bytes(entries) as f64 * (1.0 - resident)) as u64;
             let pages = flash_bytes.div_ceil(self.flash.geometry().page_bytes as u64);
             // Mount reads stream across the reserved region; charge an
             // aggregate sequential read (channel-limited).
@@ -1033,7 +1023,9 @@ impl KvSsd {
         let budget = (self.data_blocks as usize / 4).max(1);
         let target = match kind {
             StreamKind::Data => die_planes.min(budget),
-            StreamKind::Gc => die_planes.min(8).min((self.data_blocks as usize / 8).max(1)),
+            StreamKind::Gc => die_planes
+                .min(8)
+                .min((self.data_blocks as usize / 8).max(1)),
         };
         let need_alloc = {
             let s = self.stream(kind);
@@ -1091,8 +1083,7 @@ impl KvSsd {
 
     /// Pages below which the device is considered at its hard watermark.
     fn hard_watermark_pages(&self) -> u64 {
-        (self.config.gc_hard_free_blocks as u64 + 1)
-            * self.flash.geometry().pages_per_block as u64
+        (self.config.gc_hard_free_blocks as u64 + 1) * self.flash.geometry().pages_per_block as u64
     }
 
     /// Synchronous GC: reclaim until the hard watermark clears, or until
@@ -1108,8 +1099,7 @@ impl KvSsd {
         let mut futile = 0u32;
         // Hysteresis: reclaim past the trigger so back-to-back writes do
         // not re-enter foreground GC immediately.
-        let target = self.hard_watermark_pages()
-            + 2 * self.flash.geometry().pages_per_block as u64;
+        let target = self.hard_watermark_pages() + 2 * self.flash.geometry().pages_per_block as u64;
         while self.free_pages() <= target && futile < 2 {
             // Zero-copy wins first: erase fully dead closed blocks.
             t = self.erase_dead_blocks(t);
@@ -1175,8 +1165,7 @@ impl KvSsd {
         // Restore the in-progress victim only if this sweep did not just
         // erase it — a stale victim handle would later erase whatever
         // block reuses that id.
-        self.gc_victim =
-            sticky.filter(|v| self.state[v.0 as usize] == BState::Closed);
+        self.gc_victim = sticky.filter(|v| self.state[v.0 as usize] == BState::Closed);
         t
     }
 
@@ -1387,7 +1376,11 @@ mod tests {
     fn store_then_retrieve_round_trips() {
         let mut d = dev();
         let t = d
-            .store(SimTime::ZERO, b"hello-key", Payload::from_bytes(vec![7; 100]))
+            .store(
+                SimTime::ZERO,
+                b"hello-key",
+                Payload::from_bytes(vec![7; 100]),
+            )
             .unwrap();
         let got = d.retrieve(t, b"hello-key").unwrap();
         assert_eq!(got.value.unwrap().as_bytes().unwrap(), &[7u8; 100][..]);
@@ -1478,8 +1471,12 @@ mod tests {
     #[test]
     fn space_accounting_tracks_padding() {
         let mut d = dev();
-        d.store(SimTime::ZERO, b"tiny-key-0000000", Payload::synthetic(50, 0))
-            .unwrap();
+        d.store(
+            SimTime::ZERO,
+            b"tiny-key-0000000",
+            Payload::synthetic(50, 0),
+        )
+        .unwrap();
         let s = d.space();
         assert_eq!(s.user_bytes, 16 + 50);
         assert_eq!(s.allocated_bytes, 1024);
@@ -1524,20 +1521,19 @@ mod tests {
         let mut t = SimTime::ZERO;
         for i in 0..10u32 {
             t = d
-                .store(t, format!("user{i:04}").as_bytes(), Payload::synthetic(8, 0))
+                .store(
+                    t,
+                    format!("user{i:04}").as_bytes(),
+                    Payload::synthetic(8, 0),
+                )
                 .unwrap();
         }
-        t = d
-            .store(t, b"sess0001", Payload::synthetic(8, 0))
-            .unwrap();
+        t = d.store(t, b"sess0001", Payload::synthetic(8, 0)).unwrap();
         let (t, h) = d.iter_open(t, *b"user");
         let (t, keys) = d.iter_next(t, h, 100).unwrap();
         assert_eq!(keys.len(), 10);
         d.iter_close(t, h).unwrap();
-        assert!(matches!(
-            d.iter_next(t, h, 1),
-            Err(KvError::BadIterator)
-        ));
+        assert!(matches!(d.iter_next(t, h, 1), Err(KvError::BadIterator)));
     }
 
     #[test]
@@ -1642,9 +1638,7 @@ mod tests {
         let t = d
             .store(SimTime::ZERO, b"key-a-01", Payload::synthetic(1, 1))
             .unwrap();
-        let t = d
-            .store(t, b"key-b-02", Payload::synthetic(2, 2))
-            .unwrap();
+        let t = d.store(t, b"key-b-02", Payload::synthetic(2, 2)).unwrap();
         assert_eq!(d.len(), 2);
         assert_eq!(d.retrieve(t, b"key-a-01").unwrap().value.unwrap().len(), 1);
         assert_eq!(d.retrieve(t, b"key-b-02").unwrap().value.unwrap().len(), 2);
@@ -1710,7 +1704,11 @@ mod gc_probe {
         let mut t = SimTime::ZERO;
         for i in 0..n {
             t = d
-                .store(t, format!("key{i:013}").as_bytes(), Payload::synthetic(vsize, 0))
+                .store(
+                    t,
+                    format!("key{i:013}").as_bytes(),
+                    Payload::synthetic(vsize, 0),
+                )
                 .unwrap();
         }
         println!(
@@ -1718,13 +1716,23 @@ mod gc_probe {
             d.allocated_bytes, d.waste_bytes, cap, d.free_blocks(), d.free_pages(),
             d.flash.stats().programs, d.stats.gc_erases, d.stats.gc_copied_segments
         );
-        let mut w: Vec<(usize, u64)> = d.waste_per_block.iter().cloned().enumerate().filter(|&(_, v)| v > 0).collect();
+        let mut w: Vec<(usize, u64)> = d
+            .waste_per_block
+            .iter()
+            .cloned()
+            .enumerate()
+            .filter(|&(_, v)| v > 0)
+            .collect();
         w.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
         println!("top waste blocks: {:?}", &w[..w.len().min(8)]);
         let mut idx = 1u64;
         for j in 0..n * 2 {
             idx = idx.wrapping_mul(6364136223846793005).wrapping_add(1) % n;
-            match d.store(t, format!("key{idx:013}").as_bytes(), Payload::synthetic(vsize, 0)) {
+            match d.store(
+                t,
+                format!("key{idx:013}").as_bytes(),
+                Payload::synthetic(vsize, 0),
+            ) {
                 Ok(d2) => t = d2,
                 Err(e) => {
                     println!(
@@ -1752,7 +1760,10 @@ mod gc_probe {
                 }
             }
         }
-        println!("all updates ok: erases={} copies={}", d.stats.gc_erases, d.stats.gc_copied_segments);
+        println!(
+            "all updates ok: erases={} copies={}",
+            d.stats.gc_erases, d.stats.gc_copied_segments
+        );
     }
 }
 
@@ -1770,7 +1781,9 @@ mod power_cycle_tests {
         let mut t = SimTime::ZERO;
         for i in 0..300u64 {
             let key = format!("pwr.{i:08}");
-            t = d.store(t, key.as_bytes(), Payload::synthetic(777, i)).unwrap();
+            t = d
+                .store(t, key.as_bytes(), Payload::synthetic(777, i))
+                .unwrap();
         }
         let up = d.power_cycle(t);
         assert!(up > t, "mount takes time");
@@ -1800,7 +1813,9 @@ mod power_cycle_tests {
         };
         for i in 0..2_000u64 {
             let key = format!("mnt.{i:08}");
-            t = d.store(t, key.as_bytes(), Payload::synthetic(64, i)).unwrap();
+            t = d
+                .store(t, key.as_bytes(), Payload::synthetic(64, i))
+                .unwrap();
         }
         let big_mount = d.power_cycle(t).since(t);
         assert!(

@@ -88,8 +88,7 @@ impl KvModel {
         let handling = self.config.key_handling_cost(key_len).as_micros_f64()
             + self.config.cost_index_dram.as_micros_f64()
             + self.config.cost_pack.as_micros_f64()
-            + (layout.segments() as f64 - 1.0)
-                * self.config.cost_offset_mgmt.as_micros_f64();
+            + (layout.segments() as f64 - 1.0) * self.config.cost_offset_mgmt.as_micros_f64();
         // Amortized local->global merge: every `batch`-th store pays
         // `depth` flash reads per merged entry.
         let depth = self.merge_depth(entries) as f64;
@@ -143,21 +142,18 @@ impl KvModel {
         let pages_per_blob = if layout.is_split() {
             layout.segments() as f64
         } else {
-            let per_page =
-                (self.config.page_payload_bytes / layout.segment_alloc[0]).max(1) as f64;
+            let per_page = (self.config.page_payload_bytes / layout.segment_alloc[0]).max(1) as f64;
             1.0 / per_page
         };
         // Ceiling 1: die program throughput.
-        let t_prog =
-            (self.timing.t_cmd_overhead + self.timing.t_program).as_secs_f64();
+        let t_prog = (self.timing.t_cmd_overhead + self.timing.t_program).as_secs_f64();
         let die_pages_per_sec = self.geometry.dies() as f64 / t_prog;
         // Ceiling 2: channel intake.
         let ch_pages_per_sec = self.geometry.channels as f64
             / self.timing.write_pipeline_time(page_bytes).as_secs_f64();
         // Ceiling 3: command front-end.
         let cmds = self.config.command_set.commands_for_key(key_len) as f64;
-        let fe_ops_per_sec =
-            1.0 / (cmds * self.config.nvme.per_command.as_secs_f64());
+        let fe_ops_per_sec = 1.0 / (cmds * self.config.nvme.per_command.as_secs_f64());
         // Ceiling 4: manager key handling across index managers.
         let mgr_ops_per_sec = self.config.index_managers as f64
             / self.config.key_handling_cost(key_len).as_secs_f64();

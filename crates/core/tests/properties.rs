@@ -1,3 +1,8 @@
+// Proptest-based suite: compiled only with `--features proptest` (needs
+// network to fetch proptest; the default offline pass runs the in-repo
+// generator suites instead).
+#![cfg(feature = "proptest")]
+
 //! Property tests on the KV-FTL's internal structures and the device's
 //! packing invariants.
 

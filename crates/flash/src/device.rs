@@ -52,14 +52,20 @@ impl std::fmt::Display for FlashError {
         match self {
             FlashError::OutOfRange(a) => write!(f, "page {a} outside geometry"),
             FlashError::OutOfOrderProgram { addr, expected } => {
-                write!(f, "out-of-order program of {addr}, expected page {expected}")
+                write!(
+                    f,
+                    "out-of-order program of {addr}, expected page {expected}"
+                )
             }
             FlashError::ReadingUnwritten(a) => write!(f, "read of unwritten page {a}"),
             FlashError::BadBlock(b) => write!(f, "operation on bad block b{}", b.0),
             FlashError::TransferTooLarge {
                 requested,
                 page_bytes,
-            } => write!(f, "transfer of {requested} B exceeds page of {page_bytes} B"),
+            } => write!(
+                f,
+                "transfer of {requested} B exceeds page of {page_bytes} B"
+            ),
         }
     }
 }
@@ -208,11 +214,8 @@ impl FlashDevice {
         let die = self.geometry.die_of(addr.block) as usize;
         let ch = self.geometry.channel_of(addr.block) as usize;
         let array = self.dies[die].acquire(now, self.timing.t_cmd_overhead + self.timing.t_read);
-        let xfer = self.channels[ch].acquire_after(
-            now,
-            array.end,
-            self.timing.read_pipeline_time(bytes),
-        );
+        let xfer =
+            self.channels[ch].acquire_after(now, array.end, self.timing.read_pipeline_time(bytes));
         self.stats.reads += 1;
         self.stats.bytes_read += bytes;
         Ok(xfer.end)
@@ -384,8 +387,7 @@ impl FlashDevice {
         if until == SimTime::ZERO {
             return 0.0;
         }
-        self.die_busy_total().as_nanos() as f64
-            / (until.as_nanos() as f64 * self.dies.len() as f64)
+        self.die_busy_total().as_nanos() as f64 / (until.as_nanos() as f64 * self.dies.len() as f64)
     }
 
     fn check_addr(&self, addr: PageAddr) -> Result<(), FlashError> {
@@ -531,7 +533,10 @@ mod tests {
         let r1 = d2.program_page(SimTime::ZERO, a, 32 * 1024).unwrap();
         let r2 = d2.program_page(SimTime::ZERO, b, 32 * 1024).unwrap();
         let _ = r1;
-        assert!(rs[0].done < r2.done, "multiplane must beat two serial programs");
+        assert!(
+            rs[0].done < r2.done,
+            "multiplane must beat two serial programs"
+        );
         assert_eq!(d.written_pages(a.block), 1);
         assert_eq!(d.written_pages(b.block), 1);
     }

@@ -34,9 +34,7 @@ impl FaultPlan {
         match self.program_fail_one_in {
             None => false,
             Some(n) => {
-                let h = mix64(
-                    (block.0 as u64) << 40 | (page as u64) << 20 | erase_count as u64,
-                );
+                let h = mix64((block.0 as u64) << 40 | (page as u64) << 20 | erase_count as u64);
                 h.is_multiple_of(n)
             }
         }
@@ -105,9 +103,8 @@ mod tests {
             program_fail_one_in: Some(7),
             erase_fail_one_in: None,
         };
-        let differs = (0..1000).any(|b| {
-            p.program_fails(BlockId(b), 0, 0) != p.program_fails(BlockId(b), 0, 1)
-        });
+        let differs = (0..1000)
+            .any(|b| p.program_fails(BlockId(b), 0, 0) != p.program_fails(BlockId(b), 0, 1));
         assert!(differs);
     }
 }

@@ -1,3 +1,8 @@
+// Proptest-based suite: compiled only with `--features proptest` (needs
+// network to fetch proptest; the default offline pass runs the in-repo
+// generator suites instead).
+#![cfg(feature = "proptest")]
+
 //! Property tests: the flash device enforces the NAND contract under
 //! arbitrary operation sequences, checked against a reference state
 //! machine.
@@ -19,8 +24,11 @@ enum FlashOp {
 fn op_strategy() -> impl Strategy<Value = FlashOp> {
     prop_oneof![
         (any::<u8>(), 1u16..32_768).prop_map(|(b, n)| FlashOp::Program { block: b, bytes: n }),
-        (any::<u8>(), any::<u8>(), 1u16..32_768)
-            .prop_map(|(b, p, n)| FlashOp::Read { block: b, page: p, bytes: n }),
+        (any::<u8>(), any::<u8>(), 1u16..32_768).prop_map(|(b, p, n)| FlashOp::Read {
+            block: b,
+            page: p,
+            bytes: n
+        }),
         any::<u8>().prop_map(|b| FlashOp::Erase { block: b }),
     ]
 }

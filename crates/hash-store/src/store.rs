@@ -172,10 +172,9 @@ impl HashStore {
     pub fn put(&mut self, now: SimTime, key: &[u8], value: Payload) -> SimTime {
         self.stats.puts += 1;
         let rec = self.record_bytes(key.len() as u64, value.len());
-        let mut t = self.cpu.run(
-            now,
-            self.config.cost_index_op + self.costs.memcpy(rec),
-        );
+        let mut t = self
+            .cpu
+            .run(now, self.config.cost_index_op + self.costs.memcpy(rec));
         // Invalidate any previous version.
         if let Some((old, oldv)) = self.index.get(key).map(|(l, v)| (*l, v.len())) {
             self.invalidate(old);
@@ -235,8 +234,7 @@ impl HashStore {
     // ----- internals -------------------------------------------------
 
     fn record_bytes(&self, key_len: u64, value_len: u64) -> u64 {
-        (self.config.record_header + key_len + value_len)
-            .div_ceil(self.config.record_align)
+        (self.config.record_header + key_len + value_len).div_ceil(self.config.record_align)
             * self.config.record_align
     }
 
@@ -318,17 +316,17 @@ impl HashStore {
             let Some(k) = self.wblock_keys[wb as usize].pop() else {
                 break None;
             };
-            if self
-                .index
-                .get(&k)
-                .is_some_and(|(loc, _)| loc.wblock == wb)
-            {
+            if self.index.get(&k).is_some_and(|(loc, _)| loc.wblock == wb) {
                 break Some(k);
             }
         };
         match victim_key {
             Some(key) => {
-                let (loc, value) = self.index.get(&key).map(|(l, v)| (*l, v.clone())).expect("found");
+                let (loc, value) = self
+                    .index
+                    .get(&key)
+                    .map(|(l, v)| (*l, v.clone()))
+                    .expect("found");
                 // Read the record and re-append it.
                 let base = wb as u64 * self.config.write_block_bytes;
                 let lo = loc.offset / 512 * 512;

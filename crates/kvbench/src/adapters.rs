@@ -6,6 +6,7 @@
 //! software stores carry their own weight.
 
 use kvssd_block_ftl::BlockSsd;
+use kvssd_cluster::KvCluster;
 use kvssd_core::{KvSsd, Payload};
 use kvssd_hash_store::HashStore;
 use kvssd_host_stack::HostCpu;
@@ -77,6 +78,79 @@ impl KvStore for KvSsdStore {
 
     fn space(&self) -> SpaceUsage {
         let s = self.device.space();
+        SpaceUsage {
+            user_bytes: s.user_bytes,
+            stored_bytes: s.allocated_bytes,
+        }
+    }
+}
+
+/// A sharded KV-SSD cluster through the same thin API library: the host
+/// work per op is identical to [`KvSsdStore`] (hashing a key is noise
+/// next to command marshalling), so a 1-shard cluster behind the
+/// pass-through submission queue reproduces the single-device numbers
+/// bit for bit while N shards scale the device side out.
+#[derive(Debug)]
+pub struct ClusterStore {
+    cluster: KvCluster,
+    host: HostCpu,
+    api_cost: SimDuration,
+}
+
+impl ClusterStore {
+    /// Wraps a cluster.
+    pub fn new(cluster: KvCluster) -> Self {
+        ClusterStore {
+            cluster,
+            host: HostCpu::new(8),
+            api_cost: SimDuration::from_micros(1),
+        }
+    }
+
+    /// The cluster inside (for shard-level statistics).
+    pub fn cluster(&self) -> &KvCluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access (experiments add/remove shards).
+    pub fn cluster_mut(&mut self) -> &mut KvCluster {
+        &mut self.cluster
+    }
+}
+
+impl KvStore for ClusterStore {
+    fn name(&self) -> &'static str {
+        "KV-SSD cluster"
+    }
+
+    fn insert(&mut self, now: SimTime, key: &[u8], value_len: u32, tag: u64) -> SimTime {
+        let t = self.host.run(now, self.api_cost);
+        self.cluster
+            .store(t, key, Payload::synthetic(value_len, tag))
+            .expect("store within cluster limits")
+    }
+
+    fn read(&mut self, now: SimTime, key: &[u8]) -> (SimTime, bool) {
+        let t = self.host.run(now, self.api_cost);
+        let l = self.cluster.retrieve(t, key).expect("valid key");
+        (l.at, l.value.is_some())
+    }
+
+    fn delete(&mut self, now: SimTime, key: &[u8]) -> SimTime {
+        let t = self.host.run(now, self.api_cost);
+        self.cluster.delete(t, key).expect("valid key").0
+    }
+
+    fn flush(&mut self, now: SimTime) -> SimTime {
+        self.cluster.flush(now)
+    }
+
+    fn host_cpu_busy(&self) -> SimDuration {
+        self.host.busy_total()
+    }
+
+    fn space(&self) -> SpaceUsage {
+        let s = self.cluster.space();
         SpaceUsage {
             user_bytes: s.user_bytes,
             stored_bytes: s.allocated_bytes,
@@ -316,6 +390,7 @@ mod tests {
         let timing = FlashTiming::pm983_like();
         vec![
             Box::new(KvSsdStore::new(KvSsd::new(g, timing, KvConfig::small()))),
+            Box::new(ClusterStore::new(KvCluster::for_test(2))),
             Box::new(LsmKvStore::new(LsmStore::new(
                 ExtFs::format(BlockSsd::new(g, timing, BlockFtlConfig::pm983_like())),
                 LsmConfig::tiny(),

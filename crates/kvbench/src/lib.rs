@@ -25,7 +25,7 @@ pub mod runner;
 pub mod spec;
 pub mod ycsb;
 
-pub use adapters::{HashKvStore, KvSsdStore, LsmKvStore, RawBlockStore};
+pub use adapters::{ClusterStore, HashKvStore, KvSsdStore, LsmKvStore, RawBlockStore};
 pub use report::Table;
 pub use runner::{run_phase, RunMetrics};
 pub use spec::{AccessPattern, OpMix, ValueSize, WorkloadSpec};

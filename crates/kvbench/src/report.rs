@@ -42,7 +42,8 @@ impl Table {
             self.headers.len(),
             "row width must match the header"
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

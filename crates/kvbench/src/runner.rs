@@ -369,8 +369,8 @@ mod tests {
 
     #[test]
     fn zipfian_updates_favor_hot_keys() {
-        let spec = WorkloadSpec::new("z", 10_000, 1_000)
-            .pattern(AccessPattern::Zipfian { theta: 0.99 });
+        let spec =
+            WorkloadSpec::new("z", 10_000, 1_000).pattern(AccessPattern::Zipfian { theta: 0.99 });
         let zipf = ZipfianDistribution::new(1_000, 0.99);
         let mut rng = DeterministicRng::seed_from(5);
         let mut counts = vec![0u32; 1_000];
@@ -410,7 +410,11 @@ mod probe {
             let st = s.device().stats().clone();
             println!(
                 "qd={qd} wall={} lat[0..5]={:?} lat[100..105]={:?} stall={} merges={} programs={}",
-                end, &lat[0..5], &lat[100..105], st.stall_time, st.merges,
+                end,
+                &lat[0..5],
+                &lat[100..105],
+                st.stall_time,
+                st.merges,
                 s.device().flash().stats().programs
             );
         }
@@ -455,7 +459,10 @@ mod probe2 {
             s.device().index_stats().lookup_flash_reads,
             m.reads.mean()
         );
-        println!("die_util={:.3}", s.device().flash().die_utilization(m.finished));
+        println!(
+            "die_util={:.3}",
+            s.device().flash().die_utilization(m.finished)
+        );
     }
 }
 
@@ -527,7 +534,11 @@ mod read_latest_tests {
         let m = run_phase(&mut s, &d, f.finished);
         assert_eq!(m.not_found, 0, "recency reads must always hit");
         // ~5% inserts grew the store past the initial population.
-        assert!(s.device().len() > 550, "population grew to {}", s.device().len());
+        assert!(
+            s.device().len() > 550,
+            "population grew to {}",
+            s.device().len()
+        );
         let reads = m.reads.count() as f64 / 2_000.0;
         assert!((reads - 0.95).abs() < 0.03, "read share {reads}");
     }

@@ -64,9 +64,7 @@ impl SstData {
     pub fn user_bytes(&self, overhead: u64) -> u64 {
         self.entries
             .iter()
-            .map(|(k, v)| {
-                k.len() as u64 + v.as_ref().map_or(0, Payload::len) + overhead
-            })
+            .map(|(k, v)| k.len() as u64 + v.as_ref().map_or(0, Payload::len) + overhead)
             .sum()
     }
 }
@@ -119,10 +117,7 @@ impl SstMeta {
 
 /// Merges sorted runs (newest first) into one run, dropping shadowed
 /// versions. Tombstones are kept unless `drop_tombstones` (bottom level).
-pub fn merge_runs(
-    runs: Vec<&SstData>,
-    drop_tombstones: bool,
-) -> Vec<(Box<[u8]>, Option<Payload>)> {
+pub fn merge_runs(runs: Vec<&SstData>, drop_tombstones: bool) -> Vec<(Box<[u8]>, Option<Payload>)> {
     // Newest-first priority: on equal keys, the earliest run wins.
     let mut cursors: Vec<(usize, usize)> = runs.iter().map(|_| (0, 0)).collect();
     for (i, c) in cursors.iter_mut().enumerate() {

@@ -10,6 +10,9 @@ use kvssd_sim::{SimDuration, SimTime};
 use crate::config::LsmConfig;
 use crate::sst::{merge_runs, SstData, SstMeta};
 
+/// One live entry returned by [`LsmStore::scan`]: owned key + payload.
+pub type ScanEntry = (Box<[u8]>, Payload);
+
 /// Store counters.
 #[derive(Debug, Clone, Default)]
 pub struct LsmStats {
@@ -70,7 +73,7 @@ impl LsmStore {
         LsmStore {
             page_cache: PageCache::new(config.page_cache_bytes),
             block_cache: LruCache::new(
-                (config.block_cache_bytes / config.block_bytes).max(1) as usize,
+                (config.block_cache_bytes / config.block_bytes).max(1) as usize
             ),
             memtable: BTreeMap::new(),
             memtable_bytes: 0,
@@ -126,12 +129,7 @@ impl LsmStore {
 
     /// Bytes occupied on disk by SSTs and the WAL.
     pub fn disk_bytes(&self) -> u64 {
-        let ssts: u64 = self
-            .levels
-            .iter()
-            .flatten()
-            .map(|m| m.size_bytes)
-            .sum();
+        let ssts: u64 = self.levels.iter().flatten().map(|m| m.size_bytes).sum();
         ssts + self.fs.size_of(self.wal).unwrap_or(0)
     }
 
@@ -196,23 +194,17 @@ impl LsmStore {
     /// Range scan: up to `limit` live entries with keys >= `from`, in
     /// key order (the YCSB workload-E shape). Returns (completion,
     /// entries). Charges a block probe per visited table.
-    pub fn scan(
-        &mut self,
-        now: SimTime,
-        from: &[u8],
-        limit: usize,
-    ) -> (SimTime, Vec<(Box<[u8]>, Payload)>) {
+    pub fn scan(&mut self, now: SimTime, from: &[u8], limit: usize) -> (SimTime, Vec<ScanEntry>) {
         // Merge iterators across memtable and every level, newest wins.
         let mut t = now;
         let mut out: Vec<(Box<[u8]>, Payload)> = Vec::new();
-        let mut shadowed: std::collections::HashSet<Box<[u8]>> =
-            std::collections::HashSet::new();
+        let mut shadowed: std::collections::HashSet<Box<[u8]>> = std::collections::HashSet::new();
         // Collect candidates (key-ordered walk over each source).
         let mut candidates: Vec<(Box<[u8]>, Option<Payload>, usize)> = Vec::new();
-        for (k, v) in self.memtable.range::<[u8], _>((
-            std::ops::Bound::Included(from),
-            std::ops::Bound::Unbounded,
-        )) {
+        for (k, v) in self
+            .memtable
+            .range::<[u8], _>((std::ops::Bound::Included(from), std::ops::Bound::Unbounded))
+        {
             candidates.push((k.clone(), v.clone(), 0));
             if candidates.len() >= limit * 4 {
                 break;
@@ -281,7 +273,10 @@ impl LsmStore {
             .append(now, &mut self.cpu, &mut self.page_cache, self.wal, rec)
             .expect("WAL append");
         if self.config.wal_fsync {
-            t = self.fs.fsync(t, &mut self.cpu, self.wal).expect("WAL fsync");
+            t = self
+                .fs
+                .fsync(t, &mut self.cpu, self.wal)
+                .expect("WAL fsync");
         }
         // Memtable insert.
         let depth = (self.memtable.len().max(2) as f64).log2() as u64;
@@ -456,7 +451,10 @@ impl LsmStore {
                 .fs
                 .append(t2, &mut self.bg_cpu, &mut self.page_cache, file, size)
                 .expect("SST write");
-            t = self.fs.fsync(t3, &mut self.bg_cpu, file).expect("SST fsync");
+            t = self
+                .fs
+                .fsync(t3, &mut self.bg_cpu, file)
+                .expect("SST fsync");
             if is_flush {
                 self.stats.bytes_flushed += size;
             } else {
@@ -479,7 +477,10 @@ impl LsmStore {
     /// Target size of level `i` (1-based levels).
     fn level_target(&self, level: usize) -> u64 {
         self.config.level_base_bytes
-            * self.config.level_multiplier.pow(level.saturating_sub(1) as u32)
+            * self
+                .config
+                .level_multiplier
+                .pow(level.saturating_sub(1) as u32)
     }
 
     /// Runs compactions until no level violates its trigger.
@@ -509,8 +510,16 @@ impl LsmStore {
         if self.levels.len() < 2 {
             self.levels.push(Vec::new());
         }
-        let lo = l0.iter().map(|m| m.min_key.clone()).min().expect("L0 files");
-        let hi = l0.iter().map(|m| m.max_key.clone()).max().expect("L0 files");
+        let lo = l0
+            .iter()
+            .map(|m| m.min_key.clone())
+            .min()
+            .expect("L0 files");
+        let hi = l0
+            .iter()
+            .map(|m| m.max_key.clone())
+            .max()
+            .expect("L0 files");
         let mut l1_in = Vec::new();
         let mut l1_keep = Vec::new();
         for m in std::mem::take(&mut self.levels[1]) {
@@ -578,8 +587,9 @@ impl LsmStore {
         let mut cur: Vec<(Box<[u8]>, Option<Payload>)> = Vec::new();
         let mut cur_bytes = 0u64;
         for (k, v) in merged {
-            cur_bytes +=
-                k.len() as u64 + v.as_ref().map_or(0, Payload::len) + self.config.entry_overhead_bytes;
+            cur_bytes += k.len() as u64
+                + v.as_ref().map_or(0, Payload::len)
+                + self.config.entry_overhead_bytes;
             cur.push((k, v));
             if cur_bytes >= self.config.sst_target_bytes {
                 outputs.push(SstData::from_sorted(std::mem::take(&mut cur)));
@@ -800,19 +810,32 @@ mod debug_probe {
     #[ignore]
     fn probe_stall_dynamics() {
         let g = Geometry {
-            channels: 2, dies_per_channel: 2, planes_per_die: 2,
-            blocks_per_plane: 16, pages_per_block: 16, page_bytes: 32 * 1024,
+            channels: 2,
+            dies_per_channel: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 16,
+            pages_per_block: 16,
+            page_bytes: 32 * 1024,
         };
         let dev = BlockSsd::new(g, FlashTiming::pm983_like(), BlockFtlConfig::pm983_like());
         let mut s = LsmStore::new(ExtFs::format(dev), LsmConfig::tiny());
         for i in 0..30_000u64 {
             let now = SimTime::from_nanos(i * 200);
-            let done = s.put(now, format!("key{:013}", i % 2000).as_bytes(), Payload::synthetic(2048, i));
+            let done = s.put(
+                now,
+                format!("key{:013}", i % 2000).as_bytes(),
+                Payload::synthetic(2048, i),
+            );
             if i % 5000 == 0 {
-                println!("i={i} now={now} done={done} bg={} flushes={} stalls={}",
-                    s.bg_done, s.stats.flushes, s.stats.stalls);
+                println!(
+                    "i={i} now={now} done={done} bg={} flushes={} stalls={}",
+                    s.bg_done, s.stats.flushes, s.stats.stalls
+                );
             }
         }
-        println!("final: flushes={} stalls={} compactions={}", s.stats.flushes, s.stats.stalls, s.stats.compactions);
+        println!(
+            "final: flushes={} stalls={} compactions={}",
+            s.stats.flushes, s.stats.stalls, s.stats.compactions
+        );
     }
 }

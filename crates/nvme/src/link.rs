@@ -151,8 +151,8 @@ mod tests {
     fn single_command_cost_is_transfer_plus_front_end() {
         let mut l = link();
         let t = l.submit(SimTime::ZERO, 1, 0);
-        let expected = SimDuration::for_bytes(64, l.config().pcie_bytes_per_sec)
-            + l.config().per_command;
+        let expected =
+            SimDuration::for_bytes(64, l.config().pcie_bytes_per_sec) + l.config().per_command;
         assert_eq!(t.since(SimTime::ZERO), expected);
     }
 
@@ -202,7 +202,10 @@ mod tests {
         let mut b = link();
         b.complete(SimTime::ZERO + SimDuration::from_millis(5), 0);
         let after_completion = b.submit(SimTime::ZERO, 1, 0);
-        assert_eq!(solo.since(SimTime::ZERO), after_completion.since(SimTime::ZERO));
+        assert_eq!(
+            solo.since(SimTime::ZERO),
+            after_completion.since(SimTime::ZERO)
+        );
         assert!(b.front_end_busy() > SimDuration::ZERO);
     }
 

@@ -43,6 +43,6 @@ pub mod time;
 
 pub use resource::{Resource, ResourcePool, Window};
 pub use rng::{mix64, DeterministicRng, ZipfianDistribution};
-pub use runner::QueueRunner;
+pub use runner::{FanIn, OpTiming, QueueRunner};
 pub use stats::{BandwidthSeries, Counter, LatencyHistogram, RatioSummary};
 pub use time::{SimDuration, SimTime};

@@ -147,8 +147,7 @@ impl ResourcePool {
         if until == SimTime::ZERO {
             return 0.0;
         }
-        self.busy_total().as_nanos() as f64
-            / (until.as_nanos() as f64 * self.servers.len() as f64)
+        self.busy_total().as_nanos() as f64 / (until.as_nanos() as f64 * self.servers.len() as f64)
     }
 
     fn earliest(&self) -> usize {

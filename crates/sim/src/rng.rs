@@ -1,29 +1,38 @@
 //! Deterministic randomness for workloads.
 //!
 //! Everything in the study must be reproducible run-to-run, so all
-//! randomness flows through a seeded [`DeterministicRng`]. The crate also
-//! implements the Zipfian distribution (the paper's skewed access pattern)
-//! using the classic Gray et al. rejection-free method, plus a cheap
-//! stateless `u64 -> u64` mixer used for hash-like deterministic choices.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! randomness flows through a seeded [`DeterministicRng`]. The generator
+//! is an in-repo xoshiro256** (Blackman & Vigna) seeded through a
+//! SplitMix64 stream, so the workspace builds with zero external
+//! dependencies and the streams are stable across toolchains. The crate
+//! also implements the Zipfian distribution (the paper's skewed access
+//! pattern) using the classic Gray et al. rejection-free method, plus a
+//! cheap stateless `u64 -> u64` mixer used for hash-like deterministic
+//! choices.
 
 /// A seeded PRNG with convenience helpers.
 ///
-/// Thin wrapper over `rand::StdRng` so the rest of the workspace never
-/// touches `rand` types directly (keeps the dependency swappable).
+/// xoshiro256** with SplitMix64 seed expansion: 256 bits of state, a
+/// 2^256 - 1 period, and no external dependency. The wrapper API is the
+/// contract — the engine underneath stays swappable.
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        DeterministicRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        // SplitMix64 stream expands the seed into full 256-bit state;
+        // mix64(x) computes exactly one SplitMix64 step from state x.
+        let mut s = seed;
+        let mut next = || {
+            let out = mix64(s);
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            out
+        };
+        let state = [next(), next(), next(), next()];
+        DeterministicRng { state }
     }
 
     /// Uniform `u64` in `[0, bound)`.
@@ -33,18 +42,31 @@ impl DeterministicRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        // Lemire's unbiased multiply-shift rejection method.
+        let mut m = self.next_u64() as u128 * bound as u128;
+        if (m as u64) < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                m = self.next_u64() as u128 * bound as u128;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform `u64` in `[lo, hi]` inclusive.
     pub fn between(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "between: lo > hi");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.
@@ -52,14 +74,26 @@ impl DeterministicRng {
         self.unit() < p
     }
 
-    /// Raw 64 random bits.
+    /// Raw 64 random bits (xoshiro256** output function).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Fills `buf` with random bytes.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill_bytes(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 
@@ -163,7 +197,9 @@ impl ZipfianDistribution {
         if n <= EXACT_LIMIT {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
-            let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let head: f64 = (1..=EXACT_LIMIT)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
             // integral_{EXACT_LIMIT}^{n} x^-theta dx
             let a = EXACT_LIMIT as f64;
             let b = n as f64;

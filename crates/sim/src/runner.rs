@@ -128,6 +128,81 @@ impl QueueRunner {
     }
 }
 
+/// Fan-out/fan-in completion tracking across parallel lanes (shards,
+/// devices, queues) that share one virtual clock.
+///
+/// A scatter operation records each lane's completion independently;
+/// [`FanIn::barrier`] is the fan-in instant — the latest completion any
+/// lane has reported. Unlike [`QueueRunner`] this imposes no admission
+/// control; it only answers "when has *everything* landed?", which is
+/// what a cluster flush or a rebalance wave needs.
+///
+/// # Example
+///
+/// ```
+/// use kvssd_sim::{FanIn, SimDuration, SimTime};
+///
+/// let mut f = FanIn::new(3);
+/// f.record(0, SimTime::ZERO + SimDuration::from_micros(10));
+/// f.record(2, SimTime::ZERO + SimDuration::from_micros(25));
+/// assert_eq!(f.barrier(), SimTime::ZERO + SimDuration::from_micros(25));
+/// assert_eq!(f.lane_last(1), SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FanIn {
+    lanes: Vec<SimTime>,
+}
+
+impl FanIn {
+    /// Creates a fan-in over `lanes` lanes, all starting at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "fan-in needs at least one lane");
+        FanIn {
+            lanes: vec![SimTime::ZERO; lanes],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True when constructed with zero lanes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Records a completion on `lane` (keeps the latest per lane).
+    pub fn record(&mut self, lane: usize, done: SimTime) {
+        self.lanes[lane] = self.lanes[lane].max(done);
+    }
+
+    /// Adds a lane (e.g. a shard joining); returns its index.
+    pub fn add_lane(&mut self) -> usize {
+        self.lanes.push(SimTime::ZERO);
+        self.lanes.len() - 1
+    }
+
+    /// Removes a lane; later indices shift down by one.
+    pub fn remove_lane(&mut self, lane: usize) {
+        self.lanes.remove(lane);
+    }
+
+    /// The latest completion recorded on one lane.
+    pub fn lane_last(&self, lane: usize) -> SimTime {
+        self.lanes[lane]
+    }
+
+    /// The fan-in instant: the latest completion across all lanes.
+    pub fn barrier(&self) -> SimTime {
+        self.lanes.iter().copied().fold(SimTime::ZERO, SimTime::max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +210,29 @@ mod tests {
 
     fn us(n: u64) -> SimDuration {
         SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn fan_in_tracks_lanes_and_barrier() {
+        let mut f = FanIn::new(2);
+        f.record(0, SimTime::ZERO + us(5));
+        f.record(0, SimTime::ZERO + us(3)); // stale completion keeps max
+        f.record(1, SimTime::ZERO + us(9));
+        assert_eq!(f.lane_last(0), SimTime::ZERO + us(5));
+        assert_eq!(f.barrier(), SimTime::ZERO + us(9));
+        let lane = f.add_lane();
+        assert_eq!(lane, 2);
+        f.record(lane, SimTime::ZERO + us(20));
+        assert_eq!(f.barrier(), SimTime::ZERO + us(20));
+        f.remove_lane(lane);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.barrier(), SimTime::ZERO + us(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn fan_in_rejects_zero_lanes() {
+        let _ = FanIn::new(0);
     }
 
     #[test]
@@ -172,7 +270,9 @@ mod tests {
         let mut r = QueueRunner::new(4);
         let mut last = SimDuration::ZERO;
         for _ in 0..32 {
-            last = r.submit(|issue| server.acquire(issue, us(10)).end).latency();
+            last = r
+                .submit(|issue| server.acquire(issue, us(10)).end)
+                .latency();
         }
         assert_eq!(last, us(40));
     }

@@ -21,11 +21,7 @@ fn main() {
     let value_bytes: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
 
     let config = KvConfig::pm983_scaled();
-    let dev = KvSsd::new(
-        Geometry::pm983_scaled(),
-        FlashTiming::pm983_like(),
-        config,
-    );
+    let dev = KvSsd::new(Geometry::pm983_scaled(), FlashTiming::pm983_like(), config);
     let space = dev.space();
 
     println!(
@@ -75,7 +71,11 @@ fn main() {
             &format!("{}B", l.allocated_bytes()),
             &format!("{:.1}x", l.amplification()),
             &fit.to_string(),
-            if by_space < space.max_kvps { "space" } else { "KVP limit" },
+            if by_space < space.max_kvps {
+                "space"
+            } else {
+                "KVP limit"
+            },
             &format!("{:.3} GiB", (fit * l.user_bytes) as f64 / (1 << 30) as f64),
         ]);
     }

@@ -61,7 +61,12 @@ fn main() {
     let chunk = pts.len().div_ceil(30).max(1);
     let line: Vec<String> = pts
         .chunks(chunk)
-        .map(|c| format!("{:.0}", c.iter().map(|p| p.mbps).sum::<f64>() / c.len() as f64))
+        .map(|c| {
+            format!(
+                "{:.0}",
+                c.iter().map(|p| p.mbps).sum::<f64>() / c.len() as f64
+            )
+        })
         .collect();
     println!("  {}", line.join(" "));
     println!(

@@ -21,13 +21,25 @@ fn main() {
     // instant and returns the completion instant.
     let mut t = SimTime::ZERO;
     t = dev
-        .store(t, b"sensor/kitchen/temp", Payload::from_bytes(b"21.5C".to_vec()))
+        .store(
+            t,
+            b"sensor/kitchen/temp",
+            Payload::from_bytes(b"21.5C".to_vec()),
+        )
         .expect("store");
     t = dev
-        .store(t, b"sensor/kitchen/hum", Payload::from_bytes(b"40%".to_vec()))
+        .store(
+            t,
+            b"sensor/kitchen/hum",
+            Payload::from_bytes(b"40%".to_vec()),
+        )
         .expect("store");
     t = dev
-        .store(t, b"sensor/garage/temp", Payload::from_bytes(b"12.0C".to_vec()))
+        .store(
+            t,
+            b"sensor/garage/temp",
+            Payload::from_bytes(b"12.0C".to_vec()),
+        )
         .expect("store");
 
     // Point lookup.

@@ -17,7 +17,12 @@ fn main() {
          1000 B records, Zipfian 0.99\n"
     );
     let mut table = Table::new(&[
-        "workload", "system", "mean (us)", "p99 (us)", "Kops/s", "CPU (cores)",
+        "workload",
+        "system",
+        "mean (us)",
+        "p99 (us)",
+        "Kops/s",
+        "CPU (cores)",
     ]);
     for (name, spec_of) in [
         ("A 50r/50u", ycsb::workload_a as fn(u64, u64) -> _),

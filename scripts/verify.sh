@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification, runnable fully offline (the workspace has zero
+# required dependencies). Pass --offline to forbid network access in
+# cargo itself (CI does); without it cargo may still touch the index if
+# the lockfile is stale.
+#
+# Usage: scripts/verify.sh [--offline]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+if [[ "${1:-}" == "--offline" ]]; then
+    CARGO_FLAGS+=(--offline)
+fi
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo build --release =="
+cargo build "${CARGO_FLAGS[@]}" --release --workspace
+
+echo "== cargo test =="
+cargo test "${CARGO_FLAGS[@]}" -q --workspace
+
+echo "== cargo clippy -D warnings =="
+cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,171 @@
+//! Cluster-scale shapes: the degenerate 1-shard case collapses to the
+//! single-device reproduction exactly, and spreading a uniform workload
+//! over more shards increases aggregate bandwidth.
+
+use kvssd_study::bench::experiments::scaleout;
+use kvssd_study::bench::{setup, Scale};
+use kvssd_study::cluster::KvCluster;
+use kvssd_study::core::KvConfig;
+use kvssd_study::kvbench::{run_phase, AccessPattern, KvStore, OpMix, ValueSize, WorkloadSpec};
+use kvssd_study::sim::SimTime;
+
+/// A two-phase workload signature capturing virtual-time results to the
+/// nanosecond: any divergence between two stores shows up here.
+fn signature(store: &mut dyn KvStore) -> (u64, u64, u64, u64) {
+    let fill = WorkloadSpec::new("fill", 1_200, 1_200)
+        .mix(OpMix::InsertOnly)
+        .pattern(AccessPattern::Uniform)
+        .value(ValueSize::Uniform { lo: 32, hi: 6_000 })
+        .queue_depth(8)
+        .seed(20_26);
+    let f = run_phase(store, &fill, SimTime::ZERO);
+    let mixed = WorkloadSpec::new("mix", 1_600, 1_200)
+        .mix(OpMix::Mixed { read_pct: 60 })
+        .pattern(AccessPattern::Zipfian { theta: 0.8 })
+        .value(ValueSize::facebook_like())
+        .queue_depth(16)
+        .seed(7_7);
+    let m = run_phase(store, &mixed, f.finished);
+    (
+        f.finished.as_nanos(),
+        m.finished.as_nanos(),
+        m.writes.mean().as_nanos(),
+        m.reads.percentile(99.0).as_nanos(),
+    )
+}
+
+/// The acceptance anchor: a 1-shard cluster (pass-through submission
+/// queue) must reproduce the bare single-device store's virtual-time
+/// results exactly — same seed, same nanoseconds.
+#[test]
+fn one_shard_cluster_equals_bare_device_exactly() {
+    // Same device config on both sides (the bare store's default).
+    let bare = signature(&mut setup::kv_ssd());
+    let clustered = signature(&mut setup::kv_cluster_with(1, 99, KvConfig::pm983_scaled()));
+    assert_eq!(
+        bare, clustered,
+        "a 1-shard cluster must be bit-identical to the single device"
+    );
+}
+
+/// The ring seed must not matter at N = 1 (everything routes to the one
+/// shard regardless of placement).
+#[test]
+fn one_shard_routing_is_seed_independent() {
+    let a = signature(&mut setup::kv_cluster_with(1, 1, KvConfig::pm983_scaled()));
+    let b = signature(&mut setup::kv_cluster_with(
+        1,
+        2_000,
+        KvConfig::pm983_scaled(),
+    ));
+    assert_eq!(a, b);
+}
+
+/// Uniform-workload aggregate bandwidth grows monotonically with shard
+/// count at N ∈ {1, 2, 4}: independent devices under one clock.
+#[test]
+fn aggregate_bandwidth_monotone_in_shards() {
+    // Size the population for the 1-shard case (the tightest): half of
+    // one small device's capacity, so no shard comes near full even
+    // with consistent hashing's uneven spread.
+    let cap = setup::kv_cluster_small(1, 42)
+        .cluster()
+        .space()
+        .capacity_bytes;
+    let n = (cap / 2) / 4160;
+    let mbps = |shards: usize| {
+        let mut store = setup::kv_cluster_small(shards, 42);
+        let spec = WorkloadSpec::new("uniform-fill", n, n)
+            .mix(OpMix::InsertOnly)
+            .pattern(AccessPattern::Uniform)
+            .value(ValueSize::Fixed(4096))
+            .queue_depth(32)
+            .seed(11);
+        run_phase(&mut store, &spec, SimTime::ZERO).mean_mbps()
+    };
+    let one = mbps(1);
+    let two = mbps(2);
+    let four = mbps(4);
+    assert!(two > one, "2 shards not faster than 1: {two} vs {one}");
+    assert!(four > two, "4 shards not faster than 2: {four} vs {two}");
+}
+
+/// The scaleout experiment's Tiny sweep keeps the paper-facing shapes:
+/// bandwidth up with N, per-shard GC collapse windows visible, and tail
+/// latency still exposing the per-shard pauses.
+#[test]
+fn scaleout_experiment_shapes() {
+    let res = scaleout::run(Scale::Tiny);
+    assert_eq!(res.points.len(), scaleout::SHARD_COUNTS.len());
+    let p1 = res.point(1);
+    let p4 = res.point(4);
+    assert!(
+        p4.agg_mbps > p1.agg_mbps,
+        "aggregate bandwidth must scale: N=4 {} vs N=1 {}",
+        p4.agg_mbps,
+        p1.agg_mbps
+    );
+    for p in &res.points {
+        // 80 % occupancy + uniform updates force foreground GC (Fig. 6);
+        // its collapse windows must stay visible per shard...
+        assert!(p.fg_gc_events > 0, "N={} saw no foreground GC", p.shards);
+        assert!(
+            p.shard_dip_windows > 0,
+            "N={} lost its per-shard collapse windows",
+            p.shards
+        );
+        // ...and in the host-observed tail.
+        assert!(
+            p.p999_us > p.p50_us,
+            "N={} tail does not expose GC pauses",
+            p.shards
+        );
+    }
+    // Collapses decorrelate: per-shard dip windows dominate synchronized
+    // whole-cluster dips once there is more than one shard.
+    for p in res.points.iter().filter(|p| p.shards >= 4) {
+        assert!(
+            p.synchronized_dip_windows <= p.shard_dip_windows,
+            "N={}: sync windows exceed total dip windows",
+            p.shards
+        );
+    }
+}
+
+/// Rebalance accounting: keys move only when membership changes, the
+/// moved share tracks the ring delta, and nothing is lost.
+#[test]
+fn rebalance_conserves_data() {
+    let mut cluster = KvCluster::for_test(2);
+    let mut t = SimTime::ZERO;
+    let n = 400u64;
+    for i in 0..n {
+        t = cluster
+            .store(
+                t,
+                format!("rk{i:08}").as_bytes(),
+                kvssd_study::core::Payload::synthetic(512, i),
+            )
+            .unwrap();
+    }
+    let (id, rep) = cluster.add_shard(
+        t,
+        kvssd_study::core::KvSsd::new(
+            kvssd_study::flash::Geometry::small(),
+            kvssd_study::flash::FlashTiming::pm983_like(),
+            kvssd_study::core::KvConfig::small(),
+        ),
+    );
+    assert!(rep.moved_keys > 0);
+    assert_eq!(cluster.len(), n);
+    assert!(rep.completed >= rep.started, "rebalance must take time");
+    let rep2 = cluster.remove_shard(rep.completed, id);
+    assert_eq!(cluster.len(), n);
+    assert!(rep2.moved_keys > 0);
+    for i in 0..n {
+        let l = cluster
+            .retrieve(rep2.completed, format!("rk{i:08}").as_bytes())
+            .unwrap();
+        assert!(l.value.is_some(), "lost rk{i:08} across rebalances");
+    }
+}

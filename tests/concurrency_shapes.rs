@@ -30,8 +30,10 @@ fn kv_read_point(qd: usize) -> (f64, f64) {
 
 #[test]
 fn read_latency_rises_and_throughput_saturates_with_depth() {
-    let pts: Vec<(usize, (f64, f64))> =
-        [1, 4, 16, 64].iter().map(|&qd| (qd, kv_read_point(qd))).collect();
+    let pts: Vec<(usize, (f64, f64))> = [1, 4, 16, 64]
+        .iter()
+        .map(|&qd| (qd, kv_read_point(qd)))
+        .collect();
     // Latency is non-decreasing in depth (queueing).
     for w in pts.windows(2) {
         let (qd_a, (lat_a, thr_a)) = w[0];

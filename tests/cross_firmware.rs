@@ -2,9 +2,7 @@
 //! NAND substrate, and the four store stacks behind one interface.
 
 use kvssd_study::bench::setup;
-use kvssd_study::kvbench::{
-    run_phase, AccessPattern, KvStore, OpMix, ValueSize, WorkloadSpec,
-};
+use kvssd_study::kvbench::{run_phase, AccessPattern, KvStore, OpMix, ValueSize, WorkloadSpec};
 use kvssd_study::sim::{SimDuration, SimTime};
 
 fn all_stores() -> Vec<Box<dyn KvStore>> {

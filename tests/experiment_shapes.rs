@@ -13,7 +13,10 @@ fn fig3_index_occupancy_cliff() {
     // KV-SSD writes degrade far more than reads; the block-SSD is flat.
     let kv_w = r.write_degradation("KV-SSD");
     let kv_r = r.read_degradation("KV-SSD");
-    assert!(kv_w > 3.0, "KV write degradation {kv_w} (paper: up to 16.4x)");
+    assert!(
+        kv_w > 3.0,
+        "KV write degradation {kv_w} (paper: up to 16.4x)"
+    );
     assert!(kv_r > 1.2, "KV read degradation {kv_r} (paper: up to 2x)");
     assert!(
         kv_w > kv_r * 1.5,
@@ -97,9 +100,15 @@ fn fig6_foreground_gc_hits_kv_not_block() {
     assert_eq!(rdb.copies, 0, "RocksDB/block should see no GC copies");
     // The KV device goes foreground and copies heavily, in both the
     // uniform and the sliding-window (footnote 2) patterns.
-    assert!(kv.foreground_gc_events > 0, "uniform updates must trigger fg GC");
+    assert!(
+        kv.foreground_gc_events > 0,
+        "uniform updates must trigger fg GC"
+    );
     assert!(kv.copies > 0);
-    assert!(win.foreground_gc_events > 0, "window updates must trigger fg GC");
+    assert!(
+        win.foreground_gc_events > 0,
+        "window updates must trigger fg GC"
+    );
     assert!(win.copies > 0);
 }
 

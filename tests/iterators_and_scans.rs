@@ -14,12 +14,20 @@ fn device_iterators_cover_prefix_buckets_exactly() {
     // Two buckets: "usr." and "dev." keys.
     for i in 0..40u32 {
         t = dev
-            .store(t, format!("usr.{i:08}").as_bytes(), Payload::synthetic(64, i as u64))
+            .store(
+                t,
+                format!("usr.{i:08}").as_bytes(),
+                Payload::synthetic(64, i as u64),
+            )
             .unwrap();
     }
     for i in 0..25u32 {
         t = dev
-            .store(t, format!("dev.{i:08}").as_bytes(), Payload::synthetic(64, i as u64))
+            .store(
+                t,
+                format!("dev.{i:08}").as_bytes(),
+                Payload::synthetic(64, i as u64),
+            )
             .unwrap();
     }
     // Iterate each bucket with small batches; counts must be exact and
@@ -50,7 +58,11 @@ fn iteration_reflects_deletes_and_iterators_take_time() {
     let mut t = SimTime::ZERO;
     for i in 0..20u32 {
         t = dev
-            .store(t, format!("scan{i:08}").as_bytes(), Payload::synthetic(32, 0))
+            .store(
+                t,
+                format!("scan{i:08}").as_bytes(),
+                Payload::synthetic(32, 0),
+            )
             .unwrap();
     }
     let (t2, removed) = dev.delete(t, b"scan00000007").unwrap();
@@ -95,7 +107,11 @@ fn lsm_scan_latency_scales_with_tables_probed() {
     let mut lsm = LsmStore::new(ExtFs::format(setup::block_ssd()), LsmConfig::tiny());
     let mut t = SimTime::ZERO;
     for i in 0..2_000u32 {
-        t = lsm.put(t, format!("sk.{i:09}").as_bytes(), Payload::synthetic(200, 0));
+        t = lsm.put(
+            t,
+            format!("sk.{i:09}").as_bytes(),
+            Payload::synthetic(200, 0),
+        );
     }
     t = lsm.flush_all(t);
     let before = t;

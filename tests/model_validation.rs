@@ -60,8 +60,14 @@ fn model_predicts_low_occupancy_latencies() {
     let (w, r) = measure_latency(512, 5_000);
     let pw = m.store_latency_us(16, 512, 5_000);
     let pr = m.retrieve_latency_us(16, 512, 5_000);
-    assert!(within_2x(pw, w), "store: predicted {pw:.1}, measured {w:.1}");
-    assert!(within_2x(pr, r), "retrieve: predicted {pr:.1}, measured {r:.1}");
+    assert!(
+        within_2x(pw, w),
+        "store: predicted {pw:.1}, measured {w:.1}"
+    );
+    assert!(
+        within_2x(pr, r),
+        "retrieve: predicted {pr:.1}, measured {r:.1}"
+    );
 }
 
 #[test]
@@ -80,8 +86,14 @@ fn model_predicts_the_occupancy_cliff() {
     let measured_r_deg = r_high / r_low;
     let predicted_r_deg =
         m.retrieve_latency_us(16, 512, n_high) / m.retrieve_latency_us(16, 512, 5_000);
-    assert!(measured_w_deg > measured_r_deg, "sim: writes degrade harder");
-    assert!(predicted_w_deg > predicted_r_deg, "model: writes degrade harder");
+    assert!(
+        measured_w_deg > measured_r_deg,
+        "sim: writes degrade harder"
+    );
+    assert!(
+        predicted_w_deg > predicted_r_deg,
+        "model: writes degrade harder"
+    );
 }
 
 #[test]
@@ -125,7 +137,10 @@ fn model_and_simulator_agree_on_the_fig5_dip() {
         .mean_mbps()
     };
     let dip_sim = measure(25 * 1024) / measure(24 * 1024);
-    assert!(dip_model < 0.75 && dip_sim < 0.75, "both must dip (model {dip_model:.2}, sim {dip_sim:.2})");
+    assert!(
+        dip_model < 0.75 && dip_sim < 0.75,
+        "both must dip (model {dip_model:.2}, sim {dip_sim:.2})"
+    );
     assert!(
         (dip_model - dip_sim).abs() < 0.25,
         "dip depth should agree: model {dip_model:.2} vs sim {dip_sim:.2}"

@@ -1,3 +1,8 @@
+// Proptest-based suite: compiled only with `--features proptest` (needs
+// network to fetch proptest; the default offline pass runs the in-repo
+// generator suites instead).
+#![cfg(feature = "proptest")]
+
 //! Property-based model checking: devices and stores against reference
 //! models under arbitrary operation sequences.
 
