@@ -1,39 +1,27 @@
 //! Runs every experiment's report at the selected scale
 //! (`KVSSD_BENCH_SCALE` = tiny|quick|full) and prints the tables.
+//!
+//! With an argument, runs just that figure: `repro_all -- fig5`.
+//! Worker threads for cell-parallel figures: `KVSSD_BENCH_THREADS`
+//! (defaults to `available_parallelism()`; `1` is the exact serial
+//! path).
 use kvssd_bench::{experiments, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    let only = std::env::args().nth(1);
-    let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
-    if want("fig2") {
-        experiments::fig2::report(scale);
-    }
-    if want("fig3") {
-        experiments::fig3::report(scale);
-    }
-    if want("fig4") {
-        experiments::fig4::report(scale);
-    }
-    if want("fig5") {
-        experiments::fig5::report(scale);
-    }
-    if want("fig6") {
-        experiments::fig6::report(scale);
-    }
-    if want("fig7") {
-        experiments::fig7::report(scale);
-    }
-    if want("fig8") {
-        experiments::fig8::report(scale);
-    }
-    if want("headline") {
-        experiments::headline::report(scale);
-    }
-    if want("ablations") {
-        experiments::ablations::report(scale);
-    }
-    if want("scaleout") {
-        experiments::scaleout::report(scale);
+    match std::env::args().nth(1) {
+        None => {
+            for (_, report) in experiments::FIGURES {
+                report(scale);
+            }
+        }
+        Some(name) => match experiments::FIGURES.iter().find(|(n, _)| *n == name) {
+            Some((_, report)) => report(scale),
+            None => {
+                let valid: Vec<&str> = experiments::FIGURES.iter().map(|(n, _)| *n).collect();
+                eprintln!("unknown figure `{name}`; valid names: {}", valid.join(", "));
+                std::process::exit(1);
+            }
+        },
     }
 }

@@ -15,6 +15,7 @@ use kvssd_kvbench::report::f2;
 use kvssd_kvbench::{run_phase, AccessPattern, KvStore, OpMix, Table, ValueSize, WorkloadSpec};
 use kvssd_sim::SimTime;
 
+use crate::experiments::cells;
 use crate::{setup, Scale};
 
 /// One measured cell of the figure.
@@ -67,85 +68,111 @@ const PATTERNS: [(&str, AccessPattern); 3] = [
     ("Zipf", AccessPattern::Zipfian { theta: 0.99 }),
 ];
 
-/// Runs the experiment.
+/// Runs the three phases of one (pattern, system) cell on a fresh store.
+fn run_cell(
+    mut store: Box<dyn KvStore>,
+    pname: &'static str,
+    pattern: AccessPattern,
+    n: u64,
+    qd: usize,
+) -> Vec<Fig2Row> {
+    let store = store.as_mut();
+    let system = store.name();
+    let mut rows = Vec::with_capacity(3);
+    // Insert phase (pattern = insertion order).
+    let ins = run_phase(
+        store,
+        &WorkloadSpec::new("insert", n, n)
+            .mix(OpMix::InsertOnly)
+            .pattern(pattern)
+            .value(ValueSize::Fixed(4096))
+            .queue_depth(qd),
+        SimTime::ZERO,
+    );
+    rows.push(Fig2Row {
+        system,
+        pattern: pname,
+        op: "insert",
+        mean_us: ins.writes.mean().as_micros_f64(),
+        p99_us: ins.writes.percentile(99.0).as_micros_f64(),
+        cpu_cores: ins.cpu_cores_used(),
+    });
+    // Update phase.
+    let upd = run_phase(
+        store,
+        &WorkloadSpec::new("update", n, n)
+            .mix(OpMix::UpdateOnly)
+            .pattern(pattern)
+            .value(ValueSize::Fixed(4096))
+            .queue_depth(qd)
+            .seed(7),
+        crate::experiments::settle(ins.finished),
+    );
+    rows.push(Fig2Row {
+        system,
+        pattern: pname,
+        op: "update",
+        mean_us: upd.writes.mean().as_micros_f64(),
+        p99_us: upd.writes.percentile(99.0).as_micros_f64(),
+        cpu_cores: upd.cpu_cores_used(),
+    });
+    // Read phase.
+    let rd = run_phase(
+        store,
+        &WorkloadSpec::new("read", n, n)
+            .mix(OpMix::ReadOnly)
+            .pattern(pattern)
+            .value(ValueSize::Fixed(4096))
+            .queue_depth(qd)
+            .seed(11),
+        crate::experiments::settle(upd.finished),
+    );
+    assert_eq!(rd.not_found, 0, "{system}/{pname}: reads must hit");
+    rows.push(Fig2Row {
+        system,
+        pattern: pname,
+        op: "read",
+        mean_us: rd.reads.mean().as_micros_f64(),
+        p99_us: rd.reads.percentile(99.0).as_micros_f64(),
+        cpu_cores: rd.cpu_cores_used(),
+    });
+    rows
+}
+
+/// Runs the experiment. One cell per (pattern × system), each on its own
+/// freshly seeded store, scheduled by [`cells::run_cells`].
 pub fn run(scale: Scale) -> Fig2Result {
     let n = scale.pick(3_000, 50_000, 200_000);
     let qd = 8;
-    let mut out = Fig2Result::default();
+    type Make = fn() -> Box<dyn KvStore>;
+    const MAKES: [Make; 3] = [
+        || Box::new(setup::kv_ssd()),
+        || Box::new(setup::rocksdb()),
+        || Box::new(setup::aerospike()),
+    ];
+    let mut work: Vec<cells::Cell<Vec<Fig2Row>>> = Vec::new();
     for (pname, pattern) in PATTERNS {
-        let mut systems: Vec<Box<dyn KvStore>> = vec![
-            Box::new(setup::kv_ssd()),
-            Box::new(setup::rocksdb()),
-            Box::new(setup::aerospike()),
-        ];
-        for store in &mut systems {
-            let system = store.name();
-            // Insert phase (pattern = insertion order).
-            let ins = run_phase(
-                store.as_mut(),
-                &WorkloadSpec::new("insert", n, n)
-                    .mix(OpMix::InsertOnly)
-                    .pattern(pattern)
-                    .value(ValueSize::Fixed(4096))
-                    .queue_depth(qd),
-                SimTime::ZERO,
-            );
-            out.rows.push(Fig2Row {
-                system,
-                pattern: pname,
-                op: "insert",
-                mean_us: ins.writes.mean().as_micros_f64(),
-                p99_us: ins.writes.percentile(99.0).as_micros_f64(),
-                cpu_cores: ins.cpu_cores_used(),
-            });
-            // Update phase.
-            let upd = run_phase(
-                store.as_mut(),
-                &WorkloadSpec::new("update", n, n)
-                    .mix(OpMix::UpdateOnly)
-                    .pattern(pattern)
-                    .value(ValueSize::Fixed(4096))
-                    .queue_depth(qd)
-                    .seed(7),
-                crate::experiments::settle(ins.finished),
-            );
-            out.rows.push(Fig2Row {
-                system,
-                pattern: pname,
-                op: "update",
-                mean_us: upd.writes.mean().as_micros_f64(),
-                p99_us: upd.writes.percentile(99.0).as_micros_f64(),
-                cpu_cores: upd.cpu_cores_used(),
-            });
-            // Read phase.
-            let rd = run_phase(
-                store.as_mut(),
-                &WorkloadSpec::new("read", n, n)
-                    .mix(OpMix::ReadOnly)
-                    .pattern(pattern)
-                    .value(ValueSize::Fixed(4096))
-                    .queue_depth(qd)
-                    .seed(11),
-                crate::experiments::settle(upd.finished),
-            );
-            assert_eq!(rd.not_found, 0, "{system}/{pname}: reads must hit");
-            out.rows.push(Fig2Row {
-                system,
-                pattern: pname,
-                op: "read",
-                mean_us: rd.reads.mean().as_micros_f64(),
-                p99_us: rd.reads.percentile(99.0).as_micros_f64(),
-                cpu_cores: rd.cpu_cores_used(),
-            });
+        for make in MAKES {
+            work.push(Box::new(move || run_cell(make(), pname, pattern, n, qd)));
         }
     }
-    out
+    Fig2Result {
+        rows: cells::run_cells("fig2", work)
+            .into_iter()
+            .flatten()
+            .collect(),
+    }
 }
 
-/// Prints the paper-shaped table.
-pub fn report(scale: Scale) -> Fig2Result {
-    let r = run(scale);
-    println!("\n=== Fig. 2: end-to-end latency, 16 B keys / 4 KiB values (QD 8) ===");
+/// The paper-shaped table as a string (byte-stable for a given result).
+pub fn render(r: &Fig2Result) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n=== Fig. 2: end-to-end latency, 16 B keys / 4 KiB values (QD 8) ==="
+    )
+    .unwrap();
     for op in ["insert", "update", "read"] {
         let mut t = Table::new(&[
             "op",
@@ -173,25 +200,40 @@ pub fn report(scale: Scale) -> Fig2Result {
                 &f2(cell("Rand").cpu_cores),
             ]);
         }
-        println!("{t}");
+        writeln!(out, "{t}").unwrap();
     }
     let kv_seq = r.mean_us("KV-SSD", "Seq", "insert");
     let kv_rand = r.mean_us("KV-SSD", "Rand", "insert");
-    println!(
+    writeln!(
+        out,
         "KV-SSD seq/rand insert ratio: {:.2} (paper: ~1 — hashing erases sequentiality)",
         kv_seq / kv_rand
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "KV-SSD vs RocksDB insert: {:.2}x better (paper: up to 23.08x)",
         r.mean_us("RocksDB", "Rand", "insert") / r.mean_us("KV-SSD", "Rand", "insert")
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "KV-SSD vs Aerospike update: {:.2}x better (paper: up to 3.64x)",
         r.mean_us("Aerospike", "Rand", "update") / r.mean_us("KV-SSD", "Rand", "update")
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "KV-SSD vs RocksDB read: {:.2}x (paper: KV-SSD loses, ratio > 1)",
         r.mean_us("KV-SSD", "Rand", "read") / r.mean_us("RocksDB", "Rand", "read")
-    );
+    )
+    .unwrap();
+    out
+}
+
+/// Prints the paper-shaped table.
+pub fn report(scale: Scale) -> Fig2Result {
+    let r = run(scale);
+    print!("{}", render(&r));
     r
 }

@@ -13,6 +13,7 @@ use kvssd_kvbench::report::f2;
 use kvssd_kvbench::{run_phase, KvStore, OpMix, Table, ValueSize, WorkloadSpec};
 use kvssd_sim::SimTime;
 
+use crate::experiments::cells;
 use crate::{setup, Scale};
 
 /// The sweep's value sizes (bytes).
@@ -64,28 +65,33 @@ impl Fig4Result {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. One cell per (value size × queue depth), each
+/// building both its devices fresh, scheduled by [`cells::run_cells`].
 pub fn run(scale: Scale) -> Fig4Result {
     let per_point = scale.pick(1_200, 8_000, 15_000);
-    let mut out = Fig4Result::default();
+    let mut work: Vec<cells::Cell<Fig4Row>> = Vec::new();
     for &vs in &VALUE_SIZES {
         // Populations sized to a fixed data volume so big values do not
         // overfill the device.
         let n = (per_point * 4096 / vs as u64).clamp(400, per_point);
         for qd in [1usize, 64] {
-            let (kv_w, kv_r) = measure(&mut setup::kv_ssd(), n, vs, qd);
-            let (blk_w, blk_r) = measure(&mut setup::block_direct(vs), n, vs, qd);
-            out.rows.push(Fig4Row {
-                value_bytes: vs,
-                qd,
-                kv_write_us: kv_w,
-                blk_write_us: blk_w,
-                kv_read_us: kv_r,
-                blk_read_us: blk_r,
-            });
+            work.push(Box::new(move || {
+                let (kv_w, kv_r) = measure(&mut setup::kv_ssd(), n, vs, qd);
+                let (blk_w, blk_r) = measure(&mut setup::block_direct(vs), n, vs, qd);
+                Fig4Row {
+                    value_bytes: vs,
+                    qd,
+                    kv_write_us: kv_w,
+                    blk_write_us: blk_w,
+                    kv_read_us: kv_r,
+                    blk_read_us: blk_r,
+                }
+            }));
         }
     }
-    out
+    Fig4Result {
+        rows: cells::run_cells("fig4", work),
+    }
 }
 
 fn measure(store: &mut dyn KvStore, n: u64, value_bytes: u32, qd: usize) -> (f64, f64) {
@@ -115,11 +121,20 @@ fn measure(store: &mut dyn KvStore, n: u64, value_bytes: u32, qd: usize) -> (f64
     )
 }
 
-/// Prints the paper-shaped table.
-pub fn report(scale: Scale) -> Fig4Result {
-    let res = run(scale);
-    println!("\n=== Fig. 4: KV/block latency ratio vs value size (random, direct) ===");
-    println!("(< 1.00 favors KV-SSD; paper page payload budget is 24 KiB)");
+/// The paper-shaped table as a string (byte-stable for a given result).
+pub fn render(res: &Fig4Result) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n=== Fig. 4: KV/block latency ratio vs value size (random, direct) ==="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "(< 1.00 favors KV-SSD; paper page payload budget is 24 KiB)"
+    )
+    .unwrap();
     let mut t = Table::new(&[
         "value",
         "QD",
@@ -142,13 +157,22 @@ pub fn report(scale: Scale) -> Fig4Result {
             &f2(r.blk_read_us),
         ]);
     }
-    println!("{t}");
+    writeln!(out, "{t}").unwrap();
     let small64 = res.row(2048, 64);
     let big64 = res.row(65536, 64);
-    println!(
+    writeln!(
+        out,
         "QD64 crossover: 2KiB write ratio {:.2} (paper: <=0.86) vs 64KiB write ratio {:.2} (paper: up to 5.4)",
         small64.write_ratio(),
         big64.write_ratio()
-    );
+    )
+    .unwrap();
+    out
+}
+
+/// Prints the paper-shaped table.
+pub fn report(scale: Scale) -> Fig4Result {
+    let res = run(scale);
+    print!("{}", render(&res));
     res
 }

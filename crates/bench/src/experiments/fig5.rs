@@ -10,6 +10,7 @@ use kvssd_kvbench::report::{bytes, f2};
 use kvssd_kvbench::Table;
 use kvssd_sim::SimTime;
 
+use crate::experiments::cells;
 use crate::{setup, Scale};
 
 /// The sweep's value sizes: straddling the 24 KiB / 48 KiB boundaries.
@@ -57,30 +58,43 @@ impl Fig5Result {
     }
 }
 
-/// Runs the experiment: insert-only at QD 64, fixed total volume.
+/// Runs the experiment: insert-only at QD 64, fixed total volume. One
+/// cell per value size, scheduled by [`cells::run_cells`].
 pub fn run(scale: Scale) -> Fig5Result {
     let volume = scale.pick(24 << 20, 300 << 20, 1 << 30);
-    let mut out = Fig5Result::default();
-    for &vs in &VALUE_SIZES {
-        let n = (volume / vs as u64).max(200);
-        let mut kv = setup::kv_ssd();
-        let m = crate::experiments::fill(&mut kv, n, vs, 64, SimTime::ZERO);
-        let kv_mbps = m.mean_mbps();
-        let mut blk = setup::block_direct(vs);
-        let m = crate::experiments::fill(&mut blk, n, vs, 64, SimTime::ZERO);
-        out.rows.push(Fig5Row {
-            value_bytes: vs,
-            kv_mbps,
-            blk_mbps: m.mean_mbps(),
-        });
+    let work: Vec<cells::Cell<Fig5Row>> = VALUE_SIZES
+        .iter()
+        .map(|&vs| {
+            let cell: cells::Cell<Fig5Row> = Box::new(move || {
+                let n = (volume / vs as u64).max(200);
+                let mut kv = setup::kv_ssd();
+                let m = crate::experiments::fill(&mut kv, n, vs, 64, SimTime::ZERO);
+                let kv_mbps = m.mean_mbps();
+                let mut blk = setup::block_direct(vs);
+                let m = crate::experiments::fill(&mut blk, n, vs, 64, SimTime::ZERO);
+                Fig5Row {
+                    value_bytes: vs,
+                    kv_mbps,
+                    blk_mbps: m.mean_mbps(),
+                }
+            });
+            cell
+        })
+        .collect();
+    Fig5Result {
+        rows: cells::run_cells("fig5", work),
     }
-    out
 }
 
-/// Prints the paper-shaped series.
-pub fn report(scale: Scale) -> Fig5Result {
-    let res = run(scale);
-    println!("\n=== Fig. 5: write bandwidth vs value size (insert-only, QD 64) ===");
+/// The paper-shaped series as a string (byte-stable for a given result).
+pub fn render(res: &Fig5Result) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n=== Fig. 5: write bandwidth vs value size (insert-only, QD 64) ==="
+    )
+    .unwrap();
     let mut t = Table::new(&["value", "KV-SSD MB/s", "block MB/s", "KV/blk"]);
     for r in &res.rows {
         t.row(&[
@@ -90,17 +104,28 @@ pub fn report(scale: Scale) -> Fig5Result {
             &f2(r.kv_mbps / r.blk_mbps),
         ]);
     }
-    println!("{t}");
-    println!(
+    writeln!(out, "{t}").unwrap();
+    writeln!(
+        out,
         "KV dip past the page budget: 24KiB -> 25KiB bandwidth {:.2} -> {:.2} MB/s ({:.0}% drop; paper shows a sharp dip)",
         res.kv_mbps(24 * 1024),
         res.kv_mbps(25 * 1024),
         100.0 * (1.0 - res.kv_mbps(25 * 1024) / res.kv_mbps(24 * 1024)),
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "KV recovery then second dip: 48KiB {:.2} MB/s -> 49KiB {:.2} MB/s",
         res.kv_mbps(48 * 1024),
         res.kv_mbps(49 * 1024),
-    );
+    )
+    .unwrap();
+    out
+}
+
+/// Prints the paper-shaped series.
+pub fn report(scale: Scale) -> Fig5Result {
+    let res = run(scale);
+    print!("{}", render(&res));
     res
 }

@@ -10,6 +10,7 @@ use kvssd_kvbench::report::f2;
 use kvssd_kvbench::{KvStore, Table};
 use kvssd_sim::SimTime;
 
+use crate::experiments::cells;
 use crate::{setup, Scale};
 
 /// The sweep's value sizes (bytes).
@@ -49,7 +50,8 @@ impl Fig7Result {
 }
 
 /// Runs the experiment: insert `n` pairs per (system, size), read the
-/// space books.
+/// space books. One cell per (value size × system), scheduled by
+/// [`cells::run_cells`].
 pub fn run(scale: Scale) -> Fig7Result {
     let n = scale.pick(2_000, 20_000, 50_000);
     let mut out = Fig7Result::default();
@@ -59,31 +61,42 @@ pub fn run(scale: Scale) -> Fig7Result {
         out.kv_max_kvps = sp.max_kvps;
         out.kv_capacity_bytes = sp.capacity_bytes;
     }
+    type Make = fn() -> Box<dyn KvStore>;
+    const MAKES: [Make; 3] = [
+        || Box::new(setup::kv_ssd()),
+        || Box::new(setup::aerospike()),
+        || Box::new(setup::rocksdb()),
+    ];
+    let mut work: Vec<cells::Cell<Fig7Row>> = Vec::new();
     for &vs in &VALUE_SIZES {
-        let mut systems: Vec<Box<dyn KvStore>> = vec![
-            Box::new(setup::kv_ssd()),
-            Box::new(setup::aerospike()),
-            Box::new(setup::rocksdb()),
-        ];
-        for store in &mut systems {
-            let system = store.name();
-            let m = crate::experiments::fill(store.as_mut(), n, vs, 16, SimTime::ZERO);
-            let _ = m;
-            let usage = store.space();
-            out.rows.push(Fig7Row {
-                value_bytes: vs,
-                system,
-                amplification: usage.amplification(),
-            });
+        for make in MAKES {
+            work.push(Box::new(move || {
+                let mut store = make();
+                let system = store.name();
+                let m = crate::experiments::fill(store.as_mut(), n, vs, 16, SimTime::ZERO);
+                let _ = m;
+                let usage = store.space();
+                Fig7Row {
+                    value_bytes: vs,
+                    system,
+                    amplification: usage.amplification(),
+                }
+            }));
         }
     }
+    out.rows = cells::run_cells("fig7", work);
     out
 }
 
-/// Prints the paper-shaped table.
-pub fn report(scale: Scale) -> Fig7Result {
-    let res = run(scale);
-    println!("\n=== Fig. 7: space amplification vs KVP size (16 B keys) ===");
+/// The paper-shaped table as a string (byte-stable for a given result).
+pub fn render(res: &Fig7Result) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n=== Fig. 7: space amplification vs KVP size (16 B keys) ==="
+    )
+    .unwrap();
     let mut t = Table::new(&["value", "KV-SSD", "Aerospike", "RocksDB"]);
     for &vs in &VALUE_SIZES {
         t.row(&[
@@ -93,13 +106,16 @@ pub fn report(scale: Scale) -> Fig7Result {
             &f2(res.amp("RocksDB", vs)),
         ]);
     }
-    println!("{t}");
-    println!(
+    writeln!(out, "{t}").unwrap();
+    writeln!(
+        out,
         "KV-SSD @50B: {:.1}x (paper: 17x); smallest values: {:.1}x (paper: up to 20x)",
         res.amp("KV-SSD", 50),
         res.amp("KV-SSD", 16),
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "KV-SSD 1-4KiB: {:.2}-{:.2}x (paper: ~1); Aerospike @50B: {:.2}x (paper: 1.8x); RocksDB worst: {:.2}x (paper: ~1.11)",
         res.amp("KV-SSD", 1024),
         res.amp("KV-SSD", 4096),
@@ -108,11 +124,21 @@ pub fn report(scale: Scale) -> Fig7Result {
             .iter()
             .map(|&v| res.amp("RocksDB", v))
             .fold(0.0, f64::max),
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "Device KVP limit: {} pairs on {} of data capacity (paper: ~3.1 B on 3.84 TB; scaled ~1000x)",
         res.kv_max_kvps,
         kvssd_kvbench::report::bytes(res.kv_capacity_bytes),
-    );
+    )
+    .unwrap();
+    out
+}
+
+/// Prints the paper-shaped table.
+pub fn report(scale: Scale) -> Fig7Result {
+    let res = run(scale);
+    print!("{}", render(&res));
     res
 }

@@ -5,6 +5,7 @@
 //! printing the paper-shaped rows.
 
 pub mod ablations;
+pub mod cells;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -19,6 +20,70 @@ use kvssd_kvbench::{
     run_phase, AccessPattern, KvStore, OpMix, RunMetrics, ValueSize, WorkloadSpec,
 };
 use kvssd_sim::SimTime;
+
+use crate::Scale;
+
+/// A figure entry point taking only the run scale.
+pub type FigureFn = fn(Scale);
+
+/// Every figure's name with its report function, in canonical order
+/// (the order `repro_all` runs them).
+pub const FIGURES: [(&str, FigureFn); 10] = [
+    ("fig2", |s| {
+        fig2::report(s);
+    }),
+    ("fig3", |s| {
+        fig3::report(s);
+    }),
+    ("fig4", |s| {
+        fig4::report(s);
+    }),
+    ("fig5", |s| {
+        fig5::report(s);
+    }),
+    ("fig6", |s| {
+        fig6::report(s);
+    }),
+    ("fig7", |s| {
+        fig7::report(s);
+    }),
+    ("fig8", |s| {
+        fig8::report(s);
+    }),
+    ("headline", |s| {
+        headline::report(s);
+    }),
+    ("ablations", |s| {
+        ablations::report(s);
+    }),
+    ("scaleout", |s| {
+        scaleout::report(s);
+    }),
+];
+
+/// The figures ported onto the parallel cell scheduler, in canonical
+/// order. Each entry runs the figure *silently* (no table printing) —
+/// what the self-timing harness executes.
+pub const PORTED: [(&str, FigureFn); 6] = [
+    ("fig2", |s| {
+        fig2::run(s);
+    }),
+    ("fig4", |s| {
+        fig4::run(s);
+    }),
+    ("fig5", |s| {
+        fig5::run(s);
+    }),
+    ("fig7", |s| {
+        fig7::run(s);
+    }),
+    ("ablations", |s| {
+        ablations::run(s);
+    }),
+    ("scaleout", |s| {
+        scaleout::run(s);
+    }),
+];
 
 /// Fills a store with `n` sequential-order keys of `value_bytes` values
 /// at queue depth `qd`; returns the fill metrics.

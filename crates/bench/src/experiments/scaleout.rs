@@ -19,6 +19,7 @@ use kvssd_kvbench::report::f2;
 use kvssd_kvbench::{run_phase, ClusterStore, OpMix, RunMetrics, Table, ValueSize, WorkloadSpec};
 use kvssd_sim::SimTime;
 
+use crate::experiments::cells;
 use crate::{setup, Scale};
 
 /// Shard counts the sweep visits.
@@ -134,13 +135,19 @@ fn run_point(scale: Scale, shards: usize) -> ScaleoutPoint {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. One cell per shard count (each builds its own
+/// cluster), scheduled by [`cells::run_cells`].
 pub fn run(scale: Scale) -> ScaleoutResult {
-    let mut out = ScaleoutResult::default();
-    for &shards in &SHARD_COUNTS {
-        out.points.push(run_point(scale, shards));
+    let work: Vec<cells::Cell<ScaleoutPoint>> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let cell: cells::Cell<ScaleoutPoint> = Box::new(move || run_point(scale, shards));
+            cell
+        })
+        .collect();
+    ScaleoutResult {
+        points: cells::run_cells("scaleout", work),
     }
-    out
 }
 
 /// Update-phase write percentile in microseconds.
@@ -215,10 +222,16 @@ fn downsample(m: &RunMetrics) -> Vec<f64> {
         .collect()
 }
 
-/// Prints the sweep table and timelines.
-pub fn report(scale: Scale) -> ScaleoutResult {
-    let res = run(scale);
-    println!("\n=== Scale-out: uniform updates at 80 % occupancy, shard sweep ===");
+/// The sweep table and timelines as a string (byte-stable for a given
+/// result).
+pub fn render(res: &ScaleoutResult) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "\n=== Scale-out: uniform updates at 80 % occupancy, shard sweep ==="
+    )
+    .unwrap();
     let mut t = Table::new(&[
         "shards",
         "kvps",
@@ -243,14 +256,29 @@ pub fn report(scale: Scale) -> ScaleoutResult {
             &p.fg_gc_events.to_string(),
         ]);
     }
-    println!("{t}");
+    writeln!(out, "{t}").unwrap();
     for p in &res.points {
         let spark: Vec<String> = p.timeline.iter().map(|v| format!("{v:.0}")).collect();
-        println!("N={:<2} agg MB/s timeline: {}", p.shards, spark.join(" "));
+        writeln!(
+            out,
+            "N={:<2} agg MB/s timeline: {}",
+            p.shards,
+            spark.join(" ")
+        )
+        .unwrap();
     }
-    println!(
+    writeln!(
+        out,
         "Cluster question: GC collapses stay per-shard (dip windows ≫ sync windows) \
          while aggregate bandwidth scales with N."
-    );
+    )
+    .unwrap();
+    out
+}
+
+/// Prints the sweep table and timelines.
+pub fn report(scale: Scale) -> ScaleoutResult {
+    let res = run(scale);
+    print!("{}", render(&res));
     res
 }

@@ -511,19 +511,34 @@ impl KvCluster {
     /// All shards' write-latency histograms merged.
     pub fn merged_write_latency(&self) -> LatencyHistogram {
         let mut h = LatencyHistogram::new();
-        for s in &self.shards {
-            h.merge(&s.writes);
-        }
+        self.merged_write_latency_into(&mut h);
         h
+    }
+
+    /// Merges all shards' write histograms into `out` (cleared first).
+    /// Allocation-free: callers polling latency repeatedly reuse one
+    /// accumulator instead of rebuilding a histogram per call.
+    pub fn merged_write_latency_into(&self, out: &mut LatencyHistogram) {
+        out.clear();
+        for s in &self.shards {
+            out.merge_from(&s.writes);
+        }
     }
 
     /// All shards' read-latency histograms merged.
     pub fn merged_read_latency(&self) -> LatencyHistogram {
         let mut h = LatencyHistogram::new();
-        for s in &self.shards {
-            h.merge(&s.reads);
-        }
+        self.merged_read_latency_into(&mut h);
         h
+    }
+
+    /// Merges all shards' read histograms into `out` (cleared first);
+    /// the allocation-free counterpart of [`Self::merged_read_latency`].
+    pub fn merged_read_latency_into(&self, out: &mut LatencyHistogram) {
+        out.clear();
+        for s in &self.shards {
+            out.merge_from(&s.reads);
+        }
     }
 
     /// The cluster-wide bandwidth series.

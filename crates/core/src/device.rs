@@ -19,7 +19,7 @@ use crate::bloom::BloomFilter;
 use crate::config::KvConfig;
 use crate::error::KvError;
 use crate::hash::{key_fingerprint, key_hash};
-use crate::index::{GlobalStore, IndexEntry, IndexTiming, IterBuckets, SegLoc};
+use crate::index::{GlobalStore, IndexEntry, IndexTiming, IterBuckets, SegList, SegLoc};
 use crate::value::Payload;
 
 /// Keys returned by one iterator batch.
@@ -171,6 +171,10 @@ pub struct KvSsd {
     waste_per_block: Vec<u64>,
     waste_bytes: u64,
     data_capacity: u64,
+    /// Reusable segment-list buffer for `retrieve`: the entry's segments
+    /// are copied here (instead of cloning a fresh list per lookup) so
+    /// the hot read path stays allocation-free after warmup.
+    seg_scratch: Vec<SegLoc>,
     stats: KvSsdStats,
 }
 
@@ -239,6 +243,7 @@ impl KvSsd {
             waste_per_block: vec![0; g.total_blocks() as usize],
             waste_bytes: 0,
             data_capacity,
+            seg_scratch: Vec::new(),
             free,
             state,
             link: NvmeLink::new(config.nvme),
@@ -393,7 +398,7 @@ impl KvSsd {
                 key_len: key.len() as u8,
                 value_len: vlen as u32,
                 payload: value,
-                segs: Vec::with_capacity(layout.segments()),
+                segs: SegList::new(),
             },
         );
 
@@ -509,10 +514,16 @@ impl KvSsd {
                 value: None,
             });
         };
+        // Payload clone is an `Arc` refcount bump (no value copy); the
+        // segment list is copied into the reusable scratch buffer instead
+        // of cloning a fresh list per lookup.
         let value = entry.payload.clone();
         let vlen = entry.value_len as u64;
-        let segs = entry.segs.clone();
+        let mut segs = std::mem::take(&mut self.seg_scratch);
+        segs.clear();
+        segs.extend_from_slice(entry.segs.as_slice());
         let t = self.read_segments(t, (h, fp), &segs);
+        self.seg_scratch = segs;
         self.stats.retrieves += 1;
         Ok(Lookup {
             at: self.link.complete(t, vlen),
@@ -659,7 +670,7 @@ impl KvSsd {
     /// vendor log pages).
     pub fn segments_of(&self, key: &[u8]) -> Option<Vec<SegLoc>> {
         let (h, fp) = (key_hash(key), key_fingerprint(key));
-        self.index.get(h, fp).map(|e| e.segs.clone())
+        self.index.get(h, fp).map(|e| e.segs.to_vec())
     }
 
     /// Programs all partially filled open pages (end-of-phase barrier).

@@ -22,7 +22,12 @@ use kvssd_flash::{BlockId, FlashDevice, PageAddr};
 use kvssd_sim::rng::mix64;
 use kvssd_sim::SimTime;
 
+use crate::inline_vec::InlineVec;
 use crate::value::Payload;
+
+/// Segment list of one entry: inline up to 2 segments (the common case
+/// — only values past the per-page budget split), heap beyond.
+pub type SegList = InlineVec<SegLoc, 2>;
 
 /// Location of one blob segment on flash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +44,20 @@ pub struct SegLoc {
     pub raw: u32,
 }
 
+impl Default for SegLoc {
+    /// An all-zero placeholder (unused inline-buffer slots only; never a
+    /// live location).
+    fn default() -> Self {
+        SegLoc {
+            block: BlockId(0),
+            page: 0,
+            offset: 0,
+            alloc: 0,
+            raw: 0,
+        }
+    }
+}
+
 /// One global-index record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexEntry {
@@ -50,8 +69,8 @@ pub struct IndexEntry {
     pub value_len: u32,
     /// The stored value (the simulator's stand-in for flash contents).
     pub payload: Payload,
-    /// Segment locations, in order.
-    pub segs: Vec<SegLoc>,
+    /// Segment locations, in order (inline for unsplit blobs).
+    pub segs: SegList,
 }
 
 impl IndexEntry {
@@ -424,7 +443,8 @@ mod tests {
                 offset: 0,
                 alloc: 1024,
                 raw: 46,
-            }],
+            }]
+            .into(),
         }
     }
 

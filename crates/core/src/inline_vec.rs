@@ -1,0 +1,222 @@
+//! An in-repo inline small-vector for segment lists.
+//!
+//! Most index entries hold 1–2 segments (only values past the per-page
+//! budget split), so `IndexEntry` storing a `Vec<SegLoc>` paid a heap
+//! allocation per live KVP and a second one per clone. [`InlineVec`]
+//! keeps up to `N` elements inline in the struct and spills to a `Vec`
+//! only when a blob actually splits beyond that, making the common path
+//! allocation-free. No `unsafe`: the inline buffer requires
+//! `T: Copy + Default` and unused slots simply hold `T::default()`.
+
+use std::ops::{Deref, DerefMut};
+
+/// A vector storing up to `N` elements inline, spilling to the heap
+/// beyond that.
+///
+/// # Example
+///
+/// ```
+/// use kvssd_core::inline_vec::InlineVec;
+///
+/// let mut v: InlineVec<u32, 2> = InlineVec::new();
+/// v.push(1);
+/// v.push(2);
+/// assert!(!v.spilled());
+/// v.push(3); // exceeds the inline capacity
+/// assert!(v.spilled());
+/// assert_eq!(v.as_slice(), &[1, 2, 3]);
+/// ```
+#[derive(Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    /// Valid element count while inline; ignored once spilled.
+    len: usize,
+    inline: [T; N],
+    heap: Option<Vec<T>>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            inline: [T::default(); N],
+            heap: None,
+        }
+    }
+
+    /// Appends an element, spilling to the heap past `N` elements.
+    pub fn push(&mut self, value: T) {
+        match &mut self.heap {
+            Some(v) => v.push(value),
+            None if self.len < N => {
+                self.inline[self.len] = value;
+                self.len += 1;
+            }
+            None => {
+                let mut v = Vec::with_capacity(N + 1);
+                v.extend_from_slice(&self.inline[..self.len]);
+                v.push(value);
+                self.heap = Some(v);
+            }
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.heap {
+            Some(v) => v,
+            None => &self.inline[..self.len],
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match &mut self.heap {
+            Some(v) => v,
+            None => &mut self.inline[..self.len],
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match &self.heap {
+            Some(v) => v.len(),
+            None => self.len,
+        }
+    }
+
+    /// True when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the vector has spilled to the heap.
+    pub fn spilled(&self) -> bool {
+        self.heap.is_some()
+    }
+
+    /// Copies the elements into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        if v.len() <= N {
+            let mut out = Self::new();
+            for x in v {
+                out.push(x);
+            }
+            out
+        } else {
+            InlineVec {
+                len: 0,
+                inline: [T::default(); N],
+                heap: Some(v),
+            }
+        }
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        // Representation-independent: spilled-then-shrunk and inline
+        // vectors with equal contents compare equal.
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(10);
+        v.push(20);
+        assert_eq!(v.len(), 2);
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[10, 20]);
+    }
+
+    #[test]
+    fn spills_past_capacity_and_keeps_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn slice_ops_via_deref() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v[0] = 9;
+        assert_eq!(v[0], 9);
+        assert_eq!(v.get(1), Some(&2));
+        assert_eq!(v.iter().sum::<u32>(), 11);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let a: InlineVec<u32, 2> = vec![1, 2].into();
+        let mut b: InlineVec<u32, 2> = InlineVec::new();
+        b.push(1);
+        b.push(2);
+        assert_eq!(a, b);
+        let c: InlineVec<u32, 2> = vec![1, 2, 3].into();
+        assert!(c.spilled());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let v: InlineVec<u32, 2> = vec![7, 8, 9].into();
+        assert_eq!(v.to_vec(), vec![7, 8, 9]);
+        let small: InlineVec<u32, 2> = vec![7].into();
+        assert!(!small.spilled());
+        assert_eq!(small.to_vec(), vec![7]);
+    }
+}

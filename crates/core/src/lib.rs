@@ -45,6 +45,7 @@ pub mod device;
 pub mod error;
 pub mod hash;
 pub mod index;
+pub mod inline_vec;
 pub mod model;
 pub mod value;
 

@@ -6,12 +6,17 @@
 //! [`Payload::Bytes`] gives the library real storage semantics (and lets
 //! tests verify data integrity end to end). The device treats both
 //! identically for timing and space accounting.
+//!
+//! Real bytes live behind an `Arc<[u8]>` so cloning a payload — which
+//! retrieve does once per hit — is a refcount bump, not a value copy.
+
+use std::sync::Arc;
 
 /// A value payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Payload {
-    /// Real bytes, returned verbatim on retrieve.
-    Bytes(Box<[u8]>),
+    /// Real bytes, returned verbatim on retrieve (shared, not copied).
+    Bytes(Arc<[u8]>),
     /// A sized placeholder: `len` bytes of notional data identified by
     /// `tag` (so tests can check the right payload came back).
     Synthetic {
@@ -25,7 +30,7 @@ pub enum Payload {
 impl Payload {
     /// Wraps real bytes.
     pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
-        Payload::Bytes(bytes.into().into_boxed_slice())
+        Payload::Bytes(bytes.into().into())
     }
 
     /// A synthetic payload of `len` bytes tagged `tag`.
@@ -91,6 +96,17 @@ mod tests {
     fn zero_length_values_are_legal() {
         assert!(Payload::from_bytes(vec![]).is_empty());
         assert!(Payload::synthetic(0, 0).is_empty());
+    }
+
+    #[test]
+    fn clone_is_a_refcount_bump() {
+        let p = Payload::from_bytes(vec![7u8; 64]);
+        let q = p.clone();
+        assert_eq!(
+            p.as_bytes().unwrap().as_ptr(),
+            q.as_bytes().unwrap().as_ptr(),
+            "cloning a byte payload must share storage, not copy it"
+        );
     }
 
     #[test]

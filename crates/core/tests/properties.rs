@@ -27,7 +27,8 @@ fn entry(fp: u64, vlen: u32) -> IndexEntry {
             offset: 0,
             alloc: 1024,
             raw: vlen + 48,
-        }],
+        }]
+        .into(),
     }
 }
 

@@ -116,6 +116,15 @@ impl LatencyHistogram {
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.merge_from(other);
+    }
+
+    /// Merges `other` into `self` without allocating: both histograms
+    /// have the same fixed bucket layout, so this is a pure element-wise
+    /// add. Callers that aggregate many histograms repeatedly (e.g. the
+    /// cluster's per-shard merges) keep one accumulator and `clear` +
+    /// `merge_from` instead of rebuilding.
+    pub fn merge_from(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a = a.saturating_add(*b);
         }
@@ -125,6 +134,15 @@ impl LatencyHistogram {
             self.min_ns = self.min_ns.min(other.min_ns);
             self.max_ns = self.max_ns.max(other.max_ns);
         }
+    }
+
+    /// Resets to empty in place, keeping the bucket storage.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum_ns = 0;
+        self.min_ns = u64::MAX;
+        self.max_ns = 0;
     }
 
     /// One-line summary used by the report tables.
@@ -251,6 +269,23 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.mean(), us(20));
         assert_eq!(a.max(), us(30));
+    }
+
+    #[test]
+    fn merge_from_then_clear_reuses_storage() {
+        let mut acc = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        b.record(us(5));
+        b.record(us(15));
+        acc.merge_from(&b);
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.mean(), us(10));
+        acc.clear();
+        assert!(acc.is_empty());
+        assert_eq!(acc.mean(), SimDuration::ZERO);
+        acc.merge_from(&b);
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.max(), us(15));
     }
 
     #[test]

@@ -25,4 +25,8 @@ cargo test "${CARGO_FLAGS[@]}" -q --workspace
 echo "== cargo clippy -D warnings =="
 cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 
+echo "== repro_all smoke (tiny scale, timed) =="
+time KVSSD_BENCH_SCALE=tiny \
+    cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example repro_all > /dev/null
+
 echo "verify: OK"

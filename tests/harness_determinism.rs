@@ -1,0 +1,45 @@
+//! The parallel scheduler must not change results: rendered figure
+//! tables with `KVSSD_BENCH_THREADS=1` (the exact serial pass-through)
+//! and `=4` (the worker pool) are byte-identical at tiny scale.
+
+use kvssd_study::bench::experiments::{ablations, cells, fig2, fig4, fig5, fig7, scaleout};
+use kvssd_study::bench::Scale;
+
+fn rendered_suite(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str(&fig2::render(&fig2::run(scale)));
+    out.push_str(&fig4::render(&fig4::run(scale)));
+    out.push_str(&fig5::render(&fig5::run(scale)));
+    out.push_str(&fig7::render(&fig7::run(scale)));
+    out.push_str(&ablations::render(&ablations::run(scale)));
+    out.push_str(&scaleout::render(&scaleout::run(scale)));
+    out
+}
+
+/// One test (not several) so the process-global thread override cannot
+/// race between concurrently running test functions.
+#[test]
+fn thread_count_does_not_change_rendered_tables() {
+    // The env-var path is the user-facing contract; drive it directly.
+    std::env::set_var("KVSSD_BENCH_THREADS", "1");
+    assert_eq!(cells::thread_count(), 1);
+    let serial = rendered_suite(Scale::Tiny);
+
+    std::env::set_var("KVSSD_BENCH_THREADS", "4");
+    assert_eq!(cells::thread_count(), 4);
+    let parallel = rendered_suite(Scale::Tiny);
+
+    std::env::remove_var("KVSSD_BENCH_THREADS");
+
+    assert!(
+        serial.contains("=== Fig. 2")
+            && serial.contains("=== Fig. 5")
+            && serial.contains("=== Ablations")
+            && serial.contains("=== Scale-out"),
+        "suite must actually render the ported figures"
+    );
+    assert_eq!(
+        serial, parallel,
+        "KVSSD_BENCH_THREADS=1 and =4 must produce byte-identical tables"
+    );
+}
