@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use kvssd_bench::experiments::{self, cells};
+use kvssd_bench::experiments::{self, cells, device_ops};
 use kvssd_bench::Scale;
 
 /// Per-figure wall-clock for one pass (seconds, plus cell stats).
@@ -62,6 +62,8 @@ fn main() {
         threads
     );
 
+    eprintln!("bench_harness: device_ops microbench...");
+    let ops = device_ops::run(scale);
     eprintln!("bench_harness: serial pass (1 thread)...");
     let serial = run_pass(scale, 1);
     eprintln!("bench_harness: parallel pass ({threads} threads)...");
@@ -76,6 +78,19 @@ fn main() {
     json.push_str("{\n");
     writeln!(json, "  \"scale\": \"{}\",", scale_name(scale)).unwrap();
     writeln!(json, "  \"threads\": {threads},").unwrap();
+    writeln!(
+        json,
+        "  \"device_ops\": {{\"scale\": \"{}\", \"ops\": {}, \
+         \"baseline_ops_per_sec\": {:.0}, \"optimized_ops_per_sec\": {:.0}, \
+         \"improvement\": {:.2}, \"checksum\": \"{:016x}\"}},",
+        scale_name(scale),
+        ops.baseline.ops,
+        ops.baseline.ops_per_sec(),
+        ops.optimized.ops_per_sec(),
+        ops.improvement(),
+        ops.baseline.checksum
+    )
+    .unwrap();
     json.push_str("  \"figures\": [\n");
     for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
         assert_eq!(s.figure, p.figure, "pass order must match");

@@ -1,0 +1,231 @@
+//! Device hot-path microbenchmark: host-side ops/second of the KV-SSD
+//! simulator under a GC-heavy workload.
+//!
+//! Unlike the figures, this measures *wall-clock* cost of simulating the
+//! device, not virtual-time behavior: it is the measurement harness for
+//! the incremental-GC/pre-hashed-map overhaul. Both legs run in the same
+//! process on the same host:
+//!
+//! * **baseline** — [`kvssd_core::KvSsd::set_legacy_gc_scan`] routes
+//!   victim selection through the original O(blocks) linear scans;
+//! * **optimized** — the incremental [`kvssd_core::victim::VictimQueue`]
+//!   path (the default).
+//!
+//! Both legs replay the identical fixed-seed workload and must produce an
+//! identical behavior checksum (virtual time + op/GC counters) — the
+//! queue is a pure host-side optimization, so any divergence is a bug and
+//! the run panics. The block-count-heavy geometry makes the old scan's
+//! O(blocks)-per-selection cost visible the way a full-size device would.
+
+use std::time::Instant;
+
+use kvssd_core::{KvConfig, KvSsd, Payload};
+use kvssd_flash::{FlashTiming, Geometry};
+use kvssd_sim::rng::mix64;
+use kvssd_sim::{DeterministicRng, SimTime};
+
+use crate::Scale;
+
+/// Fixed workload seed: every run of every leg replays the same ops.
+const SEED: u64 = 0x5EED_DE71CE;
+
+/// One leg's measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Leg {
+    /// Host-side ops completed (stores + deletes + retrieves).
+    pub ops: u64,
+    /// Wall-clock seconds for the whole leg.
+    pub seconds: f64,
+    /// Behavior digest: virtual time and every GC-visible counter.
+    pub checksum: u64,
+}
+
+impl Leg {
+    /// Ops per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.seconds
+    }
+}
+
+/// Both legs of the microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceOpsResult {
+    /// Legacy linear-scan leg.
+    pub baseline: Leg,
+    /// Incremental victim-queue leg.
+    pub optimized: Leg,
+}
+
+impl DeviceOpsResult {
+    /// Optimized throughput over baseline throughput.
+    pub fn improvement(&self) -> f64 {
+        self.optimized.ops_per_sec() / self.baseline.ops_per_sec()
+    }
+}
+
+/// Block-heavy geometry: many small erase blocks, so victims drain
+/// quickly and selection (the O(blocks) scan in the legacy leg) runs
+/// often, while capacity stays small enough for runs in seconds.
+fn geometry(scale: Scale) -> Geometry {
+    Geometry {
+        channels: 4,
+        dies_per_channel: 4,
+        planes_per_die: 2,
+        blocks_per_plane: scale.pick(16, 256, 512) as u32,
+        pages_per_block: 4,
+        page_bytes: 32 * 1024,
+    }
+}
+
+fn config() -> KvConfig {
+    KvConfig {
+        // Host-memory-only machinery that costs the same in both legs.
+        iterator_buckets: false,
+        max_kvps: 1_000_000,
+        ..KvConfig::pm983_scaled()
+    }
+}
+
+fn key(i: u64) -> [u8; 16] {
+    let mut k = *b"dev-ops-00000000";
+    k[8..].copy_from_slice(&format!("{i:08}").into_bytes());
+    k
+}
+
+/// Replays the fixed-seed workload on one device and returns the leg
+/// measurement. The fill phase is setup (identical in both legs and
+/// GC-light); only the churn phase — where victim selection runs
+/// constantly — is timed.
+fn run_leg(scale: Scale, legacy: bool) -> Leg {
+    let mut d = KvSsd::new(geometry(scale), FlashTiming::pm983_like(), config());
+    d.set_legacy_gc_scan(legacy);
+    let mut rng = DeterministicRng::seed_from(SEED);
+    let vsize = 4096u32;
+    let n = (d.space().capacity_bytes * 7 / 10) / (vsize as u64 + 64);
+    let churn = n * 2;
+
+    let mut t = SimTime::ZERO;
+    for i in 0..n {
+        t = d.store(t, &key(i), Payload::synthetic(vsize, i)).unwrap();
+    }
+    // Overwrite-heavy churn with deletes and reads mixed in: valid
+    // counts fall block by block, so victim selection runs constantly.
+    let t0 = Instant::now();
+    let mut ops = 0;
+    for _ in 0..churn {
+        let i = rng.below(n);
+        match rng.below(10) {
+            0..=6 => t = d.store(t, &key(i), Payload::synthetic(vsize, !i)).unwrap(),
+            7..=8 => t = d.delete(t, &key(i)).unwrap().0,
+            _ => t = d.retrieve(t, &key(i)).unwrap().at,
+        }
+        ops += 1;
+    }
+    t = d.flush(t);
+    let seconds = t0.elapsed().as_secs_f64();
+
+    let s = d.stats();
+    assert!(s.gc_erases > 0, "workload must exercise GC");
+    let mut checksum = mix64(t.since(SimTime::ZERO).as_nanos());
+    for part in [
+        s.stores,
+        s.deletes,
+        s.retrieves,
+        s.gc_erases,
+        s.gc_copied_segments,
+        s.foreground_gc_events,
+        d.len(),
+        d.free_blocks() as u64,
+    ] {
+        checksum = mix64(checksum ^ part);
+    }
+    Leg {
+        ops,
+        seconds,
+        checksum,
+    }
+}
+
+/// Measurement rounds per leg; legs are interleaved and each leg keeps
+/// its fastest round, so a background noise spike on this (possibly
+/// single-CPU) host hits one round, not one leg.
+const ROUNDS: usize = 3;
+
+/// Runs both legs (interleaved, best-of-[`ROUNDS`]) and checks they
+/// behaved identically.
+///
+/// # Panics
+///
+/// Panics if the two legs' behavior checksums diverge — the victim
+/// queue must be wall-clock-only.
+pub fn run(scale: Scale) -> DeviceOpsResult {
+    let mut best: Option<(Leg, Leg)> = None;
+    for _ in 0..ROUNDS {
+        let baseline = run_leg(scale, true);
+        let optimized = run_leg(scale, false);
+        assert_eq!(
+            baseline.checksum, optimized.checksum,
+            "victim queue changed device behavior"
+        );
+        best = Some(match best {
+            None => (baseline, optimized),
+            Some((b, o)) => (
+                if baseline.seconds < b.seconds {
+                    baseline
+                } else {
+                    b
+                },
+                if optimized.seconds < o.seconds {
+                    optimized
+                } else {
+                    o
+                },
+            ),
+        });
+    }
+    let (baseline, optimized) = best.expect("ROUNDS > 0");
+    DeviceOpsResult {
+        baseline,
+        optimized,
+    }
+}
+
+/// Prints the microbench table.
+pub fn report(scale: Scale) {
+    print_table(&run(scale));
+}
+
+/// Prints the table for an already-measured result.
+pub fn print_table(r: &DeviceOpsResult) {
+    println!("device_ops: KV-SSD simulator host throughput (GC-heavy, fixed seed)");
+    println!("  leg        ops      seconds   ops/sec");
+    println!(
+        "  legacy     {:<8} {:<9.3} {:.0}",
+        r.baseline.ops,
+        r.baseline.seconds,
+        r.baseline.ops_per_sec()
+    );
+    println!(
+        "  optimized  {:<8} {:<9.3} {:.0}",
+        r.optimized.ops,
+        r.optimized.seconds,
+        r.optimized.ops_per_sec()
+    );
+    println!(
+        "  improvement {:.2}x (checksum {:016x}, legs identical)",
+        r.improvement(),
+        r.baseline.checksum
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legs_agree_at_tiny_scale() {
+        let r = run(Scale::Tiny);
+        assert_eq!(r.baseline.checksum, r.optimized.checksum);
+        assert_eq!(r.baseline.ops, r.optimized.ops);
+    }
+}

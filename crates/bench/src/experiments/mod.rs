@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod cells;
+pub mod device_ops;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -6,11 +6,11 @@
 //! and buffer resources.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use kvssd_flash::{BlockId, FlashDevice, FlashTiming, Geometry, PageAddr};
 use kvssd_nvme::NvmeLink;
-use kvssd_sim::{SimDuration, SimTime};
+use kvssd_sim::{PrehashedMap, SimDuration, SimTime};
 
 use crate::config::BlockFtlConfig;
 use crate::mapping::{MappingTable, PhysLoc};
@@ -138,8 +138,9 @@ pub struct BlockSsd {
     buffer_leaves: BinaryHeap<Reverse<(SimTime, u32)>>,
     /// Buffered clusters whose page has not been programmed yet.
     buffer_unassigned: u32,
-    /// lcn -> time its data leaves the volatile buffer.
-    buffer_resident: HashMap<u32, SimTime>,
+    /// lcn -> time its data leaves the volatile buffer. LCNs are
+    /// low-entropy integers; the pre-hashed map's multiply spreads them.
+    buffer_resident: PrehashedMap<u32, SimTime>,
     /// Recently fetched physical pages (FIFO read buffer).
     read_buffer: VecDeque<(BlockId, u32)>,
     /// End byte offset of the last host write (sequential detection).
@@ -191,7 +192,7 @@ impl BlockSsd {
             gc: Stream::empty(),
             buffer_leaves: BinaryHeap::new(),
             buffer_unassigned: 0,
-            buffer_resident: HashMap::new(),
+            buffer_resident: PrehashedMap::default(),
             read_buffer: VecDeque::new(),
             last_written_end: None,
             gc_victim: None,

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 
 use kvssd_flash::{BlockId, FlashDevice, PageAddr};
 use kvssd_sim::rng::mix64;
-use kvssd_sim::SimTime;
+use kvssd_sim::{PrehashedMap, SimTime};
 
 use crate::inline_vec::InlineVec;
 use crate::value::Payload;
@@ -89,10 +89,12 @@ impl IndexEntry {
 ///
 /// Keyed by both hashes so 64-bit hash collisions between distinct keys
 /// stay distinct records, as the device's collision-resolution chain
-/// would keep them.
+/// would keep them. Both key components are already uniform 64-bit
+/// hashes, so the map skips SipHash for a pre-hash fold
+/// ([`PrehashedMap`]) — the single hottest map in the device.
 #[derive(Debug, Default)]
 pub struct GlobalStore {
-    map: HashMap<(u64, u64), IndexEntry>,
+    map: PrehashedMap<(u64, u64), IndexEntry>,
 }
 
 impl GlobalStore {
@@ -334,15 +336,57 @@ impl IndexTiming {
 #[derive(Debug, Clone)]
 struct IterState {
     bucket: [u8; 4],
+    /// Slot index into the bucket's slot vector (tombstones included),
+    /// so positions stay stable under concurrent deletes.
     pos: usize,
+}
+
+/// One iterator bucket: insertion-ordered key slots with tombstoned
+/// deletes and an O(1) position map.
+///
+/// Deletes used to linearly scan the bucket for the key; at
+/// million-key buckets that made every delete O(bucket). Now a
+/// pre-hashed position map finds the slot directly and the slot is
+/// tombstoned in place — surviving keys keep their insertion order and
+/// open cursors keep their positions (snapshot semantics). Tombstones
+/// are compacted away once they dominate a bucket *and* no iterator is
+/// open (compaction renumbers slots, which would move cursors).
+#[derive(Debug, Default)]
+struct Bucket {
+    /// Insertion-ordered slots; `None` is a tombstone left by a delete.
+    slots: Vec<Option<Box<[u8]>>>,
+    /// (key hash, fingerprint) -> slot index.
+    pos: PrehashedMap<(u64, u64), usize>,
+    tombstones: usize,
+}
+
+impl Bucket {
+    fn live(&self) -> usize {
+        self.slots.len() - self.tombstones
+    }
+
+    /// Drops tombstoned slots and renumbers the position map. Only legal
+    /// while no iterator holds a cursor into this bucket.
+    fn compact(&mut self) {
+        self.slots.retain(Option::is_some);
+        self.tombstones = 0;
+        self.pos.clear();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let k = slot.as_deref().expect("retained live slots only");
+            self.pos.insert(
+                (crate::hash::key_hash(k), crate::hash::key_fingerprint(k)),
+                i,
+            );
+        }
+    }
 }
 
 /// Iterator buckets: prefix -> keys, plus open-iterator handles.
 #[derive(Debug, Default)]
 pub struct IterBuckets {
     enabled: bool,
-    buckets: HashMap<[u8; 4], Vec<Box<[u8]>>>,
-    open: HashMap<u64, IterState>,
+    buckets: HashMap<[u8; 4], Bucket>,
+    open: PrehashedMap<u64, IterState>,
     next_handle: u64,
 }
 
@@ -361,25 +405,52 @@ impl IterBuckets {
         self.enabled
     }
 
-    /// Records a newly stored key.
+    /// Records a newly stored key. Re-inserting a key that is already
+    /// present moves it to the bucket tail (the device never does this:
+    /// it inserts only on the new-key path).
     pub fn insert(&mut self, key: &[u8]) {
         if !self.enabled {
             return;
         }
-        self.buckets
+        let b = self
+            .buckets
             .entry(crate::hash::iter_bucket(key))
-            .or_default()
-            .push(key.to_vec().into_boxed_slice());
+            .or_default();
+        let id = (
+            crate::hash::key_hash(key),
+            crate::hash::key_fingerprint(key),
+        );
+        if let Some(old) = b.pos.insert(id, b.slots.len()) {
+            b.slots[old] = None;
+            b.tombstones += 1;
+        }
+        b.slots.push(Some(key.to_vec().into_boxed_slice()));
     }
 
-    /// Removes a deleted key (linear within its bucket).
+    /// Removes a deleted key: O(1) position-map lookup, tombstone in
+    /// place (survivors keep insertion order and open cursors stay
+    /// valid).
     pub fn remove(&mut self, key: &[u8]) {
         if !self.enabled {
             return;
         }
-        if let Some(v) = self.buckets.get_mut(&crate::hash::iter_bucket(key)) {
-            if let Some(i) = v.iter().position(|k| k.as_ref() == key) {
-                v.swap_remove(i);
+        let prefix = crate::hash::iter_bucket(key);
+        let Some(b) = self.buckets.get_mut(&prefix) else {
+            return;
+        };
+        let id = (
+            crate::hash::key_hash(key),
+            crate::hash::key_fingerprint(key),
+        );
+        if let Some(i) = b.pos.remove(&id) {
+            debug_assert_eq!(b.slots[i].as_deref(), Some(key));
+            b.slots[i] = None;
+            b.tombstones += 1;
+            // Reclaim tombstone-dominated buckets when no cursor can be
+            // invalidated by the renumbering.
+            if b.tombstones > b.live().max(32) && !self.open.values().any(|st| st.bucket == prefix)
+            {
+                b.compact();
             }
         }
     }
@@ -398,20 +469,19 @@ impl IterBuckets {
         h
     }
 
-    /// Returns up to `n` keys from an open iterator, advancing it.
-    /// `None` when the handle is not open.
+    /// Returns up to `n` live keys from an open iterator, advancing it
+    /// past any tombstones. `None` when the handle is not open.
     pub fn next(&mut self, handle: u64, n: usize) -> Option<Vec<Box<[u8]>>> {
         let st = self.open.get_mut(&handle)?;
-        let keys = self.buckets.get(&st.bucket);
-        let out = match keys {
-            None => Vec::new(),
-            Some(v) => {
-                let end = (st.pos + n).min(v.len());
-                let out = v[st.pos..end].to_vec();
-                st.pos = end;
-                out
+        let mut out = Vec::new();
+        if let Some(b) = self.buckets.get(&st.bucket) {
+            while st.pos < b.slots.len() && out.len() < n {
+                if let Some(k) = &b.slots[st.pos] {
+                    out.push(k.clone());
+                }
+                st.pos += 1;
             }
-        };
+        }
         Some(out)
     }
 
@@ -422,7 +492,7 @@ impl IterBuckets {
 
     /// Keys currently bucketed under `prefix`.
     pub fn bucket_len(&self, prefix: [u8; 4]) -> usize {
-        self.buckets.get(&prefix).map_or(0, Vec::len)
+        self.buckets.get(&prefix).map_or(0, Bucket::live)
     }
 }
 
@@ -599,5 +669,92 @@ mod tests {
     fn bad_handle_returns_none() {
         let mut ib = IterBuckets::new(true);
         assert!(ib.next(999, 5).is_none());
+    }
+
+    #[test]
+    fn large_bucket_deletes_keep_survivor_order() {
+        // Regression for the old O(bucket) swap_remove delete: deletes
+        // from a large bucket must be position-map hits, and the
+        // survivors must still iterate in original insertion order
+        // (swap_remove scrambled it).
+        let mut ib = IterBuckets::new(true);
+        let keys: Vec<String> = (0..1_000).map(|i| format!("bulk{i:05}")).collect();
+        for k in &keys {
+            ib.insert(k.as_bytes());
+        }
+        // Delete every third key, scattered over the whole bucket.
+        for k in keys.iter().step_by(3) {
+            ib.remove(k.as_bytes());
+        }
+        let expected: Vec<&String> = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, k)| k)
+            .collect();
+        assert_eq!(ib.bucket_len(*b"bulk"), expected.len());
+        let h = ib.open(*b"bulk");
+        let mut got = Vec::new();
+        loop {
+            let batch = ib.next(h, 64).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            got.extend(batch);
+        }
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.as_ref(), e.as_bytes());
+        }
+    }
+
+    #[test]
+    fn deletes_behind_an_open_cursor_do_not_shift_it() {
+        // Snapshot semantics: a cursor mid-bucket must not re-see or
+        // skip keys when earlier slots are tombstoned under it.
+        let mut ib = IterBuckets::new(true);
+        for i in 0..10u32 {
+            ib.insert(format!("curs{i:04}").as_bytes());
+        }
+        let h = ib.open(*b"curs");
+        assert_eq!(ib.next(h, 4).unwrap().len(), 4);
+        // Tombstone two already-visited keys and one upcoming key.
+        ib.remove(b"curs0000");
+        ib.remove(b"curs0002");
+        ib.remove(b"curs0005");
+        let rest = ib.next(h, 100).unwrap();
+        let names: Vec<&[u8]> = rest.iter().map(AsRef::as_ref).collect();
+        assert_eq!(
+            names,
+            vec![
+                b"curs0004".as_slice(),
+                b"curs0006",
+                b"curs0007",
+                b"curs0008",
+                b"curs0009"
+            ]
+        );
+    }
+
+    #[test]
+    fn tombstone_compaction_preserves_contents() {
+        // Drive a bucket well past the compaction threshold with no open
+        // iterators; live keys and order must survive the renumbering.
+        let mut ib = IterBuckets::new(true);
+        for i in 0..200u32 {
+            ib.insert(format!("comp{i:04}").as_bytes());
+        }
+        for i in 0..150u32 {
+            ib.remove(format!("comp{i:04}").as_bytes());
+        }
+        assert_eq!(ib.bucket_len(*b"comp"), 50);
+        // Deletes after compaction still resolve via the rebuilt map.
+        ib.remove(b"comp0175");
+        assert_eq!(ib.bucket_len(*b"comp"), 49);
+        let h = ib.open(*b"comp");
+        let got = ib.next(h, 100).unwrap();
+        assert_eq!(got.len(), 49);
+        assert_eq!(got[0].as_ref(), b"comp0150");
+        assert_eq!(got[48].as_ref(), b"comp0199");
     }
 }

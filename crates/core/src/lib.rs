@@ -48,6 +48,7 @@ pub mod index;
 pub mod inline_vec;
 pub mod model;
 pub mod value;
+pub mod victim;
 
 pub use config::KvConfig;
 pub use device::{KvSsd, KvSsdStats, Lookup, SpaceReport};

@@ -35,12 +35,14 @@
 //! assert_eq!(second.start, first.end);
 //! ```
 
+pub mod prehash;
 pub mod resource;
 pub mod rng;
 pub mod runner;
 pub mod stats;
 pub mod time;
 
+pub use prehash::{PrehashHasher, PrehashedMap, PrehashedSet};
 pub use resource::{Resource, ResourcePool, Window};
 pub use rng::{mix64, DeterministicRng, ZipfianDistribution};
 pub use runner::{FanIn, OpTiming, QueueRunner};

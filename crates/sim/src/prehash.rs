@@ -1,0 +1,158 @@
+//! Pre-hashed hash maps for keys that are already uniform hashes.
+//!
+//! The device hot paths key their maps on values that went through a
+//! 64-bit mixer before they ever reach a map — key hashes, fingerprints,
+//! iterator handles. Running SipHash over a value that is already a
+//! uniform hash is pure overhead, and `std`'s default hasher shows up
+//! prominently in device-op profiles. [`PrehashedMap`] swaps it for a
+//! single fold-and-multiply per word (the rustc `FxHash` recipe): one
+//! `wrapping_mul` redistributes low-entropy inputs (sequential iterator
+//! handles, LCNs) across the table's high bits, and is a no-op cost for
+//! inputs that are already uniform.
+//!
+//! No external dependencies — the workspace stays offline-green.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by pre-hashed (or low-entropy integer) keys.
+pub type PrehashedMap<K, V> = HashMap<K, V, BuildHasherDefault<PrehashHasher>>;
+
+/// `HashSet` counterpart of [`PrehashedMap`].
+pub type PrehashedSet<K> = HashSet<K, BuildHasherDefault<PrehashHasher>>;
+
+/// Word-at-a-time folding hasher (FxHash-style).
+///
+/// Each written word is folded into the state with a rotate, xor, and a
+/// multiply by a high-entropy odd constant. For keys that are already
+/// uniform 64-bit hashes this preserves uniformity; for sequential
+/// integers the multiply propagates the low bits into the high bits the
+/// table's control bytes are taken from.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PrehashHasher {
+    hash: u64,
+}
+
+/// `pi * 2^62`, odd — the multiplier rustc's FxHash uses for 64-bit words.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl PrehashHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for PrehashHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Byte-slice fallback (length prefixes, occasional byte keys):
+        // fold whole words, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(tail) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.fold(v as u64);
+        self.fold((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips_pair_keys() {
+        let mut m: PrehashedMap<(u64, u64), u32> = PrehashedMap::default();
+        for i in 0..10_000u64 {
+            m.insert((crate::rng::mix64(i), crate::rng::mix64(!i)), i as u32);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(
+                m.remove(&(crate::rng::mix64(i), crate::rng::mix64(!i))),
+                Some(i as u32)
+            );
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn sequential_integer_keys_spread_over_high_bits() {
+        // Hashbrown takes its control byte from the hash's top 7 bits: a
+        // pure identity hash of sequential handles would put every entry
+        // in the same control class. The multiply must spread them.
+        let mut top = PrehashedSet::default();
+        for handle in 0..128u64 {
+            let mut h = PrehashHasher::default();
+            h.write_u64(handle);
+            top.insert(h.finish() >> 57);
+        }
+        assert!(
+            top.len() > 32,
+            "only {} distinct top-7-bit classes",
+            top.len()
+        );
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently_and_distinctly() {
+        let mut h1 = PrehashHasher::default();
+        h1.write(b"abcdefgh-tail");
+        let mut h2 = PrehashHasher::default();
+        h2.write(b"abcdefgh-tail");
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = PrehashHasher::default();
+        h3.write(b"abcdefgh-tail!");
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn set_handles_collision_free_inserts() {
+        let mut s: PrehashedSet<u64> = PrehashedSet::default();
+        for i in 0..50_000u64 {
+            assert!(s.insert(crate::rng::mix64(i)));
+        }
+        assert_eq!(s.len(), 50_000);
+    }
+}

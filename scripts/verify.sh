@@ -29,4 +29,10 @@ echo "== repro_all smoke (tiny scale, timed) =="
 time KVSSD_BENCH_SCALE=tiny \
     cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example repro_all > /dev/null
 
+echo "== device_ops microbench (legacy scan vs victim queue) =="
+# Measures both legs in this same run and records the result in
+# BENCH_HARNESS.json (the "device_ops" line is patched in place).
+KVSSD_BENCH_SCALE="${KVSSD_BENCH_SCALE:-quick}" \
+    cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example device_ops
+
 echo "verify: OK"
