@@ -1,0 +1,43 @@
+//! Bench target for the cluster replication sweep: prints the R × N
+//! quorum-latency and repair-bill table, then times a simulator kernel
+//! under Criterion.
+//!
+//! Run with `cargo bench --bench replication`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+#[cfg(feature = "criterion")]
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// 3-way replicated stores through a 4-shard cluster.
+#[cfg(feature = "criterion")]
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_cluster_store_replicated", |b| {
+        b.iter(|| {
+            let mut cluster = kvssd_cluster::KvCluster::for_test_replicated(4, 3);
+            let mut t = kvssd_sim::SimTime::ZERO;
+            for i in 0..400u64 {
+                let key = format!("replica.key.{i:08}");
+                t = cluster
+                    .store(t, key.as_bytes(), kvssd_core::Payload::synthetic(1024, i))
+                    .unwrap();
+            }
+            std::hint::black_box(t);
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the sweep (captured into bench_output.txt).
+    experiments::replication::report(Scale::from_env());
+
+    // 2. Time the kernel (only with the non-default `criterion`
+    //    feature; the offline default stops at the printed tables).
+    #[cfg(feature = "criterion")]
+    {
+        let mut c = Criterion::default().sample_size(10).configure_from_args();
+        kernel(&mut c);
+        c.final_summary();
+    }
+}

@@ -15,6 +15,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod headline;
+pub mod replication;
 pub mod scaleout;
 
 use kvssd_kvbench::{
@@ -29,7 +30,7 @@ pub type FigureFn = fn(Scale);
 
 /// Every figure's name with its report function, in canonical order
 /// (the order `repro_all` runs them).
-pub const FIGURES: [(&str, FigureFn); 10] = [
+pub const FIGURES: [(&str, FigureFn); 11] = [
     ("fig2", |s| {
         fig2::report(s);
     }),
@@ -60,12 +61,15 @@ pub const FIGURES: [(&str, FigureFn); 10] = [
     ("scaleout", |s| {
         scaleout::report(s);
     }),
+    ("replication", |s| {
+        replication::report(s);
+    }),
 ];
 
 /// The figures ported onto the parallel cell scheduler, in canonical
 /// order. Each entry runs the figure *silently* (no table printing) —
 /// what the self-timing harness executes.
-pub const PORTED: [(&str, FigureFn); 6] = [
+pub const PORTED: [(&str, FigureFn); 7] = [
     ("fig2", |s| {
         fig2::run(s);
     }),
@@ -83,6 +87,9 @@ pub const PORTED: [(&str, FigureFn); 6] = [
     }),
     ("scaleout", |s| {
         scaleout::run(s);
+    }),
+    ("replication", |s| {
+        replication::run(s);
     }),
 ];
 

@@ -95,6 +95,31 @@ pub fn kv_cluster_small(shards: usize, seed: u64) -> ClusterStore {
     }))
 }
 
+/// An R-way replicated KV-SSD cluster (majority quorums) of scaled
+/// PM983 devices. `r = 1` is [`kv_cluster`] exactly.
+pub fn kv_cluster_replicated(shards: usize, r: usize, seed: u64) -> ClusterStore {
+    let config = kv_config_macro();
+    ClusterStore::new(KvCluster::new(
+        ClusterConfig::new(shards, seed).replication(r),
+        |_| KvSsd::new(geometry(), timing(), config),
+    ))
+}
+
+/// An R-way replicated cluster of unit-test-geometry devices for
+/// Tiny-scale runs.
+pub fn kv_cluster_replicated_small(shards: usize, r: usize, seed: u64) -> ClusterStore {
+    ClusterStore::new(KvCluster::new(
+        ClusterConfig::new(shards, seed).replication(r),
+        |_| {
+            KvSsd::new(
+                Geometry::small(),
+                FlashTiming::pm983_like(),
+                KvConfig::small(),
+            )
+        },
+    ))
+}
+
 /// Aerospike-like store with direct device I/O.
 pub fn aerospike() -> HashKvStore {
     HashKvStore::new(HashStore::new(

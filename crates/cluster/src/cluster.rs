@@ -5,6 +5,19 @@
 //! hardware would; the cluster adds only the (configurable) submission
 //! queue in front of each device. Flush and rebalance scatter to all
 //! shards and fan back in on a [`FanIn`] barrier.
+//!
+//! With `replication_factor` R > 1 every key lives on the first R
+//! distinct shards walking the ring from its hash
+//! ([`HashRing::replica_set`]). Store/retrieve/delete fan out to the
+//! whole replica set through each owner's submission queue and
+//! acknowledge at the configured quorum: the operation's completion
+//! time is when the `write_quorum`-th (resp. `read_quorum`-th) fastest
+//! replica leg landed, while the straggler legs still occupy their
+//! devices and are tracked by the per-shard completion lanes. Membership
+//! changes repair placement: keys whose replica set lost a member are
+//! re-replicated from a surviving copy, and replicas that fell out of a
+//! set are demoted (dropped) — symmetric between `add_shard` and
+//! `remove_shard`.
 
 use std::collections::BTreeSet;
 
@@ -65,6 +78,11 @@ impl Shard {
     pub fn key_count(&self) -> usize {
         self.keys.len()
     }
+
+    /// True when this shard holds a replica of `key`.
+    pub fn holds(&self, key: &[u8]) -> bool {
+        self.keys.contains(key)
+    }
 }
 
 /// Summed device counters across all shards.
@@ -87,13 +105,21 @@ pub struct ClusterStats {
 pub struct RebalanceReport {
     /// Exact ring ownership change.
     pub ring: RingDelta,
-    /// Keys actually migrated.
+    /// Keys that gained at least one new replica (at R = 1: keys
+    /// migrated).
     pub moved_keys: u64,
-    /// User bytes (key + value) actually migrated.
+    /// User bytes (key + value) actually copied between shards.
     pub moved_bytes: u64,
+    /// Replica copy legs executed during repair; differs from
+    /// `moved_keys` when one key re-replicates to several new holders.
+    pub copied_replicas: u64,
+    /// Replica copies demoted (deleted off shards that left the key's
+    /// replica set). Copies on a shard being decommissioned leave with
+    /// the device and are not counted.
+    pub dropped_replicas: u64,
     /// When the rebalance started.
     pub started: SimTime,
-    /// Fan-in instant: when the last migrated key landed.
+    /// Fan-in instant: when the last surviving-shard leg landed.
     pub completed: SimTime,
 }
 
@@ -125,6 +151,12 @@ pub struct KvCluster {
     shards: Vec<Shard>,
     /// Per-shard op-completion lanes, aligned with `shards` by index.
     completions: FanIn,
+    /// Reusable per-operation fan-in over the current op's replica legs
+    /// (reset each op, so the quorum path allocates nothing steady
+    /// state).
+    op_fan: FanIn,
+    /// Reusable replica-set scratch (shard ids) for the same reason.
+    replica_scratch: Vec<usize>,
     next_shard_id: usize,
     aggregate_bw: BandwidthSeries,
     rebalanced_keys: u64,
@@ -136,9 +168,21 @@ impl KvCluster {
     ///
     /// # Panics
     ///
-    /// Panics if `config.shards` is zero.
+    /// Panics if `config.shards` is zero, the replication factor is
+    /// zero, or a quorum size is outside `1..=replication_factor`.
     pub fn new(config: ClusterConfig, mut make_device: impl FnMut(usize) -> KvSsd) -> Self {
         assert!(config.shards > 0, "a cluster needs at least one shard");
+        assert!(
+            config.replication_factor >= 1,
+            "replication factor must be at least 1"
+        );
+        for (name, q) in [("write", config.write_quorum), ("read", config.read_quorum)] {
+            assert!(
+                q >= 1 && q <= config.replication_factor,
+                "{name} quorum {q} outside 1..=R (R = {})",
+                config.replication_factor
+            );
+        }
         let ids: Vec<usize> = (0..config.shards).collect();
         let ring = HashRing::new(config.seed, config.vnodes_per_shard, &ids);
         let shards = ids
@@ -155,6 +199,8 @@ impl KvCluster {
             .collect();
         KvCluster {
             completions: FanIn::new(config.shards),
+            op_fan: FanIn::new(1),
+            replica_scratch: Vec::with_capacity(config.replication_factor),
             next_shard_id: config.shards,
             aggregate_bw: BandwidthSeries::new(config.bandwidth_window),
             rebalanced_keys: 0,
@@ -168,6 +214,18 @@ impl KvCluster {
     /// A small-geometry cluster for tests and doctests.
     pub fn for_test(shards: usize) -> Self {
         Self::new(ClusterConfig::new(shards, 42), |_| {
+            KvSsd::new(
+                kvssd_flash::Geometry::small(),
+                kvssd_flash::FlashTiming::pm983_like(),
+                kvssd_core::KvConfig::small(),
+            )
+        })
+    }
+
+    /// A small-geometry cluster with R-way replication (majority
+    /// quorums) for tests and doctests.
+    pub fn for_test_replicated(shards: usize, r: usize) -> Self {
+        Self::new(ClusterConfig::new(shards, 42).replication(r), |_| {
             KvSsd::new(
                 kvssd_flash::Geometry::small(),
                 kvssd_flash::FlashTiming::pm983_like(),
@@ -196,7 +254,8 @@ impl KvCluster {
         &self.shards
     }
 
-    /// Total live pairs across all devices.
+    /// Total live pairs across all devices. With replication each copy
+    /// counts: R healthy replicas of one key contribute R.
     pub fn len(&self) -> u64 {
         self.shards.iter().map(|s| s.device.len()).sum()
     }
@@ -213,87 +272,150 @@ impl KvCluster {
             .unwrap_or_else(|| panic!("shard {id} not in cluster"))
     }
 
-    /// The shard index a key routes to.
+    /// The shard index a key's primary replica routes to.
     pub fn route(&self, key: &[u8]) -> usize {
         self.index_of(self.ring.shard_for(key_hash(key)))
     }
 
-    /// Stores one pair on the owning shard.
-    pub fn store(&mut self, now: SimTime, key: &[u8], value: Payload) -> Result<SimTime, KvError> {
-        let idx = self.route(key);
-        let bytes = key.len() as u64 + value.len();
-        let shard = &mut self.shards[idx];
-        let Shard { device, sq, .. } = shard;
-        let mut res: Option<Result<SimTime, KvError>> = None;
-        let timing = sq.submit(now, |issue| match device.store(issue, key, value) {
-            Ok(done) => {
-                res = Some(Ok(done));
-                done
-            }
-            Err(e) => {
-                res = Some(Err(e));
-                issue
-            }
-        });
-        res.expect("submit runs the operation")?;
-        shard.writes.record(timing.latency());
-        shard.bandwidth.record(timing.completed, bytes);
-        self.aggregate_bw.record(timing.completed, bytes);
-        self.completions.record(idx, timing.completed);
-        shard.keys_insert(key);
-        Ok(timing.completed)
+    /// The shard indices holding replicas of `key`, in replica-set
+    /// order (the primary first). Holds `min(R, shard_count)` entries.
+    pub fn replica_routes(&self, key: &[u8]) -> Vec<usize> {
+        self.ring
+            .replica_set(key_hash(key), self.config.replication_factor)
+            .into_iter()
+            .map(|id| self.index_of(id))
+            .collect()
     }
 
-    /// Looks a key up on the owning shard.
-    pub fn retrieve(&mut self, now: SimTime, key: &[u8]) -> Result<Lookup, KvError> {
-        let idx = self.route(key);
-        let shard = &mut self.shards[idx];
-        let Shard { device, sq, .. } = shard;
-        let mut res: Option<Result<Lookup, KvError>> = None;
-        let timing = sq.submit(now, |issue| match device.retrieve(issue, key) {
-            Ok(l) => {
-                let at = l.at;
-                res = Some(Ok(l));
-                at
-            }
-            Err(e) => {
-                res = Some(Err(e));
-                issue
-            }
-        });
-        let lookup = res.expect("submit runs the operation")?;
-        shard.reads.record(timing.latency());
-        if let Some(v) = &lookup.value {
-            let bytes = key.len() as u64 + v.len();
+    /// Fills `replica_scratch` with the key's replica shard *indices*
+    /// and resets `op_fan` to one lane per replica. Returns the leg
+    /// count.
+    fn begin_replicated_op(&mut self, key: &[u8]) -> usize {
+        let mut ids = std::mem::take(&mut self.replica_scratch);
+        self.ring
+            .replica_set_into(key_hash(key), self.config.replication_factor, &mut ids);
+        for id in ids.iter_mut() {
+            *id = self.index_of(*id);
+        }
+        let k = ids.len();
+        self.replica_scratch = ids;
+        self.op_fan.reset(k);
+        k
+    }
+
+    /// Stores one pair on every replica shard; completes at the write
+    /// quorum.
+    ///
+    /// Each replica leg goes through its owner's submission queue from
+    /// `now`; the returned time is when the `write_quorum`-th fastest
+    /// leg landed. Straggler legs still occupy their devices and land in
+    /// the completion tracker. On a device error the error is returned
+    /// immediately; legs already executed stay applied (the repair pass
+    /// of the next membership change re-converges placement).
+    pub fn store(&mut self, now: SimTime, key: &[u8], value: Payload) -> Result<SimTime, KvError> {
+        let k = self.begin_replicated_op(key);
+        let bytes = key.len() as u64 + value.len();
+        for lane in 0..k {
+            let idx = self.replica_scratch[lane];
+            let shard = &mut self.shards[idx];
+            let Shard { device, sq, .. } = shard;
+            let v = value.clone();
+            let mut res: Option<Result<SimTime, KvError>> = None;
+            let timing = sq.submit(now, |issue| match device.store(issue, key, v) {
+                Ok(done) => {
+                    res = Some(Ok(done));
+                    done
+                }
+                Err(e) => {
+                    res = Some(Err(e));
+                    issue
+                }
+            });
+            res.expect("submit runs the operation")?;
+            shard.writes.record(timing.latency());
             shard.bandwidth.record(timing.completed, bytes);
             self.aggregate_bw.record(timing.completed, bytes);
+            self.completions.record(idx, timing.completed);
+            shard.keys_insert(key);
+            self.op_fan.record(lane, timing.completed);
         }
-        self.completions.record(idx, timing.completed);
-        Ok(lookup)
+        Ok(self.op_fan.quorum(self.config.write_quorum.min(k)))
     }
 
-    /// Deletes a key on the owning shard; returns whether it existed.
-    pub fn delete(&mut self, now: SimTime, key: &[u8]) -> Result<(SimTime, bool), KvError> {
-        let idx = self.route(key);
-        let shard = &mut self.shards[idx];
-        let Shard { device, sq, .. } = shard;
-        let mut res: Option<Result<(SimTime, bool), KvError>> = None;
-        let timing = sq.submit(now, |issue| match device.delete(issue, key) {
-            Ok((done, existed)) => {
-                res = Some(Ok((done, existed)));
-                done
+    /// Looks a key up on every replica shard; completes at the read
+    /// quorum (the returned `Lookup::at` is the `read_quorum`-th
+    /// fastest leg). The value comes from the first replica in set
+    /// order that holds one.
+    pub fn retrieve(&mut self, now: SimTime, key: &[u8]) -> Result<Lookup, KvError> {
+        let k = self.begin_replicated_op(key);
+        let mut value: Option<Payload> = None;
+        for lane in 0..k {
+            let idx = self.replica_scratch[lane];
+            let shard = &mut self.shards[idx];
+            let Shard { device, sq, .. } = shard;
+            let mut res: Option<Result<Lookup, KvError>> = None;
+            let timing = sq.submit(now, |issue| match device.retrieve(issue, key) {
+                Ok(l) => {
+                    let at = l.at;
+                    res = Some(Ok(l));
+                    at
+                }
+                Err(e) => {
+                    res = Some(Err(e));
+                    issue
+                }
+            });
+            let lookup = res.expect("submit runs the operation")?;
+            shard.reads.record(timing.latency());
+            if let Some(v) = &lookup.value {
+                let bytes = key.len() as u64 + v.len();
+                shard.bandwidth.record(timing.completed, bytes);
+                self.aggregate_bw.record(timing.completed, bytes);
             }
-            Err(e) => {
-                res = Some(Err(e));
-                issue
+            self.completions.record(idx, timing.completed);
+            self.op_fan.record(lane, timing.completed);
+            if value.is_none() {
+                value = lookup.value;
             }
-        });
-        let (_, existed) = res.expect("submit runs the operation")?;
-        if existed {
-            shard.keys.remove(key);
         }
-        self.completions.record(idx, timing.completed);
-        Ok((timing.completed, existed))
+        Ok(Lookup {
+            at: self.op_fan.quorum(self.config.read_quorum.min(k)),
+            value,
+        })
+    }
+
+    /// Deletes a key on every replica shard; completes at the write
+    /// quorum. Returns whether any replica held it.
+    pub fn delete(&mut self, now: SimTime, key: &[u8]) -> Result<(SimTime, bool), KvError> {
+        let k = self.begin_replicated_op(key);
+        let mut existed_any = false;
+        for lane in 0..k {
+            let idx = self.replica_scratch[lane];
+            let shard = &mut self.shards[idx];
+            let Shard { device, sq, .. } = shard;
+            let mut res: Option<Result<(SimTime, bool), KvError>> = None;
+            let timing = sq.submit(now, |issue| match device.delete(issue, key) {
+                Ok((done, existed)) => {
+                    res = Some(Ok((done, existed)));
+                    done
+                }
+                Err(e) => {
+                    res = Some(Err(e));
+                    issue
+                }
+            });
+            let (_, existed) = res.expect("submit runs the operation")?;
+            if existed {
+                shard.keys.remove(key);
+                existed_any = true;
+            }
+            self.completions.record(idx, timing.completed);
+            self.op_fan.record(lane, timing.completed);
+        }
+        Ok((
+            self.op_fan.quorum(self.config.write_quorum.min(k)),
+            existed_any,
+        ))
     }
 
     /// Flushes every shard; returns the fan-in barrier (when the last
@@ -313,8 +435,10 @@ impl KvCluster {
         self.completions.barrier()
     }
 
-    /// Adds a shard and migrates the keys the ring hands it. Returns the
-    /// new shard's id and the rebalance accounting.
+    /// Adds a shard and repairs placement: keys the ring now hands the
+    /// new shard are copied onto it, and replicas demoted out of their
+    /// key's set are dropped. Returns the new shard's id and the
+    /// rebalance accounting.
     pub fn add_shard(&mut self, now: SimTime, device: KvSsd) -> (usize, RebalanceReport) {
         let id = self.next_shard_id;
         self.next_shard_id += 1;
@@ -329,11 +453,16 @@ impl KvCluster {
             keys: BTreeSet::new(),
         });
         self.completions.add_lane();
-        let report = self.migrate_misplaced(now, ring_delta);
+        let report = self.repair_placement(now, ring_delta, None);
         (id, report)
     }
 
-    /// Removes a shard, migrating every key it held to the new owners.
+    /// Removes a shard: every key whose replica set lost the member is
+    /// re-replicated onto its new holder from a surviving copy. The
+    /// departing device is decommissioned wholesale — its copies leave
+    /// with it instead of being deleted one timed op at a time — so the
+    /// report's `completed` barrier covers exactly the legs that
+    /// survivors executed, and `quiesce_time()` always covers it.
     ///
     /// # Panics
     ///
@@ -345,111 +474,146 @@ impl KvCluster {
         );
         let idx = self.index_of(id);
         let ring_delta = self.ring.remove_shard(id);
-        let report = self.migrate_misplaced(now, ring_delta);
+        let report = self.repair_placement(now, ring_delta, Some(id));
         debug_assert_eq!(self.shards[idx].keys.len(), 0);
         self.shards.remove(idx);
         self.completions.remove_lane(idx);
         report
     }
 
-    /// Moves every key whose owner changed to where the ring now points.
-    /// Each move is a timed retrieve → store → delete through both
-    /// shards' submission queues; the report's `completed` is the fan-in
-    /// barrier over all moves.
-    fn migrate_misplaced(&mut self, now: SimTime, ring_delta: RingDelta) -> RebalanceReport {
+    /// Re-converges every key onto its current replica set after a
+    /// membership change. For each key (deterministic order: the union
+    /// of all shard registries, BTreeSet byte order):
+    ///
+    /// 1. missing replicas are copied from one surviving holder — a
+    ///    timed read on the source at `now`, then a timed store on each
+    ///    new holder at the read's completion;
+    /// 2. holders no longer in the replica set are demoted — a timed
+    ///    delete issued once the key's new copies have landed (so a
+    ///    replica is never dropped before its replacement is durable),
+    ///    except on a shard being decommissioned (`decommission`),
+    ///    whose copies leave with the device.
+    ///
+    /// Every surviving-shard leg lands in the completion tracker; the
+    /// report's `completed` is the fan-in barrier over those legs. At
+    /// R = 1 this reduces to the classic read → store → delete key
+    /// migration.
+    fn repair_placement(
+        &mut self,
+        now: SimTime,
+        ring_delta: RingDelta,
+        decommission: Option<usize>,
+    ) -> RebalanceReport {
         let mut moved_keys = 0u64;
         let mut moved_bytes = 0u64;
+        let mut copied_replicas = 0u64;
+        let mut dropped_replicas = 0u64;
         let mut barrier = now;
-        // Deterministic order: shards by index, keys in BTreeSet order.
-        for src in 0..self.shards.len() {
-            let misplaced: Vec<Box<[u8]>> = self.shards[src]
-                .keys
-                .iter()
-                .filter(|k| {
-                    let owner = self.ring.shard_for(key_hash(k));
-                    owner != self.shards[src].id
-                })
-                .cloned()
-                .collect();
-            for key in misplaced {
-                let dst = self.index_of(self.ring.shard_for(key_hash(&key)));
-                let done = self.move_key(now, src, dst, &key, &mut moved_bytes);
-                barrier = barrier.max(done);
+
+        let mut all_keys: BTreeSet<Box<[u8]>> = BTreeSet::new();
+        for s in &self.shards {
+            all_keys.extend(s.keys.iter().cloned());
+        }
+
+        let mut desired_ids: Vec<usize> = Vec::new();
+        let mut desired: Vec<usize> = Vec::new();
+        let mut holders: Vec<usize> = Vec::new();
+        let mut missing: Vec<usize> = Vec::new();
+
+        for key in &all_keys {
+            let key: &[u8] = key;
+            self.ring.replica_set_into(
+                key_hash(key),
+                self.config.replication_factor,
+                &mut desired_ids,
+            );
+            desired.clear();
+            desired.extend(desired_ids.iter().map(|&id| self.index_of(id)));
+            holders.clear();
+            holders.extend((0..self.shards.len()).filter(|&i| self.shards[i].keys.contains(key)));
+            missing.clear();
+            missing.extend(desired.iter().copied().filter(|d| !holders.contains(d)));
+            let demote_any = holders.iter().any(|h| !desired.contains(h));
+            if missing.is_empty() && !demote_any {
+                continue;
+            }
+
+            // Copy legs: one read off the preferred source (a holder
+            // staying in the set, else any holder), then a store per
+            // missing replica at the read's completion.
+            let mut write_barrier = now;
+            if !missing.is_empty() {
+                let src = holders
+                    .iter()
+                    .copied()
+                    .find(|h| desired.contains(h))
+                    .or_else(|| holders.first().copied())
+                    .expect("a registered key has at least one holder");
+                let (payload, read_done) = {
+                    let Shard { device, sq, .. } = &mut self.shards[src];
+                    let mut payload: Option<Payload> = None;
+                    let read = sq.submit(now, |issue| {
+                        let l = device
+                            .retrieve(issue, key)
+                            .expect("repair reads a live key");
+                        let at = l.at;
+                        payload = l.value;
+                        at
+                    });
+                    (
+                        payload.expect("registry said the key was live"),
+                        read.completed,
+                    )
+                };
+                self.completions.record(src, read_done);
+                for &dst in &missing {
+                    let Shard { device, sq, .. } = &mut self.shards[dst];
+                    let write = sq.submit(read_done, |issue| {
+                        device
+                            .store(issue, key, payload.clone())
+                            .expect("destination shard has room")
+                    });
+                    self.shards[dst].keys_insert(key);
+                    self.completions.record(dst, write.completed);
+                    write_barrier = write_barrier.max(write.completed);
+                    moved_bytes += key.len() as u64 + payload.len();
+                    copied_replicas += 1;
+                }
                 moved_keys += 1;
+                barrier = barrier.max(write_barrier);
+            }
+
+            // Demotion legs: never before the new copies are durable.
+            for h in 0..self.shards.len() {
+                if !holders.contains(&h) || desired.contains(&h) {
+                    continue;
+                }
+                if decommission == Some(self.shards[h].id) {
+                    self.shards[h].keys.remove(key);
+                    continue;
+                }
+                let Shard { device, sq, .. } = &mut self.shards[h];
+                let drop_leg = sq.submit(write_barrier, |issue| {
+                    device.delete(issue, key).expect("holder had the key").0
+                });
+                self.shards[h].keys.remove(key);
+                self.completions.record(h, drop_leg.completed);
+                barrier = barrier.max(drop_leg.completed);
+                dropped_replicas += 1;
             }
         }
+
         self.rebalanced_keys += moved_keys;
         self.rebalanced_bytes += moved_bytes;
         RebalanceReport {
             ring: ring_delta,
             moved_keys,
             moved_bytes,
+            copied_replicas,
+            dropped_replicas,
             started: now,
             completed: barrier,
         }
-    }
-
-    /// One timed key migration: read from `src`, write to `dst`, delete
-    /// from `src`, each leg through the owning shard's submission queue.
-    fn move_key(
-        &mut self,
-        now: SimTime,
-        src: usize,
-        dst: usize,
-        key: &[u8],
-        moved_bytes: &mut u64,
-    ) -> SimTime {
-        assert_ne!(src, dst, "move_key within one shard");
-        let (a, b) = self.shards.split_at_mut(src.max(dst));
-        let (src_shard, dst_shard) = if src < dst {
-            (&mut a[src], &mut b[0])
-        } else {
-            (&mut b[0], &mut a[dst])
-        };
-
-        // Leg 1: read the pair off the source device.
-        let Shard {
-            device: src_dev,
-            sq: src_sq,
-            ..
-        } = src_shard;
-        let mut payload: Option<Payload> = None;
-        let read = src_sq.submit(now, |issue| {
-            let l = src_dev.retrieve(issue, key).expect("migrating a live key");
-            let at = l.at;
-            payload = l.value;
-            at
-        });
-        let payload = payload.expect("registry said the key was live");
-        *moved_bytes += key.len() as u64 + payload.len();
-
-        // Leg 2: write it to the destination.
-        let Shard {
-            device: dst_dev,
-            sq: dst_sq,
-            ..
-        } = dst_shard;
-        let write = dst_sq.submit(read.completed, |issue| {
-            dst_dev
-                .store(issue, key, payload)
-                .expect("destination shard has room")
-        });
-        dst_shard.keys_insert(key);
-
-        // Leg 3: drop the source copy.
-        let Shard {
-            device: src_dev,
-            sq: src_sq,
-            ..
-        } = src_shard;
-        let erase = src_sq.submit(write.completed, |issue| {
-            src_dev.delete(issue, key).expect("source key exists").0
-        });
-        src_shard.keys.remove(key);
-
-        self.completions.record(src, erase.completed);
-        self.completions.record(dst, write.completed);
-        erase.completed
     }
 
     /// Summed counters across devices and submission queues.
@@ -556,6 +720,14 @@ impl KvCluster {
             self.config.vnodes_per_shard,
             self.config.seed
         ));
+        // Only rendered when replication is on, so R = 1 reports stay
+        // byte-identical to the pre-replication layout.
+        if self.config.replication_factor > 1 {
+            lines.push(format!(
+                "replication r={} wq={} rq={}",
+                self.config.replication_factor, self.config.write_quorum, self.config.read_quorum
+            ));
+        }
         lines.push(
             "shard  stores  retrieves  deletes  fg_gc  gc_copies  sq_stalls  kvps  bw_bytes"
                 .to_string(),

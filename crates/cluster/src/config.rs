@@ -19,6 +19,15 @@ pub struct ClusterConfig {
     pub sq: SqConfig,
     /// Window for the per-shard and aggregate bandwidth series.
     pub bandwidth_window: SimDuration,
+    /// Copies of every key (R), placed on the first R distinct shards
+    /// walking the ring from the key's hash. 1 = no replication (the
+    /// original single-copy behavior, bit-identical to the seed).
+    pub replication_factor: usize,
+    /// Replica completions a retrieve waits for before acknowledging.
+    pub read_quorum: usize,
+    /// Replica completions a store/delete waits for before
+    /// acknowledging.
+    pub write_quorum: usize,
 }
 
 impl ClusterConfig {
@@ -43,6 +52,29 @@ impl ClusterConfig {
         self.bandwidth_window = window;
         self
     }
+
+    /// Sets R-way replication with majority quorums (`⌊R/2⌋ + 1` for
+    /// both reads and writes — the smallest overlap-guaranteeing
+    /// choice). Override with [`Self::quorums`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn replication(mut self, r: usize) -> Self {
+        assert!(r >= 1, "replication factor must be at least 1");
+        self.replication_factor = r;
+        self.read_quorum = r / 2 + 1;
+        self.write_quorum = r / 2 + 1;
+        self
+    }
+
+    /// Sets explicit read/write quorum sizes (each clamped nowhere —
+    /// the cluster constructor validates `1 ≤ quorum ≤ R`).
+    pub fn quorums(mut self, read: usize, write: usize) -> Self {
+        self.read_quorum = read;
+        self.write_quorum = write;
+        self
+    }
 }
 
 impl Default for ClusterConfig {
@@ -53,6 +85,33 @@ impl Default for ClusterConfig {
             seed: 0,
             sq: SqConfig::passthrough(),
             bandwidth_window: SimDuration::from_millis(10),
+            replication_factor: 1,
+            read_quorum: 1,
+            write_quorum: 1,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_copy() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.replication_factor, 1);
+        assert_eq!(c.read_quorum, 1);
+        assert_eq!(c.write_quorum, 1);
+    }
+
+    #[test]
+    fn replication_sets_majority_quorums() {
+        let c = ClusterConfig::new(4, 7).replication(3);
+        assert_eq!(c.replication_factor, 3);
+        assert_eq!(c.read_quorum, 2);
+        assert_eq!(c.write_quorum, 2);
+        let c = c.quorums(1, 3);
+        assert_eq!(c.read_quorum, 1);
+        assert_eq!(c.write_quorum, 3);
     }
 }

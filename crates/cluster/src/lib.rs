@@ -15,7 +15,12 @@
 //!   different shards overlap in virtual time,
 //! * cluster-level metrics: merged latency histograms plus per-shard and
 //!   aggregate bandwidth series, and a byte-stable [`ClusterReport`]
-//!   table for determinism checks.
+//!   table for determinism checks,
+//! * R-way replication: [`HashRing::replica_set`] places every key on
+//!   the first R distinct shards past its hash, operations fan out to
+//!   the whole set and acknowledge at configurable read/write quorums,
+//!   and membership changes repair placement (re-replicate from a
+//!   surviving copy, demote misplaced replicas).
 //!
 //! A 1-shard cluster behind the default pass-through submission queue is
 //! *bit-identical* to a bare device: same seed, same virtual-time
@@ -37,6 +42,18 @@
 //! assert!(l.value.is_some());
 //! assert_eq!(cluster.len(), 1);
 //! # let _ = ClusterConfig::default();
+//!
+//! // Three-way replication with majority quorums: the key lands on
+//! // three shards, and a quorum read survives losing any one of them.
+//! let mut replicated = KvCluster::for_test_replicated(4, 3);
+//! let t = replicated
+//!     .store(SimTime::ZERO, b"user:42", Payload::synthetic(512, 7))
+//!     .unwrap();
+//! assert_eq!(replicated.replica_routes(b"user:42").len(), 3);
+//! let victim = replicated.shards()[replicated.route(b"user:42")].id();
+//! let rep = replicated.remove_shard(t, victim);
+//! let l = replicated.retrieve(rep.completed, b"user:42").unwrap();
+//! assert!(l.value.is_some());
 //! ```
 
 pub mod cluster;

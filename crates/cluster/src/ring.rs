@@ -53,17 +53,34 @@ impl HashRing {
         ring
     }
 
-    fn vnode_point(&self, shard: usize, replica: usize) -> u64 {
+    fn vnode_point(&self, shard: usize, replica: usize, probe: u64) -> u64 {
         // Two mixing rounds decorrelate shard and replica indices; the
-        // result is stable across runs for a given seed.
+        // result is stable across runs for a given seed. `probe` is the
+        // collision re-probe counter: 0 for the first attempt (so
+        // collision-free placement is unchanged from the original
+        // scheme), bumped until the point is unique on the ring.
         mix64(
-            mix64(self.seed ^ (shard as u64).wrapping_mul(0xA24B_AED4_963E_E407)) ^ replica as u64,
+            mix64(self.seed ^ (shard as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+                ^ replica as u64
+                ^ probe.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         )
     }
 
     fn insert_points(&mut self, shard: usize) {
         for replica in 0..self.vnodes_per_shard {
-            self.points.push((self.vnode_point(shard, replica), shard));
+            // Two distinct (shard, replica) pairs can hash to the same
+            // u64 point; the old code pushed the duplicate and
+            // `sort_unstable` then handed the whole arc to the lower
+            // shard id, leaving the other vnode a zero-length arc that
+            // `share_of`/`delta` accounted inconsistently. Re-probe
+            // deterministically until the point is free.
+            let mut probe = 0u64;
+            let mut point = self.vnode_point(shard, replica, probe);
+            while self.points.iter().any(|&(p, _)| p == point) {
+                probe += 1;
+                point = self.vnode_point(shard, replica, probe);
+            }
+            self.points.push((point, shard));
         }
     }
 
@@ -94,6 +111,46 @@ impl HashRing {
             Ok(i) => self.points[i].1,
             Err(i) if i < self.points.len() => self.points[i].1,
             Err(_) => self.points[0].1,
+        }
+    }
+
+    /// The first `r` *distinct* shards walking successor points from
+    /// `h` (wrapping), skipping points of shards already collected. The
+    /// first entry is always [`Self::shard_for`]`(h)`; the result holds
+    /// `min(r, shard_count)` shards. This is the key's replica set under
+    /// R-way replication.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ring when `r > 0`.
+    pub fn replica_set(&self, h: u64, r: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(r);
+        self.replica_set_into(h, r, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Self::replica_set`]: fills `out` (cleared
+    /// first), reusing its capacity.
+    pub fn replica_set_into(&self, h: u64, r: usize, out: &mut Vec<usize>) {
+        out.clear();
+        if r == 0 {
+            return;
+        }
+        assert!(!self.points.is_empty(), "routing on an empty ring");
+        let n = self.points.len();
+        let start = match self.points.binary_search(&(h, 0)) {
+            Ok(i) => i,
+            Err(i) if i < n => i,
+            Err(_) => 0,
+        };
+        for step in 0..n {
+            let (_, shard) = self.points[(start + step) % n];
+            if !out.contains(&shard) {
+                out.push(shard);
+                if out.len() == r {
+                    return;
+                }
+            }
         }
     }
 
@@ -142,11 +199,23 @@ impl HashRing {
 /// owner differs. Exact: within one merged arc, both rings' successor
 /// (and therefore owner) is constant.
 fn delta(old: &HashRing, new: &HashRing) -> RingDelta {
-    if old.points.is_empty() || new.points.is_empty() {
-        return RingDelta {
-            moved_fraction: 1.0,
-            moved_arcs: 1,
-        };
+    match (old.points.is_empty(), new.points.is_empty()) {
+        // Nothing owned anything on either side: nothing moved. (The
+        // old code fell into the one-sided arm and reported 1.0 / 1.)
+        (true, true) => {
+            return RingDelta {
+                moved_fraction: 0.0,
+                moved_arcs: 0,
+            }
+        }
+        // One-sided: the whole space gained or lost an owner.
+        (true, false) | (false, true) => {
+            return RingDelta {
+                moved_fraction: 1.0,
+                moved_arcs: 1,
+            }
+        }
+        (false, false) => {}
     }
     let mut bounds: Vec<u64> = old
         .points
@@ -264,5 +333,85 @@ mod tests {
     fn empty_ring_cannot_route() {
         let ring = HashRing::new(0, 4, &[]);
         let _ = ring.shard_for(0);
+    }
+
+    /// Regression: a vnode point collision must re-probe, not silently
+    /// hand the arc to the lower shard id. Forces the collision by
+    /// occupying exactly the point the next shard's replica 2 would
+    /// take; pre-fix, `insert_points` pushed the duplicate.
+    #[test]
+    fn vnode_point_collision_reprobes_deterministically() {
+        let build = || {
+            let mut ring = HashRing::new(5, 4, &[0]);
+            let stolen = ring.vnode_point(1, 2, 0);
+            ring.points.push((stolen, 0));
+            ring.points.sort_unstable();
+            (ring, stolen)
+        };
+        let (mut ring, stolen) = build();
+        ring.add_shard(1);
+        // Every point is unique: the colliding vnode re-probed away.
+        let mut pts: Vec<u64> = ring.points.iter().map(|&(p, _)| p).collect();
+        let before = pts.len();
+        pts.sort_unstable();
+        pts.dedup();
+        assert_eq!(pts.len(), before, "duplicate vnode point survived");
+        // The occupied point still belongs to shard 0, and shard 1 kept
+        // all four of its vnodes (none was swallowed by the collision).
+        assert_eq!(ring.shard_for(stolen), 0);
+        assert_eq!(ring.points.iter().filter(|&&(_, s)| s == 1).count(), 4);
+        // Shares still account for the full circle.
+        assert!((ring.share_of(0) + ring.share_of(1) - 1.0).abs() < 1e-9);
+        // And the re-probe is deterministic: rebuilding identically
+        // yields the identical ring.
+        let (mut again, _) = build();
+        again.add_shard(1);
+        assert_eq!(ring.points, again.points);
+    }
+
+    /// Regression: the delta of two empty rings is zero movement, not
+    /// the pre-fix `1.0 / 1`.
+    #[test]
+    fn delta_of_two_empty_rings_is_zero() {
+        let a = HashRing::new(0, 4, &[]);
+        let b = HashRing::new(0, 4, &[]);
+        let d = delta(&a, &b);
+        assert_eq!(d.moved_fraction, 0.0);
+        assert_eq!(d.moved_arcs, 0);
+        // One-sided emptiness still means everything moved.
+        let c = HashRing::new(0, 4, &[7]);
+        assert_eq!(delta(&a, &c).moved_fraction, 1.0);
+        assert_eq!(delta(&c, &b).moved_fraction, 1.0);
+    }
+
+    #[test]
+    fn replica_set_walks_distinct_successors() {
+        let ring = HashRing::new(13, 32, &[0, 1, 2, 3]);
+        for k in 0..500u64 {
+            let h = mix64(k);
+            for r in 0..=6 {
+                let set = ring.replica_set(h, r);
+                assert_eq!(set.len(), r.min(4), "r={r}");
+                if r > 0 {
+                    assert_eq!(set[0], ring.shard_for(h));
+                }
+                let mut dedup = set.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                assert_eq!(dedup.len(), set.len(), "replica set repeated a shard");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_set_into_reuses_buffer() {
+        let ring = HashRing::new(13, 32, &[0, 1, 2]);
+        let mut buf = Vec::new();
+        ring.replica_set_into(mix64(9), 2, &mut buf);
+        let first = buf.clone();
+        ring.replica_set_into(mix64(9), 2, &mut buf);
+        assert_eq!(buf, first);
+        ring.replica_set_into(mix64(9), 0, &mut buf);
+        assert!(buf.is_empty());
     }
 }

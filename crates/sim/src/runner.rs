@@ -181,6 +181,48 @@ impl FanIn {
         self.lanes[lane] = self.lanes[lane].max(done);
     }
 
+    /// Resets to `lanes` lanes at t = 0, reusing the allocation — the
+    /// per-operation quorum path resets one fan-in per op instead of
+    /// building a new one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn reset(&mut self, lanes: usize) {
+        assert!(lanes > 0, "fan-in needs at least one lane");
+        self.lanes.clear();
+        self.lanes.resize(lanes, SimTime::ZERO);
+    }
+
+    /// The quorum instant: when the `q`-th lane (1-based, by completion
+    /// order) landed. `quorum(len())` is [`Self::barrier`]; `quorum(1)`
+    /// is the fastest lane. Used by replicated clusters that
+    /// acknowledge an operation once `q` of its replica legs completed
+    /// while the stragglers keep running.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ q ≤ len()`.
+    pub fn quorum(&self, q: usize) -> SimTime {
+        assert!(
+            q >= 1 && q <= self.lanes.len(),
+            "quorum {q} out of range for {} lanes",
+            self.lanes.len()
+        );
+        // Lane counts are replica factors (single digits); an O(n²)
+        // selection scan avoids allocating a scratch copy to sort. The
+        // q-th smallest is the least lane value with at least q lanes
+        // at or below it.
+        let mut best: Option<SimTime> = None;
+        for &t in &self.lanes {
+            let at_or_below = self.lanes.iter().filter(|&&x| x <= t).count();
+            if at_or_below >= q && best.is_none_or(|b| t < b) {
+                best = Some(t);
+            }
+        }
+        best.expect("q <= len() guarantees a candidate")
+    }
+
     /// Adds a lane (e.g. a shard joining); returns its index.
     pub fn add_lane(&mut self) -> usize {
         self.lanes.push(SimTime::ZERO);
@@ -220,13 +262,44 @@ mod tests {
         f.record(1, SimTime::ZERO + us(9));
         assert_eq!(f.lane_last(0), SimTime::ZERO + us(5));
         assert_eq!(f.barrier(), SimTime::ZERO + us(9));
+    }
+
+    #[test]
+    fn quorum_is_kth_smallest_lane() {
+        let mut f = FanIn::new(3);
+        f.record(0, SimTime::ZERO + us(30));
+        f.record(1, SimTime::ZERO + us(10));
+        f.record(2, SimTime::ZERO + us(20));
+        assert_eq!(f.quorum(1), SimTime::ZERO + us(10));
+        assert_eq!(f.quorum(2), SimTime::ZERO + us(20));
+        assert_eq!(f.quorum(3), f.barrier());
+        // Duplicate lane times rank correctly.
+        f.record(1, SimTime::ZERO + us(20));
+        assert_eq!(f.quorum(1), SimTime::ZERO + us(20));
+        assert_eq!(f.quorum(2), SimTime::ZERO + us(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum 4 out of range")]
+    fn quorum_beyond_lanes_panics() {
+        let f = FanIn::new(3);
+        let _ = f.quorum(4);
+    }
+
+    #[test]
+    fn reset_reuses_a_fan_in() {
+        let mut f = FanIn::new(1);
+        f.record(0, SimTime::ZERO + us(9));
+        f.reset(3);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.barrier(), SimTime::ZERO, "reset must clear lanes");
         let lane = f.add_lane();
-        assert_eq!(lane, 2);
+        assert_eq!(lane, 3);
         f.record(lane, SimTime::ZERO + us(20));
         assert_eq!(f.barrier(), SimTime::ZERO + us(20));
         f.remove_lane(lane);
-        assert_eq!(f.len(), 2);
-        assert_eq!(f.barrier(), SimTime::ZERO + us(9));
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.barrier(), SimTime::ZERO);
     }
 
     #[test]

@@ -25,6 +25,16 @@ cargo test "${CARGO_FLAGS[@]}" -q --workspace
 echo "== cargo clippy -D warnings =="
 cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 
+echo "== replication determinism + property suite =="
+# The quorum/repair paths must stay byte-deterministic per seed and
+# keep the replica-placement properties; both suites are fast.
+cargo test "${CARGO_FLAGS[@]}" -q --test determinism replication
+cargo test "${CARGO_FLAGS[@]}" -q -p kvssd-cluster --test replication
+
+echo "== replication smoke (tiny scale) =="
+KVSSD_BENCH_SCALE=tiny \
+    cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example repro_all -- replication > /dev/null
+
 echo "== repro_all smoke (tiny scale, timed) =="
 time KVSSD_BENCH_SCALE=tiny \
     cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example repro_all > /dev/null

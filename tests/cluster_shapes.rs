@@ -2,7 +2,7 @@
 //! single-device reproduction exactly, and spreading a uniform workload
 //! over more shards increases aggregate bandwidth.
 
-use kvssd_study::bench::experiments::scaleout;
+use kvssd_study::bench::experiments::{replication, scaleout};
 use kvssd_study::bench::{setup, Scale};
 use kvssd_study::cluster::KvCluster;
 use kvssd_study::core::KvConfig;
@@ -128,6 +128,56 @@ fn scaleout_experiment_shapes() {
             p.synchronized_dip_windows <= p.shard_dip_windows,
             "N={}: sync windows exceed total dip windows",
             p.shards
+        );
+    }
+}
+
+/// The replication experiment's Tiny sweep keeps the durability-cost
+/// shapes: the majority-quorum ack costs more at R = 3 than R = 1, the
+/// repair after losing a shard re-replicates at N ≥ 4, and at N = 2
+/// with R ≥ 2 the survivor already holds everything so the repair bill
+/// is zero.
+#[test]
+fn replication_experiment_shapes() {
+    let res = replication::run(Scale::Tiny);
+    assert_eq!(res.points.len(), replication::SWEEP.len());
+    for p in &res.points {
+        assert!(p.resident_kvps > 0, "N={} R={} empty", p.shards, p.replicas);
+        assert!(p.write_mbps > 0.0);
+        assert!(p.write_p99_us >= p.write_p50_us);
+        assert!(p.read_p99_us >= p.read_p50_us);
+        assert!(p.repair_ms >= 0.0);
+    }
+    for &n in &[4usize, 8] {
+        let r1 = res.point(n, 1);
+        let r3 = res.point(n, 3);
+        assert!(
+            r3.write_p50_us > r1.write_p50_us,
+            "N={n}: R=3 write ack {} not above R=1 {}",
+            r3.write_p50_us,
+            r1.write_p50_us
+        );
+        assert!(
+            r3.read_p50_us > r1.read_p50_us,
+            "N={n}: R=3 read ack {} not above R=1 {}",
+            r3.read_p50_us,
+            r1.read_p50_us
+        );
+        for r in 1..=3 {
+            let p = res.point(n, r);
+            assert!(
+                p.moved_keys > 0 && p.copied_replicas >= p.moved_keys,
+                "N={n} R={r}: repair moved {} copied {}",
+                p.moved_keys,
+                p.copied_replicas
+            );
+        }
+    }
+    for r in 2..=3 {
+        let p = res.point(2, r);
+        assert_eq!(
+            p.copied_replicas, 0,
+            "N=2 R={r}: the lone survivor already holds every key"
         );
     }
 }

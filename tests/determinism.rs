@@ -71,6 +71,37 @@ fn cluster_runs_are_deterministic_per_seed() {
 }
 
 #[test]
+fn replication_runs_are_deterministic_per_seed() {
+    // Replicated quorum I/O plus a repair keep byte-identical reports:
+    // fan-out order, quorum selection, and the BTreeSet repair walk are
+    // all pure functions of the seed.
+    let run = || {
+        let mut store = setup::kv_cluster_replicated_small(4, 3, 42);
+        let spec = WorkloadSpec::new("replication-sig", 800, 800)
+            .mix(OpMix::Mixed { read_pct: 50 })
+            .pattern(AccessPattern::Zipfian { theta: 0.9 })
+            .value(ValueSize::Uniform { lo: 64, hi: 2_048 })
+            .queue_depth(8)
+            .seed(19_84);
+        let m = run_phase(&mut store, &spec, SimTime::ZERO);
+        let cluster = store.cluster_mut();
+        let rep = cluster.remove_shard(m.finished, cluster.shards()[1].id());
+        format!(
+            "{}\nmoved={} copied={} dropped={} done={}",
+            cluster.report().render(),
+            rep.moved_keys,
+            rep.copied_replicas,
+            rep.dropped_replicas,
+            rep.completed.as_nanos()
+        )
+    };
+    let a = run();
+    assert_eq!(a, run(), "replicated report bytes diverged across runs");
+    assert!(a.contains("replication r=3"), "unexpected report: {a}");
+    assert!(!a.contains("copied=0"), "repair did nothing: {a}");
+}
+
+#[test]
 fn whole_experiments_are_deterministic() {
     let a = fig7::run(Scale::Tiny);
     let b = fig7::run(Scale::Tiny);

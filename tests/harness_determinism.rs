@@ -2,7 +2,9 @@
 //! tables with `KVSSD_BENCH_THREADS=1` (the exact serial pass-through)
 //! and `=4` (the worker pool) are byte-identical at tiny scale.
 
-use kvssd_study::bench::experiments::{ablations, cells, fig2, fig4, fig5, fig7, scaleout};
+use kvssd_study::bench::experiments::{
+    ablations, cells, fig2, fig4, fig5, fig7, replication, scaleout,
+};
 use kvssd_study::bench::Scale;
 
 fn rendered_suite(scale: Scale) -> String {
@@ -13,6 +15,7 @@ fn rendered_suite(scale: Scale) -> String {
     out.push_str(&fig7::render(&fig7::run(scale)));
     out.push_str(&ablations::render(&ablations::run(scale)));
     out.push_str(&scaleout::render(&scaleout::run(scale)));
+    out.push_str(&replication::render(&replication::run(scale)));
     out
 }
 
@@ -35,7 +38,8 @@ fn thread_count_does_not_change_rendered_tables() {
         serial.contains("=== Fig. 2")
             && serial.contains("=== Fig. 5")
             && serial.contains("=== Ablations")
-            && serial.contains("=== Scale-out"),
+            && serial.contains("=== Scale-out")
+            && serial.contains("=== Replication"),
         "suite must actually render the ported figures"
     );
     assert_eq!(
