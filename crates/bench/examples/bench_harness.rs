@@ -7,9 +7,9 @@
 //!
 //! Scale: `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use kvssd_bench::experiments::{self, cells, device_ops};
+use kvssd_bench::walltime::Stopwatch;
 use kvssd_bench::Scale;
 
 /// Per-figure wall-clock for one pass (seconds, plus cell stats).
@@ -26,9 +26,9 @@ fn run_pass(scale: Scale, threads: usize) -> Vec<Pass> {
     cells::take_timings(); // drop any stale records
     let mut out = Vec::new();
     for (name, run) in experiments::PORTED {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         run(scale);
-        let seconds = t0.elapsed().as_secs_f64();
+        let seconds = t0.elapsed_secs();
         let timing = cells::take_timings();
         let (ncells, max_cell) = timing.iter().fold((0usize, 0.0f64), |(n, m), t| {
             let cell_max = t.cell_seconds.iter().cloned().fold(0.0f64, f64::max);
@@ -120,8 +120,8 @@ fn main() {
     .unwrap();
     json.push_str("}\n");
 
-    let path = std::env::var("KVSSD_BENCH_HARNESS_OUT")
-        .unwrap_or_else(|_| "BENCH_HARNESS.json".to_string());
+    let path = kvssd_bench::env_config("KVSSD_BENCH_HARNESS_OUT")
+        .unwrap_or_else(|| "BENCH_HARNESS.json".to_string());
     std::fs::write(&path, &json).expect("write BENCH_HARNESS.json");
     println!(
         "wrote {path}: serial {total_serial:.2}s, parallel {total_parallel:.2}s \

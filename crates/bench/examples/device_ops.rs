@@ -71,8 +71,8 @@ fn main() {
     let r = device_ops::run(scale);
     device_ops::print_table(&r);
 
-    let path = std::env::var("KVSSD_BENCH_HARNESS_OUT")
-        .unwrap_or_else(|_| "BENCH_HARNESS.json".to_string());
+    let path = kvssd_bench::env_config("KVSSD_BENCH_HARNESS_OUT")
+        .unwrap_or_else(|| "BENCH_HARNESS.json".to_string());
     let line = device_ops_json(&r, scale);
     patch_harness(&path, &line).expect("update harness JSON");
     println!("updated {path} [device_ops]");

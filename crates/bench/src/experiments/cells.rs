@@ -18,7 +18,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+
+use crate::walltime::Stopwatch;
 
 /// One independent unit of a figure's sweep.
 pub type Cell<T> = Box<dyn FnOnce() -> T + Send>;
@@ -57,7 +58,7 @@ pub fn thread_count() -> usize {
     if forced > 0 {
         return forced;
     }
-    if let Ok(s) = std::env::var("KVSSD_BENCH_THREADS") {
+    if let Some(s) = crate::env_config("KVSSD_BENCH_THREADS") {
         if let Some(n) = s.trim().parse::<usize>().ok().filter(|&n| n >= 1) {
             return n;
         }
@@ -76,7 +77,7 @@ pub fn take_timings() -> Vec<FigureTiming> {
 pub fn run_cells<T: Send>(figure: &str, cells: Vec<Cell<T>>) -> Vec<T> {
     let n = cells.len();
     let threads = thread_count().min(n.max(1));
-    let wall = Instant::now();
+    let wall = Stopwatch::start();
     let (out, cell_seconds) = if threads <= 1 {
         run_serial(cells)
     } else {
@@ -86,7 +87,7 @@ pub fn run_cells<T: Send>(figure: &str, cells: Vec<Cell<T>>) -> Vec<T> {
         figure: figure.to_string(),
         threads,
         cells: n,
-        wall_seconds: wall.elapsed().as_secs_f64(),
+        wall_seconds: wall.elapsed_secs(),
         cell_seconds,
     });
     out
@@ -97,9 +98,9 @@ fn run_serial<T: Send>(cells: Vec<Cell<T>>) -> (Vec<T>, Vec<f64>) {
     let mut out = Vec::with_capacity(cells.len());
     let mut secs = Vec::with_capacity(cells.len());
     for cell in cells {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         out.push(cell());
-        secs.push(t0.elapsed().as_secs_f64());
+        secs.push(t0.elapsed_secs());
     }
     (out, secs)
 }
@@ -122,9 +123,9 @@ fn run_pool<T: Send>(cells: Vec<Cell<T>>, threads: usize) -> (Vec<T>, Vec<f64>) 
                     .expect("work slot")
                     .take()
                     .expect("each cell is claimed exactly once");
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 let result = cell();
-                *slots[i].lock().expect("result slot") = Some((result, t0.elapsed().as_secs_f64()));
+                *slots[i].lock().expect("result slot") = Some((result, t0.elapsed_secs()));
             });
         }
     });

@@ -17,13 +17,12 @@
 //! the run panics. The block-count-heavy geometry makes the old scan's
 //! O(blocks)-per-selection cost visible the way a full-size device would.
 
-use std::time::Instant;
-
 use kvssd_core::{KvConfig, KvSsd, Payload};
 use kvssd_flash::{FlashTiming, Geometry};
 use kvssd_sim::rng::mix64;
 use kvssd_sim::{DeterministicRng, SimTime};
 
+use crate::walltime::Stopwatch;
 use crate::Scale;
 
 /// Fixed workload seed: every run of every leg replays the same ops.
@@ -110,7 +109,7 @@ fn run_leg(scale: Scale, legacy: bool) -> Leg {
     }
     // Overwrite-heavy churn with deletes and reads mixed in: valid
     // counts fall block by block, so victim selection runs constantly.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut ops = 0;
     for _ in 0..churn {
         let i = rng.below(n);
@@ -122,7 +121,7 @@ fn run_leg(scale: Scale, legacy: bool) -> Leg {
         ops += 1;
     }
     t = d.flush(t);
-    let seconds = t0.elapsed().as_secs_f64();
+    let seconds = t0.elapsed_secs();
 
     let s = d.stats();
     assert!(s.gc_erases > 0, "workload must exercise GC");

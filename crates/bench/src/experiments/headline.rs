@@ -83,7 +83,7 @@ pub fn run(scale: Scale) -> HeadlineResult {
     let sw = probe(AccessPattern::Sequential, OpMix::UpdateOnly, 4);
     let rr = probe(AccessPattern::Uniform, OpMix::ReadOnly, 5);
     let sr = probe(AccessPattern::Sequential, OpMix::ReadOnly, 6);
-    if std::env::var("KVSSD_DEBUG").is_ok() {
+    if crate::env_config("KVSSD_DEBUG").is_some() {
         eprintln!(
             "DEBUG seq/rand: rw={} sw={} rr={} sr={}",
             rw.writes.mean(),

@@ -13,6 +13,25 @@
 
 pub mod experiments;
 pub mod setup;
+pub mod walltime;
+
+/// Reads one `KVSSD_*` configuration variable from the environment.
+///
+/// This is the workspace's only sanctioned environment read: every knob
+/// (`KVSSD_BENCH_SCALE`, `KVSSD_BENCH_THREADS`, `KVSSD_BENCH_HARNESS_OUT`,
+/// `KVSSD_DEBUG`, ...) funnels through here so `kvlint`'s `no-env-read`
+/// rule can allowlist exactly one module — ambient host state must never
+/// steer a library crate, or runs stop being pure functions of their
+/// seeds. Returns `None` when unset or not valid UTF-8.
+#[allow(clippy::disallowed_methods)] // the one sanctioned env read (see doc)
+pub fn env_config(name: &str) -> Option<String> {
+    debug_assert!(
+        name.starts_with("KVSSD_"),
+        "bench config variables are namespaced KVSSD_*"
+    );
+    // kvlint: allow(no-env-read) — the one sanctioned read; see doc above.
+    std::env::var(name).ok()
+}
 
 /// Experiment scale, selected via `KVSSD_BENCH_SCALE`
 /// (`tiny`|`quick`|`full`).
@@ -30,9 +49,9 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from the environment.
     pub fn from_env() -> Self {
-        match std::env::var("KVSSD_BENCH_SCALE").as_deref() {
-            Ok("full") => Scale::Full,
-            Ok("tiny") => Scale::Tiny,
+        match env_config("KVSSD_BENCH_SCALE").as_deref() {
+            Some("full") => Scale::Full,
+            Some("tiny") => Scale::Tiny,
             _ => Scale::Quick,
         }
     }
@@ -62,7 +81,7 @@ mod tests {
     fn env_scale_defaults_to_quick() {
         // (No env mutation: just check the default path when the
         // variable is absent or unknown.)
-        if std::env::var("KVSSD_BENCH_SCALE").is_err() {
+        if env_config("KVSSD_BENCH_SCALE").is_none() {
             assert_eq!(Scale::from_env(), Scale::Quick);
         }
     }

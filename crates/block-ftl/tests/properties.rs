@@ -6,7 +6,7 @@
 //! versions — with shrinking — stay available behind the non-default
 //! `proptest` feature (restore the `proptest` dev-dependency to enable).
 
-use std::collections::HashSet;
+use kvssd_sim::PrehashedSet;
 
 use kvssd_block_ftl::{BlockFtlConfig, BlockSsd};
 use kvssd_flash::{FlashTiming, Geometry};
@@ -46,7 +46,7 @@ fn validity_matches_reference() {
     for _ in 0..48 {
         let mut dev = small_device();
         let total_clusters = (dev.capacity_bytes() / 4096) as u16;
-        let mut model: HashSet<u16> = HashSet::new();
+        let mut model: PrehashedSet<u16> = PrehashedSet::default();
         let mut t = SimTime::ZERO;
         for _ in 0..rng.between(1, 150) {
             match random_op(&mut rng) {
@@ -144,7 +144,7 @@ fn full_device_churn_survives() {
 /// before enabling.
 #[cfg(feature = "proptest")]
 mod with_proptest {
-    use std::collections::HashSet;
+    use kvssd_sim::PrehashedSet;
 
     use proptest::prelude::*;
 
@@ -182,7 +182,7 @@ mod with_proptest {
                 BlockFtlConfig::pm983_like(),
             );
             let total_clusters = (dev.capacity_bytes() / 4096) as u16;
-            let mut model: HashSet<u16> = HashSet::new();
+            let mut model: PrehashedSet<u16> = PrehashedSet::default();
             let mut t = SimTime::ZERO;
             for op in ops {
                 match op {

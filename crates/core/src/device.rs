@@ -1950,7 +1950,7 @@ mod gc_probe {
                         d.stats.gc_erases, d.stats.gc_copied_segments, d.stats.foreground_gc_events
                     );
                     let payload = d.config.page_payload_bytes as u64;
-                    let mut per_state = std::collections::HashMap::new();
+                    let mut per_state = kvssd_sim::PrehashedMap::<String, u32>::default();
                     for b in 0..d.state.len() {
                         *per_state.entry(format!("{:?}", d.state[b])).or_insert(0u32) += 1;
                         if d.state[b] == BState::Closed {

@@ -44,7 +44,7 @@ fn fnv1a(data: &[u8], basis: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use kvssd_sim::PrehashedSet;
 
     #[test]
     fn hash_is_deterministic() {
@@ -77,7 +77,7 @@ mod tests {
 
     #[test]
     fn no_collisions_on_100k_keys() {
-        let mut seen = HashSet::new();
+        let mut seen = PrehashedSet::default();
         for i in 0..100_000u64 {
             assert!(seen.insert(key_hash(format!("user.{i}").as_bytes())));
         }

@@ -16,8 +16,6 @@
 //!   with open-iterator handles (Sec. II: keys are also "stored in an
 //!   iterator bucket ... based on the first 4 bytes of the key").
 
-use std::collections::HashMap;
-
 use kvssd_flash::{BlockId, FlashDevice, PageAddr};
 use kvssd_sim::rng::mix64;
 use kvssd_sim::{PrehashedMap, SimTime};
@@ -385,7 +383,7 @@ impl Bucket {
 #[derive(Debug, Default)]
 pub struct IterBuckets {
     enabled: bool,
-    buckets: HashMap<[u8; 4], Bucket>,
+    buckets: PrehashedMap<[u8; 4], Bucket>,
     open: PrehashedMap<u64, IterState>,
     next_handle: u64,
 }

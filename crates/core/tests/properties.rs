@@ -37,7 +37,7 @@ proptest! {
     #[test]
     fn global_store_is_a_map(ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..200)) {
         let mut store = GlobalStore::new();
-        let mut model = std::collections::HashMap::new();
+        let mut model = kvssd_sim::PrehashedMap::default();
         for (k, insert) in ops {
             let (h, fp) = (key_hash(&[k]), key_fingerprint(&[k]));
             if insert {
@@ -118,8 +118,7 @@ proptest! {
             t = dev.store(t, key.as_bytes(), Payload::synthetic(v, i as u64)).unwrap();
         }
         // Group live segments by physical page and check occupancy.
-        use std::collections::HashMap;
-        let mut pages: HashMap<(u32, u32), Vec<(u32, u32)>> = HashMap::new();
+                let mut pages: kvssd_sim::PrehashedMap<(u32, u32), Vec<(u32, u32)>> = kvssd_sim::PrehashedMap::default();
         for (i, &v) in sizes.iter().enumerate() {
             let key = format!("pack.{i:06}");
             let l = dev.retrieve(t, key.as_bytes()).unwrap();

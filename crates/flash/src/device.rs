@@ -282,7 +282,7 @@ impl FlashDevice {
     ) -> Result<Vec<ProgramResult>, FlashError> {
         assert!(!addrs.is_empty(), "multiplane program of zero pages");
         let die0 = self.geometry.die_of(addrs[0].block);
-        let mut planes = std::collections::HashSet::new();
+        let mut planes = kvssd_sim::PrehashedSet::default();
         for &a in addrs {
             self.check_addr(a)?;
             assert_eq!(

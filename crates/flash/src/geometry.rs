@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn block_ids_are_dense_and_unique() {
         let g = Geometry::small();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = kvssd_sim::PrehashedSet::default();
         for die in 0..g.dies() {
             for plane in 0..g.planes_per_die {
                 for idx in 0..g.blocks_per_plane {

@@ -7,7 +7,7 @@
 //! arbitrary operation sequences, checked against a reference state
 //! machine.
 
-use std::collections::HashMap;
+use kvssd_sim::PrehashedMap;
 
 use proptest::prelude::*;
 
@@ -45,7 +45,7 @@ proptest! {
         let g = Geometry::small();
         let mut dev = FlashDevice::new(g, FlashTiming::pm983_like());
         // Reference: block -> pages programmed since last erase.
-        let mut model: HashMap<u32, u32> = HashMap::new();
+        let mut model: PrehashedMap<u32, u32> = PrehashedMap::default();
         let nblocks = g.total_blocks();
         let mut t = SimTime::ZERO;
         for op in ops {
@@ -104,7 +104,7 @@ proptest! {
         let g = Geometry::small();
         let mut dev = FlashDevice::new(g, FlashTiming::pm983_like());
         let timing = *dev.timing();
-        let mut counts: HashMap<u32, u32> = HashMap::new();
+        let mut counts: PrehashedMap<u32, u32> = PrehashedMap::default();
         let mut issued = 0u64;
         for b in programs {
             let blk = b as u32 % g.total_blocks();

@@ -1,11 +1,9 @@
 //! The hash-index store implementation.
 
-use std::collections::HashMap;
-
 use kvssd_block_ftl::BlockSsd;
 use kvssd_core::Payload;
 use kvssd_host_stack::{CpuCosts, HostCpu};
-use kvssd_sim::{SimDuration, SimTime};
+use kvssd_sim::{PrehashedMap, SimDuration, SimTime};
 
 /// Configuration of the hash-index store.
 #[derive(Debug, Clone, Copy)]
@@ -91,7 +89,7 @@ pub struct HashStore {
     cpu: HostCpu,
     costs: CpuCosts,
     device: BlockSsd,
-    index: HashMap<Box<[u8]>, (RecordLoc, Payload)>,
+    index: PrehashedMap<Box<[u8]>, (RecordLoc, Payload)>,
     wblocks: Vec<WBlockMeta>,
     /// Keys whose newest record was appended to each write block (may
     /// contain stale entries; verified against the index during defrag).
@@ -113,7 +111,7 @@ impl HashStore {
         HashStore {
             cpu: HostCpu::new(config.host_cores),
             costs: CpuCosts::xeon_like(),
-            index: HashMap::new(),
+            index: PrehashedMap::default(),
             wblock_keys: vec![Vec::new(); n_wblocks as usize],
             free_wblocks: (1..n_wblocks).rev().collect(),
             current: 0,

@@ -6,8 +6,9 @@
 //! [`PageCache`] wrapper keys by `(file, 4 KiB page index)` and converts
 //! byte capacities.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use kvssd_sim::PrehashedMap;
 
 /// A strict-LRU presence cache.
 ///
@@ -15,7 +16,7 @@ use std::hash::Hash;
 /// hit, insert, and eviction.
 #[derive(Debug)]
 pub struct LruCache<K: Eq + Hash + Clone> {
-    map: HashMap<K, usize>,
+    map: PrehashedMap<K, usize>,
     nodes: Vec<Node<K>>,
     head: usize, // most recent
     tail: usize, // least recent
@@ -43,7 +44,7 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         LruCache {
-            map: HashMap::new(),
+            map: PrehashedMap::default(),
             nodes: Vec::new(),
             head: NIL,
             tail: NIL,

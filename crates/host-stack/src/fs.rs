@@ -11,10 +11,8 @@
 //! state); the filesystem tracks sizes, extents, dirty ranges, and
 //! timing.
 
-use std::collections::HashMap;
-
 use kvssd_block_ftl::BlockSsd;
-use kvssd_sim::SimTime;
+use kvssd_sim::{PrehashedMap, SimTime};
 
 use crate::cache::{PageCache, PAGE_BYTES};
 use crate::cpu::{CpuCosts, HostCpu};
@@ -95,7 +93,7 @@ struct FileMeta {
 pub struct ExtFs {
     device: BlockSsd,
     costs: CpuCosts,
-    files: HashMap<FileId, FileMeta>,
+    files: PrehashedMap<FileId, FileMeta>,
     next_id: u64,
     /// Simple wilderness allocator plus a free list of holes.
     next_free: u64,
@@ -113,7 +111,7 @@ impl ExtFs {
     pub fn format(device: BlockSsd) -> Self {
         ExtFs {
             costs: CpuCosts::xeon_like(),
-            files: HashMap::new(),
+            files: PrehashedMap::default(),
             next_id: 1,
             next_free: JOURNAL_BYTES,
             holes: Vec::new(),

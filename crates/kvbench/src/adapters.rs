@@ -271,7 +271,7 @@ pub struct RawBlockStore {
     device: BlockSsd,
     host: HostCpu,
     slot_bytes: u64,
-    slots: std::collections::HashMap<Box<[u8]>, u64>,
+    slots: kvssd_sim::PrehashedMap<Box<[u8]>, u64>,
     next_slot: u64,
     user_bytes: u64,
 }
@@ -284,7 +284,7 @@ impl RawBlockStore {
             device,
             host: HostCpu::new(8),
             slot_bytes,
-            slots: std::collections::HashMap::new(),
+            slots: kvssd_sim::PrehashedMap::default(),
             next_slot: 0,
             user_bytes: 0,
         }

@@ -76,7 +76,7 @@ impl KeyGen {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use kvssd_sim::PrehashedSet;
 
     #[test]
     fn keys_have_requested_length() {
@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn keys_are_unique() {
         let g = KeyGen::new(16);
-        let mut seen = HashSet::new();
+        let mut seen = PrehashedSet::default();
         for i in 0..100_000 {
             assert!(seen.insert(g.key(i)), "duplicate at {i}");
         }

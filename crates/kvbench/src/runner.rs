@@ -469,12 +469,12 @@ mod probe2 {
 #[cfg(test)]
 mod permute_tests {
     use super::*;
-    use std::collections::HashSet;
+    use kvssd_sim::PrehashedSet;
 
     #[test]
     fn permute_is_a_bijection() {
         for n in [2u64, 7, 100, 1000, 4096] {
-            let mut seen = HashSet::new();
+            let mut seen = PrehashedSet::default();
             for i in 0..n {
                 let p = permute(i, n);
                 assert!(p < n, "out of range for n={n}");
@@ -501,7 +501,7 @@ mod permute_tests {
             .mix(OpMix::InsertOnly)
             .pattern(AccessPattern::Uniform);
         let mut rng = DeterministicRng::seed_from(1);
-        let mut seen = HashSet::new();
+        let mut seen = PrehashedSet::default();
         for i in 0..500 {
             seen.insert(pick_index(&spec, &mut rng, None, i));
         }

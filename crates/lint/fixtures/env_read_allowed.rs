@@ -1,0 +1,5 @@
+//! Fixture: an env read suppressed with a justified pragma.
+pub fn sanctioned() -> Option<String> {
+    // kvlint: allow(no-env-read) — fixture: stands in for the bench config module
+    std::env::var("KVSSD_BENCH_SCALE").ok()
+}

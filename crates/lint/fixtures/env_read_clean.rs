@@ -1,0 +1,9 @@
+//! Fixture: configuration by explicit parameter — must NOT trigger
+//! `no-env-read`. `env!` (compile-time) is also fine.
+pub fn configured(scale: &str) -> u64 {
+    let _built_from = env!("CARGO_MANIFEST_DIR");
+    match scale {
+        "full" => 1_000_000,
+        _ => 1_000,
+    }
+}

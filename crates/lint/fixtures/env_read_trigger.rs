@@ -1,0 +1,8 @@
+//! Fixture: must trigger `no-env-read` (var + var_os; `set_var` and
+//! `args` are not reads and must NOT trigger).
+pub fn ambient() -> Option<String> {
+    let _threads = std::env::var_os("KVSSD_BENCH_THREADS");
+    std::env::set_var("KVSSD_MARKER", "1");
+    let _argv0 = std::env::args().next();
+    std::env::var("KVSSD_BENCH_SCALE").ok()
+}

@@ -1,0 +1,7 @@
+//! Fixture: an allow pragma naming an unknown rule must itself be an
+//! error (`bad-pragma`) — and must NOT suppress anything.
+pub fn f() -> f64 {
+    // kvlint: allow(no-wallclock) — typo in the rule name: missing hyphen
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

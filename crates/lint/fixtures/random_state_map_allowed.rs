@@ -1,0 +1,7 @@
+//! Fixture: HashMap in a library crate, suppressed with a justified
+//! pragma (e.g. a map that is never iterated and never reaches output).
+pub fn count(keys: &[u64]) -> usize {
+    // kvlint: allow(no-random-state-map) — fixture: membership only, never iterated
+    let mut seen = std::collections::HashSet::new();
+    keys.iter().filter(|k| seen.insert(**k)).count()
+}

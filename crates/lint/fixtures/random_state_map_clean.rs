@@ -1,0 +1,9 @@
+//! Fixture: deterministic containers that must NOT trigger
+//! `no-random-state-map`.
+use std::collections::BTreeMap;
+
+pub fn build() -> BTreeMap<u64, u64> {
+    // PrehashedMap/PrehashedSet (fixed-seed hasher) are the sanctioned
+    // hash containers; BTreeMap when order itself matters.
+    BTreeMap::new()
+}

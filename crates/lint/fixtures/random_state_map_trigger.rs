@@ -1,0 +1,18 @@
+//! Fixture: must trigger `no-random-state-map` in a library crate
+//! (twice: HashMap import-and-use lines) but NOT inside `#[cfg(test)]`.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt by test-region class: no diagnostic for this one.
+    use std::collections::HashSet;
+
+    #[test]
+    fn exempt() {
+        let _ = HashSet::<u8>::new();
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: explicit-seed randomness — must NOT trigger
+//! `no-unseeded-entropy`.
+pub fn seeded(seed: u64) -> u64 {
+    // DeterministicRng::seed_from(seed) is the sanctioned source.
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

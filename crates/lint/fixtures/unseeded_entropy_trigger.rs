@@ -1,0 +1,8 @@
+//! Fixture: must trigger `no-unseeded-entropy` (three constructors),
+//! in any path class — entropy is forbidden even in tests.
+pub fn entropy() -> u64 {
+    let _a = rand::thread_rng();
+    let _b = SmallRng::from_entropy();
+    let _c = OsRng.next_u64();
+    0
+}

@@ -1,0 +1,9 @@
+//! Fixture: same pattern as the trigger, suppressed with justified
+//! pragmas. Must produce zero diagnostics and two suppressions.
+// kvlint: allow(no-wall-clock) — fixture: modeling the sanctioned timing module
+use std::time::Instant;
+
+pub fn leak_wall_clock() -> f64 {
+    let t0 = Instant::now(); // kvlint: allow(no-wall-clock) — fixture: host-only timing
+    t0.elapsed().as_secs_f64()
+}

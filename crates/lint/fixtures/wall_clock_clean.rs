@@ -1,0 +1,10 @@
+//! Fixture: virtual-time code that must NOT trigger `no-wall-clock`.
+//! Mentions of Instant in comments and "Instant in strings" are fine;
+//! `SimTime` is the sanctioned clock.
+
+pub struct SimTime(pub u64);
+
+pub fn advance(now: SimTime, by: u64) -> SimTime {
+    let _doc = "Instant and SystemTime are only words inside this string";
+    SimTime(now.0 + by)
+}

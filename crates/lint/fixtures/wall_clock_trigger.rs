@@ -1,0 +1,7 @@
+//! Fixture: must trigger `no-wall-clock` (twice: import + call).
+use std::time::Instant;
+
+pub fn leak_wall_clock() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

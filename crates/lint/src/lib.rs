@@ -1,0 +1,300 @@
+//! kvlint — the repo's in-house static analyzer.
+//!
+//! The reproduction's scientific claims rest on invariants that used to
+//! be true only by convention: figure tables byte-identical at any
+//! thread count, every run reproducible from a seed in pure virtual
+//! time, and tier-1 building with zero registry dependencies. kvlint
+//! machine-checks them. It tokenizes every workspace `.rs` file (a small
+//! lexer — no `syn`, to stay offline-green) and every `Cargo.toml`, and
+//! enforces five rules (see [`rules::Rule`]) with file:line diagnostics.
+//!
+//! Violations can be suppressed with a pragma that must carry a
+//! justification:
+//!
+//! ```text
+//! // kvlint: allow(no-wall-clock) — timing the host simulator, not the device
+//! ```
+//!
+//! The pragma covers its own line and the line directly below it. A
+//! pragma naming an unknown rule, or missing its justification, is
+//! itself an error (`bad-pragma`) — typos must not silently widen the
+//! allowed surface.
+//!
+//! Three entry points make violations impossible to miss: the
+//! `cargo run -p kvssd-lint` binary, a tier-1 test that lints the whole
+//! workspace (`cargo test` fails on any violation), and named
+//! `scripts/verify.sh` / CI steps.
+
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::{RawDiag, Rule};
+
+/// What kind of file a path is, for rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source (`crates/*/src/**`, root `src/**`): every rule.
+    LibrarySrc,
+    /// Integration tests and model-checking suites (`**/tests/**`):
+    /// exempt from `no-random-state-map` (a test-local map leaks into
+    /// no figure).
+    Tests,
+    /// Example binaries (`**/examples/**`).
+    Examples,
+    /// Bench targets (`**/benches/**`).
+    Benches,
+    /// kvlint's own fixture corpus — never linted as workspace code.
+    Fixture,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(rel: &str) -> FileClass {
+    let seg = |s: &str| rel.split('/').any(|p| p == s);
+    if rel.starts_with("crates/lint/fixtures/") {
+        FileClass::Fixture
+    } else if seg("tests") {
+        FileClass::Tests
+    } else if seg("examples") {
+        FileClass::Examples
+    } else if seg("benches") {
+        FileClass::Benches
+    } else {
+        FileClass::LibrarySrc
+    }
+}
+
+/// The one module allowed to touch `std::time::{Instant, SystemTime}`.
+pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/bench/src/walltime.rs"];
+
+/// The one module allowed to read the environment (`env_config`).
+pub const ENV_READ_ALLOWLIST: &[&str] = &["crates/bench/src/lib.rs"];
+
+/// One finding, attached to a file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name, or [`rules::BAD_PRAGMA`].
+    pub rule: &'static str,
+    /// Human explanation with the remedy.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The result of a workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned (`.rs` + `Cargo.toml`).
+    pub files_scanned: usize,
+    /// Unsuppressed findings, in path/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-rule unsuppressed violation counts (all rules always present).
+    pub violations: BTreeMap<&'static str, usize>,
+    /// Per-rule counts of findings silenced by a valid pragma.
+    pub suppressed: BTreeMap<&'static str, usize>,
+}
+
+impl Report {
+    fn new() -> Self {
+        let mut r = Report::default();
+        for rule in Rule::ALL {
+            r.violations.insert(rule.name(), 0);
+            r.suppressed.insert(rule.name(), 0);
+        }
+        r.violations.insert(rules::BAD_PRAGMA, 0);
+        r
+    }
+
+    /// True when the workspace has zero unsuppressed violations.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Total unsuppressed violations.
+    pub fn total_violations(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// The machine-readable one-line summary (stable key order).
+    pub fn summary_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{{\"files\": {}, \"violations\": {{", self.files_scanned);
+        for (i, (rule, n)) in self.violations.iter().enumerate() {
+            let sep = if i > 0 { ", " } else { "" };
+            let _ = write!(s, "{sep}\"{rule}\": {n}");
+        }
+        let _ = write!(s, "}}, \"suppressed\": {{");
+        for (i, (rule, n)) in self.suppressed.iter().enumerate() {
+            let sep = if i > 0 { ", " } else { "" };
+            let _ = write!(s, "{sep}\"{rule}\": {n}");
+        }
+        let _ = write!(s, "}}, \"clean\": {}}}", self.is_clean());
+        s
+    }
+
+    fn absorb(&mut self, path: &str, kept: Vec<RawDiag>, suppressed: Vec<(&'static str, usize)>) {
+        for (rule, n) in suppressed {
+            *self.suppressed.entry(rule).or_insert(0) += n;
+        }
+        for d in kept {
+            *self.violations.entry(d.rule).or_insert(0) += 1;
+            self.diagnostics.push(Diagnostic {
+                path: path.to_string(),
+                line: d.line,
+                rule: d.rule,
+                message: d.message,
+            });
+        }
+    }
+}
+
+/// Lints one Rust source string as `rel_path` would be linted in the
+/// workspace pass. Public so fixtures and tests hit the exact
+/// production path.
+pub fn lint_rust_str(rel_path: &str, src: &str) -> (Vec<RawDiag>, Vec<(&'static str, usize)>) {
+    let class = classify(rel_path);
+    let lexed = lexer::lex(src);
+    let mut diags = rules::check_tokens(
+        &lexed,
+        class,
+        WALL_CLOCK_ALLOWLIST.contains(&rel_path),
+        ENV_READ_ALLOWLIST.contains(&rel_path),
+    );
+    let allows = rules::validate_pragmas(&lexed.pragmas, &mut diags);
+    rules::apply_suppressions(diags, &allows)
+}
+
+/// Lints one `Cargo.toml` source string.
+pub fn lint_manifest_str(src: &str) -> (Vec<RawDiag>, Vec<(&'static str, usize)>) {
+    let (mut diags, pragmas) = manifest::check_manifest(src);
+    let allows = rules::validate_pragmas(&pragmas, &mut diags);
+    rules::apply_suppressions(diags, &allows)
+}
+
+/// Directories never descended into: build output, VCS internals, and
+/// kvlint's own fixture corpus (fixtures exist to violate the rules).
+fn skip_dir(rel: &str) -> bool {
+    matches!(rel, "target" | ".git" | "crates/lint/fixtures")
+        || rel.ends_with("/target")
+        || rel.ends_with("/.git")
+}
+
+/// Walks the workspace rooted at `root` and lints every `.rs` and
+/// `Cargo.toml`. Deterministic: files are visited in sorted path order.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        report.files_scanned += 1;
+        let (kept, suppressed) = if rel.ends_with(".rs") {
+            lint_rust_str(rel, &src)
+        } else {
+            lint_manifest_str(&src)
+        };
+        report.absorb(rel, kept, suppressed);
+    }
+    Ok(report)
+}
+
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = path
+            .strip_prefix(root)
+            .expect("walked paths live under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if path.is_dir() {
+            if !skip_dir(&rel) {
+                collect_files(root, &path, out)?;
+            }
+        } else if rel.ends_with(".rs") || rel.ends_with("/Cargo.toml") || rel == "Cargo.toml" {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path_segment() {
+        assert_eq!(classify("crates/core/src/device.rs"), FileClass::LibrarySrc);
+        assert_eq!(classify("src/lib.rs"), FileClass::LibrarySrc);
+        assert_eq!(classify("tests/determinism.rs"), FileClass::Tests);
+        assert_eq!(
+            classify("crates/core/tests/properties.rs"),
+            FileClass::Tests
+        );
+        assert_eq!(
+            classify("crates/bench/examples/repro_all.rs"),
+            FileClass::Examples
+        );
+        assert_eq!(
+            classify("crates/bench/benches/fig2_end_to_end.rs"),
+            FileClass::Benches
+        );
+        assert_eq!(
+            classify("crates/lint/fixtures/clean.rs"),
+            FileClass::Fixture
+        );
+    }
+
+    #[test]
+    fn library_map_flagged_but_test_file_exempt() {
+        let src = "use std::collections::HashMap;\n";
+        let (lib, _) = lint_rust_str("crates/x/src/lib.rs", src);
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib[0].rule, "no-random-state-map");
+        let (test, _) = lint_rust_str("crates/x/tests/model.rs", src);
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    fn allowlisted_files_pass_their_rule() {
+        let (d, _) = lint_rust_str("crates/bench/src/walltime.rs", "use std::time::Instant;\n");
+        assert!(d.is_empty());
+        let (d, _) = lint_rust_str(
+            "crates/bench/src/lib.rs",
+            "fn f() { std::env::var(\"X\").ok(); }\n",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn summary_json_contains_every_rule() {
+        let r = Report::new();
+        let json = r.summary_json();
+        for rule in Rule::ALL {
+            assert!(json.contains(rule.name()), "{json}");
+        }
+        assert!(json.contains("bad-pragma"));
+        assert!(json.contains("\"clean\": true"));
+    }
+}

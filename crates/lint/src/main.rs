@@ -1,0 +1,80 @@
+//! `cargo run -p kvssd-lint` — lints the workspace and exits nonzero on
+//! any unsuppressed violation.
+//!
+//! Usage: `kvssd-lint [workspace-root]`. Without an argument the
+//! workspace root is found by walking up from the current directory to
+//! the first `Cargo.toml` that declares `[workspace]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kvssd_lint::rules::Rule;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(src) = std::fs::read_to_string(&manifest) {
+            if src.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("kvssd-lint: no workspace root found above the current directory");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let report = match kvssd_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kvssd-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "kvlint: {} files scanned, {} violation(s)",
+        report.files_scanned,
+        report.total_violations()
+    );
+    for rule in Rule::ALL {
+        println!(
+            "kvlint-rule {:<22} {} violation(s), {} suppressed",
+            rule.name(),
+            report.violations.get(rule.name()).copied().unwrap_or(0),
+            report.suppressed.get(rule.name()).copied().unwrap_or(0),
+        );
+    }
+    println!(
+        "kvlint-rule {:<22} {} violation(s)",
+        kvssd_lint::rules::BAD_PRAGMA,
+        report
+            .violations
+            .get(kvssd_lint::rules::BAD_PRAGMA)
+            .copied()
+            .unwrap_or(0),
+    );
+    println!("kvlint-summary: {}", report.summary_json());
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,272 @@
+//! `Cargo.toml` scanning for the `no-offline-break` rule.
+//!
+//! A tiny line-oriented TOML-subset reader — not a general TOML parser,
+//! just enough to find dependency declarations in the shapes this
+//! workspace (and cargo docs) actually use:
+//!
+//! * inline specs in a dependency section:
+//!   `foo = "1"`, `foo = { path = "..." }`, `foo.workspace = true`
+//! * one-dependency tables: `[dependencies.foo]` followed by keys
+//!
+//! A dependency passes when it is `path`-based, inherited from the
+//! workspace table (`workspace = true`, which this rule checks at its
+//! definition site too), or `optional = true` (feature-gated: tier-1
+//! never enables it). Anything else — plain versions, `git`, registry
+//! tables — needs the network and breaks the offline-green invariant.
+
+use crate::lexer::{scan_comment_for_pragmas, Pragma};
+use crate::rules::{RawDiag, Rule};
+
+#[derive(Debug, Default, Clone)]
+struct DepFlags {
+    line: u32,
+    path: bool,
+    workspace: bool,
+    optional: bool,
+}
+
+/// Scans one manifest; returns diagnostics plus any pragmas found in
+/// `#` comments (so `kvlint: allow(no-offline-break)` works in TOML).
+pub fn check_manifest(src: &str) -> (Vec<RawDiag>, Vec<Pragma>) {
+    let mut pragmas = Vec::new();
+    let mut deps: Vec<(String, DepFlags)> = Vec::new();
+    // Section state: None = not a dep section; Some(None) = in a dep
+    // section with per-line entries; Some(Some(name)) = in a
+    // `[dependencies.<name>]` table.
+    let mut section: Option<Option<String>> = None;
+
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let (code, comment) = split_comment(raw_line);
+        if let Some(c) = comment {
+            scan_comment_for_pragmas(c, line_no, &mut pragmas);
+        }
+        let code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        if code.starts_with('[') {
+            let name = code.trim_matches(['[', ']']).trim();
+            let parts: Vec<&str> = split_header(name);
+            section = match parts.iter().position(|p| is_dep_section(p)) {
+                // `[dependencies]`, `[workspace.dependencies]`, ...
+                Some(i) if i + 1 == parts.len() => Some(None),
+                // `[dependencies.foo]`, `[target.'cfg(unix)'.dependencies.foo]`
+                Some(i) if i + 2 == parts.len() => Some(Some(parts[i + 1].to_string())),
+                _ => None,
+            };
+            if let Some(Some(name)) = &section {
+                deps.push((
+                    name.clone(),
+                    DepFlags {
+                        line: line_no,
+                        ..DepFlags::default()
+                    },
+                ));
+            }
+            continue;
+        }
+        let Some(in_dep) = &section else { continue };
+        let Some((key, value)) = code.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches(['"', '\'']);
+        let value = value.trim();
+        match in_dep {
+            // Inside `[dependencies.foo]`: keys describe that one dep.
+            Some(name) => {
+                let flags = &mut deps
+                    .iter_mut()
+                    .rev()
+                    .find(|(n, _)| n == name)
+                    .expect("table entry pushed at header")
+                    .1;
+                apply_key(flags, key, value);
+            }
+            // Inside `[dependencies]`: each line declares one dep.
+            None => {
+                let (dep, attr) = match key.split_once('.') {
+                    Some((dep, attr)) => (dep, Some(attr)),
+                    None => (key, None),
+                };
+                let dep = dep.trim().trim_matches(['"', '\'']);
+                let flags = match deps.iter_mut().rev().find(|(n, _)| n == dep) {
+                    Some((_, f)) => f,
+                    None => {
+                        deps.push((
+                            dep.to_string(),
+                            DepFlags {
+                                line: line_no,
+                                ..DepFlags::default()
+                            },
+                        ));
+                        &mut deps.last_mut().expect("just pushed").1
+                    }
+                };
+                match attr {
+                    // Dotted form: `foo.workspace = true`, `foo.path = "..."`
+                    Some(attr) => apply_key(flags, attr.trim(), value),
+                    // Spec form: `foo = "1"` or `foo = { ... }`
+                    None => {
+                        if value.starts_with('{') {
+                            for kv in value.trim_matches(['{', '}']).split(',') {
+                                if let Some((k, v)) = kv.split_once('=') {
+                                    apply_key(flags, k.trim(), v.trim());
+                                }
+                            }
+                        }
+                        // A bare string value (`foo = "1"`) sets no flag:
+                        // registry dep, judged below.
+                    }
+                }
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for (name, f) in &deps {
+        if !(f.path || f.workspace || f.optional) {
+            diags.push(RawDiag {
+                line: f.line,
+                rule: Rule::NoOfflineBreak.name(),
+                message: format!(
+                    "dependency `{name}` is neither path-based, workspace-inherited, nor \
+                     feature-gated (`optional = true`): tier-1 must build offline with zero \
+                     registry dependencies"
+                ),
+            });
+        }
+    }
+    (diags, pragmas)
+}
+
+fn apply_key(flags: &mut DepFlags, key: &str, value: &str) {
+    match key {
+        "path" => flags.path = true,
+        "workspace" if value.starts_with("true") => flags.workspace = true,
+        "optional" if value.starts_with("true") => flags.optional = true,
+        _ => {}
+    }
+}
+
+fn is_dep_section(s: &str) -> bool {
+    matches!(
+        s,
+        "dependencies" | "dev-dependencies" | "build-dependencies"
+    )
+}
+
+/// Splits a section header on `.`, keeping quoted components (e.g.
+/// `target.'cfg(unix)'.dependencies`) intact.
+fn split_header(name: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut quote: Option<char> = None;
+    for (i, c) in name.char_indices() {
+        match quote {
+            Some(q) if c == q => quote = None,
+            Some(_) => {}
+            None if c == '\'' || c == '"' => quote = Some(c),
+            None if c == '.' => {
+                parts.push(name[start..i].trim().trim_matches(['"', '\'']));
+                start = i + 1;
+            }
+            None => {}
+        }
+    }
+    parts.push(name[start..].trim().trim_matches(['"', '\'']));
+    parts
+}
+
+/// Splits a TOML line into (code, comment) at the first `#` outside a
+/// quoted string.
+fn split_comment(line: &str) -> (&str, Option<&str>) {
+    let mut quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match quote {
+            Some(q) if c == q => quote = None,
+            Some(_) => {}
+            None if c == '"' || c == '\'' => quote = Some(c),
+            None if c == '#' => return (&line[..i], Some(&line[i..])),
+            None => {}
+        }
+    }
+    (line, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<RawDiag> {
+        check_manifest(src).0
+    }
+
+    #[test]
+    fn path_workspace_and_optional_deps_pass() {
+        let src = r#"
+[dependencies]
+a = { path = "../a" }
+b.workspace = true
+c = { version = "1", optional = true }
+
+[dependencies.d]
+path = "../d"
+"#;
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+    }
+
+    #[test]
+    fn version_git_and_table_registry_deps_fail() {
+        let src = r#"
+[dependencies]
+serde = "1"
+tokio = { version = "1", features = ["full"] }
+fancy = { git = "https://example.org/fancy" }
+
+[dev-dependencies.proptest]
+version = "1"
+"#;
+        let d = diags(src);
+        let names: Vec<&str> = d
+            .iter()
+            .map(|x| x.message.split('`').nth(1).unwrap())
+            .collect();
+        assert_eq!(names, ["serde", "tokio", "fancy", "proptest"]);
+        assert!(d.iter().all(|x| x.rule == "no-offline-break"));
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let src = r#"
+[package]
+name = "x"
+version = "0.1.0"
+
+[features]
+proptest = []
+
+[profile.release]
+opt-level = 3
+"#;
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_declare_deps_but_carry_pragmas() {
+        let src = "[dependencies]\n# criterion = \"0.5\"\n# kvlint: allow(no-offline-break) — example pragma in TOML\n";
+        let (d, pragmas) = check_manifest(src);
+        assert!(d.is_empty());
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].rule, "no-offline-break");
+        assert_eq!(pragmas[0].line, 3);
+    }
+
+    #[test]
+    fn diagnostics_point_at_the_declaration_line() {
+        let src = "[dependencies]\nok = { path = \"x\" }\nbad = \"2\"\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+}

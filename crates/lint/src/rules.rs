@@ -1,0 +1,340 @@
+//! The rule set, pragma validation, and the Rust-token rule pass.
+//!
+//! Each rule defends one leg of the repo's scientific claim:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-wall-clock` | experiments run in pure virtual time |
+//! | `no-random-state-map` | figure tables are byte-identical run to run |
+//! | `no-env-read` | a run is a pure function of its seeds, not ambient host state |
+//! | `no-offline-break` | tier-1 builds with zero registry dependencies |
+//! | `no-unseeded-entropy` | every random stream is derived from an explicit seed |
+
+use crate::lexer::{Lexed, Pragma, Tok};
+use crate::FileClass;
+
+/// The rules kvlint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `std::time::{Instant, SystemTime}` outside the allowlisted bench
+    /// timing module (`crates/bench/src/walltime.rs`).
+    NoWallClock,
+    /// `std::collections::{HashMap, HashSet}` (SipHash with a random
+    /// seed — iteration order varies run to run) in library crates.
+    NoRandomStateMap,
+    /// `std::env::var`-family reads outside the bench config module
+    /// (`crates/bench/src/lib.rs`).
+    NoEnvRead,
+    /// A non-`path`, non-feature-gated dependency in any `Cargo.toml`.
+    NoOfflineBreak,
+    /// OS-entropy RNG constructors (`thread_rng`, `from_entropy`, ...).
+    NoUnseededEntropy,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::NoWallClock,
+        Rule::NoRandomStateMap,
+        Rule::NoEnvRead,
+        Rule::NoOfflineBreak,
+        Rule::NoUnseededEntropy,
+    ];
+
+    /// The rule's kebab-case name (as used in `kvlint: allow(...)`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoWallClock => "no-wall-clock",
+            Rule::NoRandomStateMap => "no-random-state-map",
+            Rule::NoEnvRead => "no-env-read",
+            Rule::NoOfflineBreak => "no-offline-break",
+            Rule::NoUnseededEntropy => "no-unseeded-entropy",
+        }
+    }
+
+    /// Parses a rule name (for pragma validation).
+    pub fn from_name(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+/// Diagnostic category: a real rule, or a malformed suppression pragma
+/// (itself an error — a typoed pragma must never silently un-suppress).
+pub const BAD_PRAGMA: &str = "bad-pragma";
+
+/// One finding, before path attachment.
+#[derive(Debug, Clone)]
+pub struct RawDiag {
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name, or [`BAD_PRAGMA`].
+    pub rule: &'static str,
+    /// Human explanation with the remedy.
+    pub message: String,
+}
+
+/// Minimum justification length (characters after the separator) for a
+/// suppression pragma. Short enough not to bureaucratize, long enough
+/// that "ok" doesn't pass review.
+pub const MIN_JUSTIFICATION: usize = 10;
+
+/// Validates pragmas: returns the usable `(rule, line)` suppressions and
+/// appends a [`BAD_PRAGMA`] diagnostic for each malformed one.
+pub fn validate_pragmas(pragmas: &[Pragma], diags: &mut Vec<RawDiag>) -> Vec<(Rule, u32)> {
+    let mut ok = Vec::new();
+    for p in pragmas {
+        match Rule::from_name(&p.rule) {
+            None => diags.push(RawDiag {
+                line: p.line,
+                rule: BAD_PRAGMA,
+                message: format!(
+                    "`kvlint: allow({})` names an unknown rule; known rules: {}",
+                    p.rule,
+                    Rule::ALL.map(Rule::name).join(", ")
+                ),
+            }),
+            Some(_) if p.justification.chars().count() < MIN_JUSTIFICATION => {
+                diags.push(RawDiag {
+                    line: p.line,
+                    rule: BAD_PRAGMA,
+                    message: format!(
+                        "`kvlint: allow({})` must carry a justification (>= {MIN_JUSTIFICATION} \
+                         chars after the rule), e.g. `// kvlint: allow({}) — why this is sound`",
+                        p.rule, p.rule
+                    ),
+                });
+            }
+            Some(rule) => ok.push((rule, p.line)),
+        }
+    }
+    ok
+}
+
+/// Applies suppressions: a pragma covers its own line and the line
+/// immediately below it (so it can sit at end-of-line or on its own line
+/// directly above the code it excuses). Returns (kept, suppressed-counts
+/// as (rule-name, n) pairs).
+pub fn apply_suppressions(
+    diags: Vec<RawDiag>,
+    allows: &[(Rule, u32)],
+) -> (Vec<RawDiag>, Vec<(&'static str, usize)>) {
+    let mut kept = Vec::new();
+    let mut suppressed: Vec<(&'static str, usize)> = Vec::new();
+    for d in diags {
+        let hit = d.rule != BAD_PRAGMA
+            && allows.iter().any(|(r, l)| {
+                r.name() == d.rule && (*l == d.line || l.checked_add(1) == Some(d.line))
+            });
+        if hit {
+            match suppressed.iter_mut().find(|(r, _)| *r == d.rule) {
+                Some((_, n)) => *n += 1,
+                None => suppressed.push((d.rule, 1)),
+            }
+        } else {
+            kept.push(d);
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` items. Used to
+/// exempt in-file test modules from the rules that exempt tests.
+pub fn cfg_test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        let (end, is_test) = scan_attr(toks, i + 1);
+        let mut j = end;
+        if is_test {
+            // Skip any further attributes between #[cfg(test)] and the item.
+            while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+                let (e, _) = scan_attr(toks, j + 1);
+                j = e;
+            }
+            // The attached item ends at its block's closing brace, or at
+            // the `;` for block-less items (`mod tests;`, `use ...;`).
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("{") {
+                let mut depth = 0i64;
+                while j < toks.len() {
+                    if toks[j].is_punct("{") {
+                        depth += 1;
+                    } else if toks[j].is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            let end_line = toks.get(j).or(toks.last()).map_or(attr_line, |t| t.line);
+            out.push((attr_line, end_line));
+        }
+        i = j.max(end);
+    }
+    out
+}
+
+/// Scans an attribute starting at its `[` token; returns (index just
+/// past the matching `]`, whether the attribute is exactly `cfg(test)`).
+/// The exact-sequence check deliberately does NOT match `cfg(not(test))`
+/// or `cfg(any(test, ...))` — only plain `#[cfg(test)]` earns the test
+/// exemption.
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i64;
+    let mut j = open;
+    let mut is_test = false;
+    while j < toks.len() {
+        if toks[j].is_punct("[") {
+            depth += 1;
+        } else if toks[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return (j + 1, is_test);
+            }
+        } else if toks[j].is_ident("cfg")
+            && j + 3 < toks.len()
+            && toks[j + 1].is_punct("(")
+            && toks[j + 2].is_ident("test")
+            && toks[j + 3].is_punct(")")
+        {
+            is_test = true;
+        }
+        j += 1;
+    }
+    (j, is_test)
+}
+
+fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
+    regions.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+/// Runs every token rule over one lexed Rust file. `class` decides which
+/// rules apply; `wall_clock_allowed` / `env_read_allowed` are the
+/// per-file path-allowlist decisions made by the caller.
+pub fn check_tokens(
+    lexed: &Lexed,
+    class: FileClass,
+    wall_clock_allowed: bool,
+    env_read_allowed: bool,
+) -> Vec<RawDiag> {
+    let mut diags = Vec::new();
+    let test_regions = cfg_test_regions(&lexed.toks);
+    let toks = &lexed.toks;
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        match t.s {
+            "Instant" | "SystemTime" if !wall_clock_allowed => {
+                diags.push(RawDiag {
+                    line: t.line,
+                    rule: Rule::NoWallClock.name(),
+                    message: format!(
+                        "`{}` is wall-clock: experiments run in virtual time (SimTime); host \
+                         self-timing must go through kvssd_bench::walltime::Stopwatch",
+                        t.s
+                    ),
+                });
+            }
+            "HashMap" | "HashSet" | "RandomState"
+                if class == FileClass::LibrarySrc && !in_regions(t.line, &test_regions) =>
+            {
+                diags.push(RawDiag {
+                    line: t.line,
+                    rule: Rule::NoRandomStateMap.name(),
+                    message: format!(
+                        "`{}` iterates in a randomized order (SipHash random state), which can \
+                         leak into figure tables; use kvssd_sim::prehash::{{PrehashedMap, \
+                         PrehashedSet}} or BTreeMap in library crates",
+                        t.s
+                    ),
+                });
+            }
+            "env"
+                if !env_read_allowed
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                    && toks.get(i + 2).is_some_and(|n| {
+                        matches!(n.s, "var" | "var_os" | "vars" | "vars_os")
+                            && n.kind == crate::lexer::TokKind::Ident
+                    }) =>
+            {
+                diags.push(RawDiag {
+                    line: t.line,
+                    rule: Rule::NoEnvRead.name(),
+                    message: format!(
+                        "`env::{}` reads ambient host state; route configuration through \
+                         kvssd_bench::env_config so runs stay pure functions of their seeds",
+                        toks[i + 2].s
+                    ),
+                });
+            }
+            "thread_rng" | "ThreadRng" | "from_entropy" | "from_os_rng" | "OsRng" | "getrandom" => {
+                diags.push(RawDiag {
+                    line: t.line,
+                    rule: Rule::NoUnseededEntropy.name(),
+                    message: format!(
+                        "`{}` draws OS entropy; every random stream must derive from an explicit \
+                         seed (kvssd_sim::DeterministicRng) so runs are reproducible",
+                        t.s
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    // One diagnostic per (rule, line): `pub fn now() -> Instant { Instant::now() }`
+    // is one violation, not two.
+    diags.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_region_covers_module_body() {
+        let src = "struct A;\n#[cfg(test)]\nmod tests {\n  fn f() {}\n}\nstruct B;\n";
+        let l = lex(src);
+        let regions = cfg_test_regions(&l.toks);
+        assert_eq!(regions, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nmod real {}\n";
+        let l = lex(src);
+        assert!(cfg_test_regions(&l.toks).is_empty());
+    }
+
+    #[test]
+    fn stacked_attributes_still_find_the_block() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n  struct X;\n}\n";
+        let l = lex(src);
+        assert_eq!(cfg_test_regions(&l.toks), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+        assert_eq!(
+            Rule::from_name(BAD_PRAGMA),
+            None,
+            "bad-pragma is not allowable"
+        );
+    }
+}

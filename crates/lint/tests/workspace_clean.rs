@@ -1,0 +1,79 @@
+//! The repo gates itself: a full `lint_workspace` pass over this
+//! workspace must come back clean. Seeding any forbidden pattern in a
+//! library crate fails this test with a file:line diagnostic naming
+//! the rule — see the `seeded_violation_is_caught` test for proof that
+//! the detection path works end to end.
+
+use std::path::{Path, PathBuf};
+
+use kvssd_lint::lint_workspace;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> crates/ -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_unsuppressed_violations() {
+    let report = lint_workspace(&workspace_root()).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker is likely broken",
+        report.files_scanned
+    );
+    if !report.is_clean() {
+        for d in &report.diagnostics {
+            eprintln!("{d}");
+        }
+        panic!(
+            "kvlint found {} unsuppressed violation(s); see diagnostics above",
+            report.total_violations()
+        );
+    }
+}
+
+#[test]
+fn seeded_violation_is_caught() {
+    // Build a throwaway mini-workspace containing one forbidden call
+    // and prove the full directory pass reports it at file:line.
+    let dir = std::env::temp_dir().join(format!("kvlint-seeded-{}", std::process::id()));
+    let src = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("create temp workspace");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/demo\"]\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("crates/demo/Cargo.toml"),
+        "[package]\nname = \"demo\"\n\n[dependencies]\nserde = \"1\"\n",
+    )
+    .unwrap();
+    std::fs::write(
+        src.join("lib.rs"),
+        "use std::time::Instant;\npub fn now() -> Instant { Instant::now() }\n",
+    )
+    .unwrap();
+
+    let report = lint_workspace(&dir).expect("temp workspace walk succeeds");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(!report.is_clean());
+    assert_eq!(report.violations.get("no-wall-clock"), Some(&2));
+    assert_eq!(report.violations.get("no-offline-break"), Some(&1));
+    let wall = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "no-wall-clock")
+        .expect("wall-clock diagnostic present");
+    assert_eq!(wall.path, "crates/demo/src/lib.rs");
+    assert_eq!(wall.line, 1);
+    // The rendered form is the file:line diagnostic the ISSUE demands.
+    assert!(wall
+        .to_string()
+        .starts_with("crates/demo/src/lib.rs:1: no-wall-clock:"));
+}

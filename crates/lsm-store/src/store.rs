@@ -1,11 +1,11 @@
 //! The LSM store: write path, read path, flush, and leveled compaction.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use kvssd_core::hash::key_hash;
 use kvssd_core::Payload;
 use kvssd_host_stack::{ExtFs, FileId, HostCpu, LruCache, PageCache};
-use kvssd_sim::{SimDuration, SimTime};
+use kvssd_sim::{PrehashedMap, PrehashedSet, SimDuration, SimTime};
 
 use crate::config::LsmConfig;
 use crate::sst::{merge_runs, SstData, SstMeta};
@@ -54,7 +54,7 @@ pub struct LsmStore {
     memtable_bytes: u64,
     wal: FileId,
     levels: Vec<Vec<SstMeta>>,
-    tables: HashMap<FileId, SstData>,
+    tables: PrehashedMap<FileId, SstData>,
     /// Completion horizon of the background flush/compaction worker.
     bg_done: SimTime,
     live_user_bytes: u64,
@@ -78,7 +78,7 @@ impl LsmStore {
             memtable: BTreeMap::new(),
             memtable_bytes: 0,
             levels: vec![Vec::new()],
-            tables: HashMap::new(),
+            tables: PrehashedMap::default(),
             bg_done: SimTime::ZERO,
             live_user_bytes: 0,
             live_keys: 0,
@@ -198,7 +198,7 @@ impl LsmStore {
         // Merge iterators across memtable and every level, newest wins.
         let mut t = now;
         let mut out: Vec<(Box<[u8]>, Payload)> = Vec::new();
-        let mut shadowed: std::collections::HashSet<Box<[u8]>> = std::collections::HashSet::new();
+        let mut shadowed: PrehashedSet<Box<[u8]>> = PrehashedSet::default();
         // Collect candidates (key-ordered walk over each source).
         let mut candidates: Vec<(Box<[u8]>, Option<Payload>, usize)> = Vec::new();
         for (k, v) in self

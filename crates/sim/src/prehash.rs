@@ -12,13 +12,20 @@
 //!
 //! No external dependencies — the workspace stays offline-green.
 
+// This module IS the sanctioned wrapper: it rebinds std's maps to a
+// fixed hasher, so the disallowed types are allowed here and only here.
+#![allow(clippy::disallowed_types)]
+
+// kvlint: allow(no-random-state-map) — this module IS the sanctioned wrapper: it rebinds std's maps to a fixed hasher
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// `HashMap` keyed by pre-hashed (or low-entropy integer) keys.
+// kvlint: allow(no-random-state-map) — alias pins the hasher to PrehashHasher; no RandomState reaches callers
 pub type PrehashedMap<K, V> = HashMap<K, V, BuildHasherDefault<PrehashHasher>>;
 
 /// `HashSet` counterpart of [`PrehashedMap`].
+// kvlint: allow(no-random-state-map) — alias pins the hasher to PrehashHasher; no RandomState reaches callers
 pub type PrehashedSet<K> = HashSet<K, BuildHasherDefault<PrehashHasher>>;
 
 /// Word-at-a-time folding hasher (FxHash-style).

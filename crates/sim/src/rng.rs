@@ -253,7 +253,7 @@ mod tests {
     #[test]
     fn mix64_is_a_permutation_sample() {
         // Distinct inputs keep distinct outputs on a sample.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = crate::PrehashedSet::default();
         for i in 0..10_000u64 {
             assert!(seen.insert(mix64(i)));
         }

@@ -16,6 +16,11 @@ fi
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
+echo "== kvlint (determinism / virtual-time / offline-green invariants) =="
+# Per-rule summary + machine-readable kvlint-summary JSON line; exits
+# non-zero on any unsuppressed violation with file:line diagnostics.
+cargo run "${CARGO_FLAGS[@]}" -q -p kvssd-lint
+
 echo "== cargo build --release =="
 cargo build "${CARGO_FLAGS[@]}" --release --workspace
 

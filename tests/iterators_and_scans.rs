@@ -34,7 +34,7 @@ fn device_iterators_cover_prefix_buckets_exactly() {
     // batches disjoint.
     for (prefix, expect) in [(*b"usr.", 40usize), (*b"dev.", 25)] {
         let (mut t2, h) = dev.iter_open(t, prefix);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = kvssd_sim::PrehashedSet::default();
         loop {
             let (t3, keys) = dev.iter_next(t2, h, 7).unwrap();
             t2 = t3;

@@ -1,0 +1,23 @@
+//! Tier-1 gate: `cargo test -q` from the workspace root runs the full
+//! kvlint pass over the repository. Any unsuppressed violation of the
+//! determinism / virtual-time / offline-green invariants fails this
+//! test with a file:line diagnostic naming the rule.
+
+use std::path::Path;
+
+#[test]
+fn kvlint_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = kvssd_lint::lint_workspace(root).expect("workspace walk succeeds");
+    if !report.is_clean() {
+        for d in &report.diagnostics {
+            eprintln!("{d}");
+        }
+        panic!(
+            "kvlint: {} unsuppressed violation(s) in {} file(s) scanned — see diagnostics above; \
+             suppress only with a justified `// kvlint: allow(<rule>) — <why>` pragma",
+            report.total_violations(),
+            report.files_scanned
+        );
+    }
+}
