@@ -1,0 +1,55 @@
+//! Bench target for the transport-fabric sweep: prints the link-latency
+//! and slow-replica hedging table, then times a simulator kernel under
+//! Criterion.
+//!
+//! Run with `cargo bench --bench fabric`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+#[cfg(feature = "criterion")]
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// quorum stores over a latency-shaped fabric.
+#[cfg(feature = "criterion")]
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_cluster_store_fabric", |b| {
+        b.iter(|| {
+            let link = kvssd_fabric::LinkConfig::datacenter();
+            let fabric = kvssd_fabric::Fabric::new(kvssd_fabric::FabricConfig::new(42, link), 4);
+            let mut cluster = kvssd_cluster::KvCluster::with_transport(
+                kvssd_cluster::ClusterConfig::new(4, 42).replication(3),
+                Box::new(fabric),
+                |_| {
+                    kvssd_core::KvSsd::new(
+                        kvssd_flash::Geometry::small(),
+                        kvssd_flash::FlashTiming::pm983_like(),
+                        kvssd_core::KvConfig::small(),
+                    )
+                },
+            );
+            let mut t = kvssd_sim::SimTime::ZERO;
+            for i in 0..400u64 {
+                let key = format!("fabric.key.{i:08}");
+                t = cluster
+                    .store(t, key.as_bytes(), kvssd_core::Payload::synthetic(1024, i))
+                    .unwrap();
+            }
+            std::hint::black_box(t);
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the sweep (captured into bench_output.txt).
+    experiments::fabric::report(Scale::from_env());
+
+    // 2. Time the kernel (only with the non-default `criterion`
+    //    feature; the offline default stops at the printed tables).
+    #[cfg(feature = "criterion")]
+    {
+        let mut c = Criterion::default().sample_size(10).configure_from_args();
+        kernel(&mut c);
+        c.final_summary();
+    }
+}

@@ -18,7 +18,7 @@ fn main() {
         Some(name) => match experiments::FIGURES.iter().find(|(n, _)| *n == name) {
             Some((_, report)) => report(scale),
             None => {
-                let valid: Vec<&str> = experiments::FIGURES.iter().map(|(n, _)| *n).collect();
+                let valid = experiments::figure_names();
                 eprintln!("unknown figure `{name}`; valid names: {}", valid.join(", "));
                 std::process::exit(1);
             }

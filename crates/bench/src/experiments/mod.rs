@@ -7,6 +7,7 @@
 pub mod ablations;
 pub mod cells;
 pub mod device_ops;
+pub mod fabric;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -30,7 +31,7 @@ pub type FigureFn = fn(Scale);
 
 /// Every figure's name with its report function, in canonical order
 /// (the order `repro_all` runs them).
-pub const FIGURES: [(&str, FigureFn); 11] = [
+pub const FIGURES: [(&str, FigureFn); 12] = [
     ("fig2", |s| {
         fig2::report(s);
     }),
@@ -64,12 +65,15 @@ pub const FIGURES: [(&str, FigureFn); 11] = [
     ("replication", |s| {
         replication::report(s);
     }),
+    ("fabric", |s| {
+        fabric::report(s);
+    }),
 ];
 
 /// The figures ported onto the parallel cell scheduler, in canonical
 /// order. Each entry runs the figure *silently* (no table printing) —
 /// what the self-timing harness executes.
-pub const PORTED: [(&str, FigureFn); 7] = [
+pub const PORTED: [(&str, FigureFn); 8] = [
     ("fig2", |s| {
         fig2::run(s);
     }),
@@ -91,7 +95,16 @@ pub const PORTED: [(&str, FigureFn); 7] = [
     ("replication", |s| {
         replication::run(s);
     }),
+    ("fabric", |s| {
+        fabric::run(s);
+    }),
 ];
+
+/// The canonical figure names, straight from [`FIGURES`] — the one
+/// registry help text and tooling list so the set can't drift.
+pub fn figure_names() -> Vec<&'static str> {
+    FIGURES.iter().map(|(n, _)| *n).collect()
+}
 
 /// Fills a store with `n` sequential-order keys of `value_bytes` values
 /// at queue depth `qd`; returns the fill metrics.
@@ -125,4 +138,23 @@ pub fn fill_pub(
 /// Settle time inserted between phases so buffered state drains.
 pub(crate) fn settle(t: SimTime) -> SimTime {
     t + kvssd_sim::SimDuration::from_millis(200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_registries_are_consistent() {
+        let names = figure_names();
+        let unique: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate figure name");
+        assert!(names.contains(&"fabric"), "fabric missing from FIGURES");
+        for (n, _) in PORTED {
+            assert!(
+                names.contains(&n),
+                "PORTED figure `{n}` missing from FIGURES"
+            );
+        }
+    }
 }

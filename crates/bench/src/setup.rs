@@ -7,6 +7,7 @@
 use kvssd_block_ftl::{BlockFtlConfig, BlockSsd};
 use kvssd_cluster::{ClusterConfig, KvCluster};
 use kvssd_core::{KvConfig, KvSsd};
+use kvssd_fabric::{Fabric, FabricConfig, LinkConfig};
 use kvssd_flash::{FlashTiming, Geometry};
 use kvssd_hash_store::{HashStore, HashStoreConfig};
 use kvssd_host_stack::ExtFs;
@@ -110,6 +111,52 @@ pub fn kv_cluster_replicated(shards: usize, r: usize, seed: u64) -> ClusterStore
 pub fn kv_cluster_replicated_small(shards: usize, r: usize, seed: u64) -> ClusterStore {
     ClusterStore::new(KvCluster::new(
         ClusterConfig::new(shards, seed).replication(r),
+        |_| {
+            KvSsd::new(
+                Geometry::small(),
+                FlashTiming::pm983_like(),
+                KvConfig::small(),
+            )
+        },
+    ))
+}
+
+/// An R-way replicated cluster (majority quorums) whose replica legs
+/// cross a [`Fabric`] of `link`-shaped links, with lean quorum reads
+/// (optionally hedged at `hedge`). Scaled-PM983 devices; reshape
+/// individual links afterwards through
+/// [`KvCluster::fabric_mut`].
+pub fn kv_cluster_fabric(
+    shards: usize,
+    r: usize,
+    seed: u64,
+    link: LinkConfig,
+    hedge: Option<kvssd_sim::SimDuration>,
+) -> ClusterStore {
+    let config = kv_config_macro();
+    ClusterStore::new(KvCluster::with_transport(
+        ClusterConfig::new(shards, seed)
+            .replication(r)
+            .lean_reads(hedge),
+        Box::new(Fabric::new(FabricConfig::new(seed, link), shards)),
+        |_| KvSsd::new(geometry(), timing(), config),
+    ))
+}
+
+/// The fabric-backed replicated cluster on unit-test-geometry devices
+/// for Tiny-scale runs.
+pub fn kv_cluster_fabric_small(
+    shards: usize,
+    r: usize,
+    seed: u64,
+    link: LinkConfig,
+    hedge: Option<kvssd_sim::SimDuration>,
+) -> ClusterStore {
+    ClusterStore::new(KvCluster::with_transport(
+        ClusterConfig::new(shards, seed)
+            .replication(r)
+            .lean_reads(hedge),
+        Box::new(Fabric::new(FabricConfig::new(seed, link), shards)),
         |_| {
             KvSsd::new(
                 Geometry::small(),

@@ -18,6 +18,17 @@
 //! re-replicated from a surviving copy, and replicas that fell out of a
 //! set are demoted (dropped) — symmetric between `add_shard` and
 //! `remove_shard`.
+//!
+//! Every replica leg crosses a [`Transport`] twice — request out,
+//! completion back. The default [`InProcess`] transport is free and
+//! lossless (byte-identical to the pre-transport cluster); a
+//! fabric-backed transport charges link latency and can lose messages,
+//! in which case operations that fail to assemble their quorum return
+//! [`KvError::QuorumUnavailable`]. Flush and placement repair are
+//! control-plane work and stay off the fabric. With lean read fanout
+//! ([`crate::transport::ReadFanout::Lean`]) retrieves send only
+//! `read_quorum` legs and can hedge one spare leg when the quorum
+//! acknowledgement runs past the hedge delay.
 
 use std::collections::BTreeSet;
 
@@ -28,6 +39,9 @@ use kvssd_sim::{BandwidthSeries, FanIn, LatencyHistogram, SimDuration, SimTime};
 
 use crate::config::ClusterConfig;
 use crate::ring::{HashRing, RingDelta};
+use crate::transport::{
+    InProcess, ReadFanout, Transport, TransportStats, REQUEST_CAPSULE_BYTES, RESPONSE_CAPSULE_BYTES,
+};
 
 /// One device shard: the KV-SSD, its submission queue, its metrics, and
 /// the key registry the rebalancer enumerates.
@@ -98,6 +112,11 @@ pub struct ClusterStats {
     pub rebalanced_keys: u64,
     /// Bytes moved by rebalances so far.
     pub rebalanced_bytes: u64,
+    /// Router↔shard transport counters (all zero on the in-process
+    /// transport).
+    pub transport: TransportStats,
+    /// Spare read legs launched by hedged lean reads.
+    pub hedged_spares: u64,
 }
 
 /// What one shard add/remove cost.
@@ -157,6 +176,11 @@ pub struct KvCluster {
     op_fan: FanIn,
     /// Reusable replica-set scratch (shard ids) for the same reason.
     replica_scratch: Vec<usize>,
+    /// Router↔shard message transport; every replica leg crosses it
+    /// twice (request out, completion back).
+    transport: Box<dyn Transport>,
+    /// Spare read legs launched by hedged lean reads.
+    hedged_spares: u64,
     next_shard_id: usize,
     aggregate_bw: BandwidthSeries,
     rebalanced_keys: u64,
@@ -170,7 +194,24 @@ impl KvCluster {
     ///
     /// Panics if `config.shards` is zero, the replication factor is
     /// zero, or a quorum size is outside `1..=replication_factor`.
-    pub fn new(config: ClusterConfig, mut make_device: impl FnMut(usize) -> KvSsd) -> Self {
+    pub fn new(config: ClusterConfig, make_device: impl FnMut(usize) -> KvSsd) -> Self {
+        Self::with_transport(config, Box::new(InProcess), make_device)
+    }
+
+    /// Builds a cluster whose replica legs cross `transport` — the
+    /// fabric-backed variant of [`Self::new`]. The transport must
+    /// already expose one attachment point per shard (a
+    /// [`kvssd_fabric::Fabric`] built with `links = config.shards`);
+    /// membership changes keep the two aligned automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Self::new`] does on a malformed config.
+    pub fn with_transport(
+        config: ClusterConfig,
+        transport: Box<dyn Transport>,
+        mut make_device: impl FnMut(usize) -> KvSsd,
+    ) -> Self {
         assert!(config.shards > 0, "a cluster needs at least one shard");
         assert!(
             config.replication_factor >= 1,
@@ -201,6 +242,8 @@ impl KvCluster {
             completions: FanIn::new(config.shards),
             op_fan: FanIn::new(1),
             replica_scratch: Vec::with_capacity(config.replication_factor),
+            transport,
+            hedged_spares: 0,
             next_shard_id: config.shards,
             aggregate_bw: BandwidthSeries::new(config.bandwidth_window),
             rebalanced_keys: 0,
@@ -288,8 +331,9 @@ impl KvCluster {
     }
 
     /// Fills `replica_scratch` with the key's replica shard *indices*
-    /// and resets `op_fan` to one lane per replica. Returns the leg
-    /// count.
+    /// and empties `op_fan` (legs push their acknowledgement times as
+    /// they land, so lost legs simply never appear). Returns the
+    /// replica count.
     fn begin_replicated_op(&mut self, key: &[u8]) -> usize {
         let mut ids = std::mem::take(&mut self.replica_scratch);
         self.ring
@@ -299,29 +343,40 @@ impl KvCluster {
         }
         let k = ids.len();
         self.replica_scratch = ids;
-        self.op_fan.reset(k);
+        self.op_fan.reset_empty();
         k
     }
 
     /// Stores one pair on every replica shard; completes at the write
     /// quorum.
     ///
-    /// Each replica leg goes through its owner's submission queue from
-    /// `now`; the returned time is when the `write_quorum`-th fastest
-    /// leg landed. Straggler legs still occupy their devices and land in
-    /// the completion tracker. On a device error the error is returned
-    /// immediately; legs already executed stay applied (the repair pass
-    /// of the next membership change re-converges placement).
+    /// Each replica leg crosses the transport to its owner, goes
+    /// through the owner's submission queue, and crosses back; the
+    /// returned time is when the `write_quorum`-th fastest
+    /// acknowledgement arrived at the router. Straggler legs still
+    /// occupy their devices and land in the completion tracker. On a
+    /// device error the error is returned immediately; if the transport
+    /// loses enough legs that fewer than `write_quorum`
+    /// acknowledgements arrive, [`KvError::QuorumUnavailable`] is
+    /// returned — in both cases legs already executed stay applied (the
+    /// repair pass of the next membership change re-converges
+    /// placement).
     pub fn store(&mut self, now: SimTime, key: &[u8], value: Payload) -> Result<SimTime, KvError> {
         let k = self.begin_replicated_op(key);
         let bytes = key.len() as u64 + value.len();
         for lane in 0..k {
             let idx = self.replica_scratch[lane];
+            let Some(issue_from) = self
+                .transport
+                .request(now, idx, REQUEST_CAPSULE_BYTES + bytes)
+            else {
+                continue; // request lost: the leg never executes
+            };
             let shard = &mut self.shards[idx];
             let Shard { device, sq, .. } = shard;
             let v = value.clone();
             let mut res: Option<Result<SimTime, KvError>> = None;
-            let timing = sq.submit(now, |issue| match device.store(issue, key, v) {
+            let timing = sq.submit(issue_from, |issue| match device.store(issue, key, v) {
                 Ok(done) => {
                     res = Some(Ok(done));
                     done
@@ -334,54 +389,107 @@ impl KvCluster {
             res.expect("submit runs the operation")?;
             shard.writes.record(timing.latency());
             shard.bandwidth.record(timing.completed, bytes);
+            shard.keys_insert(key);
             self.aggregate_bw.record(timing.completed, bytes);
             self.completions.record(idx, timing.completed);
-            shard.keys_insert(key);
-            self.op_fan.record(lane, timing.completed);
+            let Some(acked) =
+                self.transport
+                    .response(timing.completed, idx, RESPONSE_CAPSULE_BYTES)
+            else {
+                continue; // completion lost: durable on the replica, unacknowledged
+            };
+            self.op_fan.push(acked);
         }
-        Ok(self.op_fan.quorum(self.config.write_quorum.min(k)))
+        self.quorum_ack(self.config.write_quorum.min(k))
     }
 
-    /// Looks a key up on every replica shard; completes at the read
-    /// quorum (the returned `Lookup::at` is the `read_quorum`-th
-    /// fastest leg). The value comes from the first replica in set
-    /// order that holds one.
+    /// Runs one retrieve leg against replica index `idx`: request out,
+    /// device lookup through the submission queue, completion (plus any
+    /// value payload) back. Pushes the acknowledgement into `op_fan`
+    /// and fills `value` from the first acked hit in call order.
+    fn retrieve_leg(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        key: &[u8],
+        value: &mut Option<Payload>,
+    ) -> Result<(), KvError> {
+        let Some(issue_from) =
+            self.transport
+                .request(now, idx, REQUEST_CAPSULE_BYTES + key.len() as u64)
+        else {
+            return Ok(()); // request lost: the leg never executes
+        };
+        let shard = &mut self.shards[idx];
+        let Shard { device, sq, .. } = shard;
+        let mut res: Option<Result<Lookup, KvError>> = None;
+        let timing = sq.submit(issue_from, |issue| match device.retrieve(issue, key) {
+            Ok(l) => {
+                let at = l.at;
+                res = Some(Ok(l));
+                at
+            }
+            Err(e) => {
+                res = Some(Err(e));
+                issue
+            }
+        });
+        let lookup = res.expect("submit runs the operation")?;
+        shard.reads.record(timing.latency());
+        let mut resp_bytes = RESPONSE_CAPSULE_BYTES;
+        if let Some(v) = &lookup.value {
+            let bytes = key.len() as u64 + v.len();
+            shard.bandwidth.record(timing.completed, bytes);
+            self.aggregate_bw.record(timing.completed, bytes);
+            resp_bytes += bytes;
+        }
+        self.completions.record(idx, timing.completed);
+        let Some(acked) = self.transport.response(timing.completed, idx, resp_bytes) else {
+            return Ok(()); // completion lost: value never reached the router
+        };
+        self.op_fan.push(acked);
+        if value.is_none() {
+            *value = lookup.value;
+        }
+        Ok(())
+    }
+
+    /// Looks a key up on its replica set; completes at the read quorum
+    /// (the returned `Lookup::at` is when the `read_quorum`-th fastest
+    /// acknowledgement arrived). With the default
+    /// [`ReadFanout::All`] every replica gets a leg; with
+    /// [`ReadFanout::Lean`] only the first `read_quorum` replicas do,
+    /// plus — when hedging is configured and the quorum ack would land
+    /// after `now + hedge` — one spare leg to the next replica issued
+    /// at `now + hedge`. The value comes from the first acked replica
+    /// in leg order that holds one; if fewer than `read_quorum` legs
+    /// acknowledge, [`KvError::QuorumUnavailable`] is returned.
     pub fn retrieve(&mut self, now: SimTime, key: &[u8]) -> Result<Lookup, KvError> {
         let k = self.begin_replicated_op(key);
+        let rq = self.config.read_quorum.min(k);
+        let legs = match self.config.read_fanout {
+            ReadFanout::All => k,
+            ReadFanout::Lean { .. } => rq,
+        };
         let mut value: Option<Payload> = None;
-        for lane in 0..k {
+        for lane in 0..legs {
             let idx = self.replica_scratch[lane];
-            let shard = &mut self.shards[idx];
-            let Shard { device, sq, .. } = shard;
-            let mut res: Option<Result<Lookup, KvError>> = None;
-            let timing = sq.submit(now, |issue| match device.retrieve(issue, key) {
-                Ok(l) => {
-                    let at = l.at;
-                    res = Some(Ok(l));
-                    at
-                }
-                Err(e) => {
-                    res = Some(Err(e));
-                    issue
-                }
-            });
-            let lookup = res.expect("submit runs the operation")?;
-            shard.reads.record(timing.latency());
-            if let Some(v) = &lookup.value {
-                let bytes = key.len() as u64 + v.len();
-                shard.bandwidth.record(timing.completed, bytes);
-                self.aggregate_bw.record(timing.completed, bytes);
-            }
-            self.completions.record(idx, timing.completed);
-            self.op_fan.record(lane, timing.completed);
-            if value.is_none() {
-                value = lookup.value;
+            self.retrieve_leg(now, idx, key, &mut value)?;
+        }
+        if let ReadFanout::Lean { hedge: Some(hedge) } = self.config.read_fanout {
+            // Hedge once: the quorum is late (or short a leg) and an
+            // unused replica remains.
+            let late = self.op_fan.len() < rq || self.op_fan.quorum(rq) > now + hedge;
+            if late && legs < k {
+                self.hedged_spares += 1;
+                let idx = self.replica_scratch[legs];
+                self.retrieve_leg(now + hedge, idx, key, &mut value)?;
             }
         }
-        Ok(Lookup {
-            at: self.op_fan.quorum(self.config.read_quorum.min(k)),
-            value,
-        })
+        match self.quorum_ack(rq) {
+            Ok(at) => Ok(Lookup { at, value }),
+            Err(e) => Err(e),
+        }
     }
 
     /// Deletes a key on every replica shard; completes at the write
@@ -391,10 +499,16 @@ impl KvCluster {
         let mut existed_any = false;
         for lane in 0..k {
             let idx = self.replica_scratch[lane];
+            let Some(issue_from) =
+                self.transport
+                    .request(now, idx, REQUEST_CAPSULE_BYTES + key.len() as u64)
+            else {
+                continue; // request lost: the leg never executes
+            };
             let shard = &mut self.shards[idx];
             let Shard { device, sq, .. } = shard;
             let mut res: Option<Result<(SimTime, bool), KvError>> = None;
-            let timing = sq.submit(now, |issue| match device.delete(issue, key) {
+            let timing = sq.submit(issue_from, |issue| match device.delete(issue, key) {
                 Ok((done, existed)) => {
                     res = Some(Ok((done, existed)));
                     done
@@ -410,12 +524,29 @@ impl KvCluster {
                 existed_any = true;
             }
             self.completions.record(idx, timing.completed);
-            self.op_fan.record(lane, timing.completed);
+            let Some(acked) =
+                self.transport
+                    .response(timing.completed, idx, RESPONSE_CAPSULE_BYTES)
+            else {
+                continue; // completion lost: applied on the replica, unacknowledged
+            };
+            self.op_fan.push(acked);
         }
-        Ok((
-            self.op_fan.quorum(self.config.write_quorum.min(k)),
-            existed_any,
-        ))
+        match self.quorum_ack(self.config.write_quorum.min(k)) {
+            Ok(at) => Ok((at, existed_any)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The quorum acknowledgement instant over the current op's acked
+    /// legs, or [`KvError::QuorumUnavailable`] when fewer than `quorum`
+    /// legs made it back.
+    fn quorum_ack(&self, quorum: usize) -> Result<SimTime, KvError> {
+        let acked = self.op_fan.len();
+        if acked < quorum {
+            return Err(KvError::QuorumUnavailable { acked, quorum });
+        }
+        Ok(self.op_fan.quorum(quorum))
     }
 
     /// Flushes every shard; returns the fan-in barrier (when the last
@@ -453,6 +584,7 @@ impl KvCluster {
             keys: BTreeSet::new(),
         });
         self.completions.add_lane();
+        self.transport.on_add_shard();
         let report = self.repair_placement(now, ring_delta, None);
         (id, report)
     }
@@ -478,6 +610,7 @@ impl KvCluster {
         debug_assert_eq!(self.shards[idx].keys.len(), 0);
         self.shards.remove(idx);
         self.completions.remove_lane(idx);
+        self.transport.on_remove_shard(idx);
         report
     }
 
@@ -647,7 +780,27 @@ impl KvCluster {
             sq_stall_time,
             rebalanced_keys: self.rebalanced_keys,
             rebalanced_bytes: self.rebalanced_bytes,
+            transport: self.transport.stats(),
+            hedged_spares: self.hedged_spares,
         }
+    }
+
+    /// The router↔shard transport counters (all zero on the default
+    /// in-process transport).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Spare read legs launched by hedged lean reads so far.
+    pub fn hedged_spares(&self) -> u64 {
+        self.hedged_spares
+    }
+
+    /// The underlying fabric, when this cluster runs on one — the hook
+    /// experiments use to reshape or partition links mid-run. `None` on
+    /// the in-process transport.
+    pub fn fabric_mut(&mut self) -> Option<&mut kvssd_fabric::Fabric> {
+        self.transport.fabric_mut()
     }
 
     /// Summed space report across devices.
@@ -774,6 +927,24 @@ impl KvCluster {
             self.rebalanced_keys,
             self.rebalanced_bytes
         ));
+        // Only rendered when the transport actually counted something,
+        // so in-process reports stay byte-identical to the pre-fabric
+        // layout.
+        let ts = self.transport.stats();
+        if ts != TransportStats::default() || self.hedged_spares > 0 {
+            lines.push(format!(
+                "transport req={} resp={} dropped={} partition_drops={} dup={} stalls={} \
+                 bytes={} hedged_spares={}",
+                ts.requests,
+                ts.responses,
+                ts.dropped,
+                ts.partition_drops,
+                ts.duplicated,
+                ts.queue_stalls,
+                ts.bytes,
+                self.hedged_spares
+            ));
+        }
         ClusterReport { lines }
     }
 }

@@ -3,6 +3,8 @@
 use kvssd_nvme::SqConfig;
 use kvssd_sim::SimDuration;
 
+use crate::transport::ReadFanout;
+
 /// How a [`crate::KvCluster`] routes, queues, and measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterConfig {
@@ -28,6 +30,10 @@ pub struct ClusterConfig {
     /// Replica completions a store/delete waits for before
     /// acknowledging.
     pub write_quorum: usize,
+    /// How retrieves fan out over the replica set. The default fans to
+    /// every replica (free on the in-process transport); lean fanout
+    /// sends `read_quorum` legs and optionally hedges a spare.
+    pub read_fanout: ReadFanout,
 }
 
 impl ClusterConfig {
@@ -75,6 +81,17 @@ impl ClusterConfig {
         self.write_quorum = write;
         self
     }
+
+    /// Switches retrieves to lean fanout: legs to the first
+    /// `read_quorum` replicas only, plus (with `hedge` set) one spare
+    /// leg to the next replica when the quorum acknowledgement would
+    /// land later than the hedge delay. On a paid transport this trades
+    /// a small extra-read budget for straggler-proof tail latency;
+    /// writes always fan to every replica for durability.
+    pub fn lean_reads(mut self, hedge: Option<SimDuration>) -> Self {
+        self.read_fanout = ReadFanout::Lean { hedge };
+        self
+    }
 }
 
 impl Default for ClusterConfig {
@@ -88,6 +105,7 @@ impl Default for ClusterConfig {
             replication_factor: 1,
             read_quorum: 1,
             write_quorum: 1,
+            read_fanout: ReadFanout::All,
         }
     }
 }
@@ -102,6 +120,16 @@ mod tests {
         assert_eq!(c.replication_factor, 1);
         assert_eq!(c.read_quorum, 1);
         assert_eq!(c.write_quorum, 1);
+        assert_eq!(c.read_fanout, ReadFanout::All);
+    }
+
+    #[test]
+    fn lean_reads_sets_fanout_and_hedge() {
+        let hedge = SimDuration::from_micros(250);
+        let c = ClusterConfig::new(4, 7).replication(3).lean_reads(None);
+        assert_eq!(c.read_fanout, ReadFanout::Lean { hedge: None });
+        let c = c.lean_reads(Some(hedge));
+        assert_eq!(c.read_fanout, ReadFanout::Lean { hedge: Some(hedge) });
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!   the first R distinct shards past its hash, operations fan out to
 //!   the whole set and acknowledge at configurable read/write quorums,
 //!   and membership changes repair placement (re-replicate from a
-//!   surviving copy, demote misplaced replicas).
+//!   surviving copy, demote misplaced replicas),
+//! * a pluggable router↔shard [`Transport`]: the in-process default is
+//!   free and lossless (byte-identical to the pre-transport path),
+//!   while a [`kvssd_fabric::Fabric`] charges per-link latency,
+//!   serialization, and queueing and injects seeded faults — with lean
+//!   quorum reads and hedged spare legs
+//!   ([`ClusterConfig::lean_reads`]) to tame stragglers.
 //!
 //! A 1-shard cluster behind the default pass-through submission queue is
 //! *bit-identical* to a bare device: same seed, same virtual-time
@@ -59,7 +65,11 @@
 pub mod cluster;
 pub mod config;
 pub mod ring;
+pub mod transport;
 
 pub use cluster::{ClusterReport, ClusterStats, KvCluster, RebalanceReport, Shard};
 pub use config::ClusterConfig;
 pub use ring::{HashRing, RingDelta};
+pub use transport::{
+    InProcess, ReadFanout, Transport, TransportStats, REQUEST_CAPSULE_BYTES, RESPONSE_CAPSULE_BYTES,
+};

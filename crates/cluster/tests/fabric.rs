@@ -1,0 +1,255 @@
+//! Fabric-backed cluster properties: the degenerate-equivalence anchor
+//! (an ideal fabric is the in-process transport, byte for byte), the
+//! durability contract under seeded message loss and partitions
+//! (acknowledged quorum writes are never lost), and determinism across
+//! thread counts.
+
+use kvssd_cluster::{ClusterConfig, KvCluster};
+use kvssd_core::{KvConfig, KvError, KvSsd, Payload};
+use kvssd_fabric::{Fabric, FabricConfig, LinkConfig};
+use kvssd_sim::{SimDuration, SimTime};
+
+fn device(_id: usize) -> KvSsd {
+    KvSsd::new(
+        kvssd_flash::Geometry::small(),
+        kvssd_flash::FlashTiming::pm983_like(),
+        KvConfig::small(),
+    )
+}
+
+fn fabric_cluster(shards: usize, r: usize, link: LinkConfig) -> KvCluster {
+    KvCluster::with_transport(
+        ClusterConfig::new(shards, 42).replication(r),
+        Box::new(Fabric::new(FabricConfig::new(42, link), shards)),
+        device,
+    )
+}
+
+fn key(i: u64) -> String {
+    format!("key{i:08}")
+}
+
+#[test]
+fn ideal_fabric_is_the_in_process_transport_exactly() {
+    // Zero-latency, infinite-bandwidth, fault-free links must reproduce
+    // the in-process transport operation by operation — the anchor that
+    // ties every fabric number back to the seed tables.
+    let mut base = KvCluster::new(ClusterConfig::new(4, 42).replication(3), device);
+    let mut fab = fabric_cluster(4, 3, LinkConfig::ideal());
+    let mut tb = SimTime::ZERO;
+    let mut tf = SimTime::ZERO;
+    for i in 0..200u64 {
+        let k = key(i);
+        tb = base
+            .store(tb, k.as_bytes(), Payload::synthetic(768, i))
+            .unwrap();
+        tf = fab
+            .store(tf, k.as_bytes(), Payload::synthetic(768, i))
+            .unwrap();
+        assert_eq!(tb, tf, "stores diverged at {i}");
+    }
+    for i in (0..200u64).step_by(7) {
+        let lb = base.retrieve(tb, key(i).as_bytes()).unwrap();
+        let lf = fab.retrieve(tf, key(i).as_bytes()).unwrap();
+        assert_eq!(lb.at, lf.at, "retrieves diverged at {i}");
+        assert_eq!(lb.value.is_some(), lf.value.is_some());
+    }
+    let db = base.delete(tb, key(3).as_bytes()).unwrap();
+    let df = fab.delete(tf, key(3).as_bytes()).unwrap();
+    assert_eq!(db, df);
+    assert_eq!(base.quiesce_time(), fab.quiesce_time());
+    assert_eq!(base.len(), fab.len());
+}
+
+#[test]
+fn acked_quorum_writes_survive_drops() {
+    // 20 % per-message loss each way. Whatever the fabric eats, the
+    // contract holds: a store that returned Ok reached its write
+    // quorum, so at least `write_quorum` replicas physically hold the
+    // key — and a later quorum read finds the value.
+    let link = LinkConfig {
+        drop_ppm: 200_000,
+        ..LinkConfig::ideal()
+    };
+    let mut c = fabric_cluster(4, 3, link);
+    let wq = c.config().write_quorum;
+    let mut t = SimTime::ZERO;
+    let mut acked_keys = Vec::new();
+    let mut unavailable = 0u64;
+    for i in 0..300u64 {
+        let k = key(i);
+        match c.store(t, k.as_bytes(), Payload::synthetic(512, i)) {
+            Ok(done) => {
+                t = done;
+                let holders = c.shards().iter().filter(|s| s.holds(k.as_bytes())).count();
+                assert!(
+                    holders >= wq,
+                    "key {k} acked at quorum {wq} but only {holders} replicas hold it"
+                );
+                acked_keys.push(k);
+            }
+            Err(KvError::QuorumUnavailable { acked, quorum }) => {
+                assert!(acked < quorum);
+                unavailable += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        !acked_keys.is_empty() && unavailable > 0,
+        "20 % loss should produce both outcomes (acked {}, unavailable {unavailable})",
+        acked_keys.len()
+    );
+    // Every acknowledged write stays readable through the same lossy
+    // fabric whenever the read itself assembles its quorum.
+    let late = c.quiesce_time() + SimDuration::from_millis(1);
+    for k in &acked_keys {
+        match c.retrieve(late, k.as_bytes()) {
+            Ok(l) => assert!(l.value.is_some(), "acked key {k} lost its value"),
+            Err(KvError::QuorumUnavailable { .. }) => {} // read legs lost, not data
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn partition_loses_no_acked_writes_and_heals() {
+    let mut c = fabric_cluster(4, 3, LinkConfig::ideal());
+    let wq = c.config().write_quorum;
+    c.fabric_mut().expect("fabric-backed").partition(1);
+    let mut t = SimTime::ZERO;
+    for i in 0..120u64 {
+        let k = key(i);
+        // Legs to the partitioned shard vanish; the two survivors in
+        // every 3-replica set still form the majority, so every store
+        // acks — and the holders back the ack with real copies.
+        t = c
+            .store(t, k.as_bytes(), Payload::synthetic(512, i))
+            .unwrap();
+        let holders = c.shards().iter().filter(|s| s.holds(k.as_bytes())).count();
+        assert!(holders >= wq, "key {k}: {holders} holders < quorum {wq}");
+        assert!(
+            !c.shards()[1].holds(k.as_bytes()),
+            "partitioned shard executed a request"
+        );
+    }
+    assert!(c.stats().transport.partition_drops > 0);
+    c.fabric_mut().expect("fabric-backed").heal(1);
+    // Healed: the shard takes writes again.
+    let k = key(10_000);
+    t = c
+        .store(t, k.as_bytes(), Payload::synthetic(512, 1))
+        .unwrap();
+    let l = c.retrieve(t, k.as_bytes()).unwrap();
+    assert!(l.value.is_some());
+}
+
+#[test]
+fn faulty_fabric_report_is_deterministic_across_thread_counts() {
+    // One seeded run's byte-stable report, reproduced on every thread
+    // of a contended pool: virtual time and seeded fault streams owe
+    // nothing to the host scheduler.
+    let run = || -> String {
+        let link = LinkConfig {
+            latency: SimDuration::from_micros(15),
+            jitter: SimDuration::from_micros(30),
+            drop_ppm: 50_000,
+            duplicate_ppm: 20_000,
+            ..LinkConfig::ideal()
+        };
+        let mut c = fabric_cluster(4, 3, link);
+        let mut t = SimTime::ZERO;
+        for i in 0..150u64 {
+            match c.store(t, key(i).as_bytes(), Payload::synthetic(512, i)) {
+                Ok(done) => t = done,
+                Err(KvError::QuorumUnavailable { .. }) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let _ = c.retrieve(c.quiesce_time(), key(42).as_bytes());
+        c.report().render()
+    };
+    let reference = run();
+    assert!(
+        reference.contains("transport "),
+        "faulty-fabric report must carry the transport line"
+    );
+    let outcomes: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4).map(|_| s.spawn(run)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run thread panicked"))
+            .collect()
+    });
+    for o in outcomes {
+        assert_eq!(o, reference, "fabric-backed run diverged across threads");
+    }
+}
+
+#[test]
+fn hedged_lean_reads_route_around_a_slow_replica() {
+    // One link degraded to 1 ms each way. Lean reads whose quorum
+    // includes it stall; the hedged spare leg caps the ack near the
+    // hedge delay instead.
+    let base = LinkConfig {
+        latency: SimDuration::from_micros(10),
+        ..LinkConfig::ideal()
+    };
+    let slow = LinkConfig {
+        latency: SimDuration::from_millis(1),
+        ..LinkConfig::ideal()
+    };
+    let hedge = SimDuration::from_micros(400);
+    let build = |hedged: bool| {
+        let mut cfg = ClusterConfig::new(8, 42).replication(3);
+        cfg = cfg.lean_reads(hedged.then_some(hedge));
+        let mut c = KvCluster::with_transport(
+            cfg,
+            Box::new(Fabric::new(FabricConfig::new(42, base), 8)),
+            device,
+        );
+        c.fabric_mut().expect("fabric-backed").shape_link(1, slow);
+        c
+    };
+    let mut plain = build(false);
+    let mut hedged = build(true);
+    let mut tp = SimTime::ZERO;
+    let mut th = SimTime::ZERO;
+    for i in 0..200u64 {
+        let k = key(i);
+        tp = plain
+            .store(tp, k.as_bytes(), Payload::synthetic(512, i))
+            .unwrap();
+        th = hedged
+            .store(th, k.as_bytes(), Payload::synthetic(512, i))
+            .unwrap();
+    }
+    // Sequential closed-loop reads so each latency is the quorum path,
+    // not device queueing from a burst.
+    let mut now_p = tp + SimDuration::from_millis(5);
+    let mut now_h = th + SimDuration::from_millis(5);
+    let mut worst_plain = SimDuration::ZERO;
+    let mut worst_hedged = SimDuration::ZERO;
+    for i in 0..200u64 {
+        let k = key(i);
+        let lp = plain.retrieve(now_p, k.as_bytes()).unwrap();
+        let lh = hedged.retrieve(now_h, k.as_bytes()).unwrap();
+        assert!(lp.value.is_some() && lh.value.is_some());
+        worst_plain = worst_plain.max(lp.at.since(now_p));
+        worst_hedged = worst_hedged.max(lh.at.since(now_h));
+        now_p = lp.at;
+        now_h = lh.at;
+    }
+    assert!(
+        hedged.hedged_spares() > 0,
+        "the slow link never tripped a hedge"
+    );
+    assert!(
+        worst_plain >= SimDuration::from_millis(2),
+        "unhedged worst case should eat the slow RTT, got {worst_plain}"
+    );
+    assert!(
+        worst_hedged < SimDuration::from_millis(2),
+        "hedged worst case should duck the slow RTT, got {worst_hedged}"
+    );
+}

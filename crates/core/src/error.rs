@@ -42,6 +42,16 @@ pub enum KvError {
     },
     /// An iterator handle that is not open.
     BadIterator,
+    /// A replicated cluster operation could not assemble its quorum:
+    /// fewer replica legs acknowledged than the quorum requires (a
+    /// lossy or partitioned transport swallowed the rest). Legs that
+    /// did execute stay applied on their devices.
+    QuorumUnavailable {
+        /// Replica legs that acknowledged.
+        acked: usize,
+        /// Acknowledgements the quorum required.
+        quorum: usize,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -61,6 +71,12 @@ impl fmt::Display for KvError {
                 write!(f, "index full: device KVP limit of {max_kvps} reached")
             }
             KvError::BadIterator => write!(f, "iterator handle is not open"),
+            KvError::QuorumUnavailable { acked, quorum } => {
+                write!(
+                    f,
+                    "quorum unavailable: {acked} of {quorum} required replica leg(s) acknowledged"
+                )
+            }
         }
     }
 }
@@ -78,6 +94,11 @@ mod tests {
         assert!(e.to_string().contains("255"));
         let e = KvError::IndexFull { max_kvps: 42 };
         assert!(e.to_string().contains("42"));
+        let e = KvError::QuorumUnavailable {
+            acked: 1,
+            quorum: 2,
+        };
+        assert!(e.to_string().contains("1 of 2"));
     }
 
     #[test]

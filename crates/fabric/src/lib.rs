@@ -1,0 +1,59 @@
+//! A simulated NVMe-oF-style transport fabric between a router and its
+//! shards.
+//!
+//! The cluster layer fans replica legs out through in-process
+//! submission queues, which models a perfect, zero-latency
+//! interconnect — the one component a real KV-SSD disaggregation has
+//! to pay for. This crate supplies that missing cost on the repo's
+//! virtual clock, with no wall time anywhere:
+//!
+//! * **Per-link latency**: a configurable one-way propagation delay in
+//!   each direction (router → shard for requests, shard → router for
+//!   completions).
+//! * **Bandwidth**: serialization delay proportional to payload bytes,
+//!   modeled as a FIFO wire ([`kvssd_sim::Resource`]) per direction, so
+//!   concurrent messages on one link queue behind each other exactly
+//!   like capsules on an NVMe-oF connection.
+//! * **Bounded per-link queues**: at most `queue_depth` undelivered
+//!   messages per direction; a sender that finds the queue full stalls
+//!   (in virtual time) until the earliest outstanding delivery, and the
+//!   stall is accounted.
+//! * **Seeded fault injection**: per-message jitter, drop, and
+//!   duplication driven by a [`kvssd_sim::DeterministicRng`] stream per
+//!   channel (derived from the fabric seed, the link id, and the
+//!   direction), plus whole-link partitions. Two same-seed runs make
+//!   identical decisions; per-channel streams keep them independent of
+//!   scheduling order elsewhere.
+//!
+//! The fabric never calls the OS: every instant is computed from the
+//! caller's `SimTime`, so it composes with the rest of the simulator
+//! and stays kvlint-clean (`no-wall-clock`, `no-unseeded-entropy`).
+//!
+//! # Example
+//!
+//! ```
+//! use kvssd_fabric::{Fabric, FabricConfig, LinkConfig};
+//! use kvssd_sim::{SimDuration, SimTime};
+//!
+//! let links = LinkConfig {
+//!     latency: SimDuration::from_micros(10),
+//!     ..LinkConfig::ideal()
+//! };
+//! let mut fabric = Fabric::new(FabricConfig::new(7, links), 2);
+//! let arrive = fabric.request(SimTime::ZERO, 1, 4096).unwrap();
+//! assert!(arrive >= SimTime::ZERO + SimDuration::from_micros(10));
+//! let acked = fabric.response(arrive, 1, 16).unwrap();
+//! assert!(acked >= arrive + SimDuration::from_micros(10));
+//!
+//! // Partition the link: messages are swallowed until it heals.
+//! fabric.partition(1);
+//! assert!(fabric.request(acked, 1, 64).is_none());
+//! fabric.heal(1);
+//! assert!(fabric.request(acked, 1, 64).is_some());
+//! ```
+
+pub mod fabric;
+pub mod link;
+
+pub use fabric::{Fabric, FabricConfig, FabricStats};
+pub use link::{Channel, ChannelStats, Delivery, LinkConfig};

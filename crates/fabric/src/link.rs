@@ -1,0 +1,421 @@
+//! One directed fabric channel: wire serialization, propagation,
+//! bounded queueing, and seeded per-message faults.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kvssd_sim::{DeterministicRng, Resource, SimDuration, SimTime};
+
+/// Shape and fault profile of one link direction.
+///
+/// A link between the router and a shard is two independent channels
+/// (request and response) sharing one `LinkConfig` by default; the
+/// fabric can override either side per link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// One-way propagation delay added to every message.
+    pub latency: SimDuration,
+    /// Wire bandwidth in bytes/second; serialization delay is
+    /// `bytes / bytes_per_sec`, and messages queue FIFO behind each
+    /// other on the wire. `0` means an infinitely fast wire (no
+    /// serialization delay at all — the ideal-fabric anchor).
+    pub bytes_per_sec: u64,
+    /// Maximum undelivered messages in flight on this channel; a full
+    /// channel stalls the sender until the earliest outstanding
+    /// delivery.
+    pub queue_depth: usize,
+    /// Upper bound of the seeded per-message jitter, added on top of
+    /// `latency` (uniform in `0..=jitter`). Zero disables the draw.
+    pub jitter: SimDuration,
+    /// Per-message drop probability in parts per million. A dropped
+    /// message still occupies the wire (it was transmitted and lost
+    /// downstream) but never delivers.
+    pub drop_ppm: u32,
+    /// Per-message duplication probability in parts per million. A
+    /// duplicate occupies the wire a second time (load), but the
+    /// receiver sees one delivery — NVMe-oF transports deduplicate
+    /// retransmissions below the ULP.
+    pub duplicate_ppm: u32,
+}
+
+impl LinkConfig {
+    /// The ideal link: zero latency, infinite bandwidth, effectively
+    /// unbounded queue, no faults. A fabric built from ideal links is
+    /// byte-identical to the in-process transport (the degenerate
+    /// anchor, mirroring `SqConfig::passthrough`).
+    pub const fn ideal() -> Self {
+        LinkConfig {
+            latency: SimDuration::ZERO,
+            bytes_per_sec: 0,
+            queue_depth: usize::MAX,
+            jitter: SimDuration::ZERO,
+            drop_ppm: 0,
+            duplicate_ppm: 0,
+        }
+    }
+
+    /// An RDMA-class datacenter link: 10 µs one-way, ~6 GB/s
+    /// (50 GbE-ish), deep queue, fault-free. The fabric experiments'
+    /// baseline.
+    pub const fn datacenter() -> Self {
+        LinkConfig {
+            latency: SimDuration::from_micros(10),
+            bytes_per_sec: 6_000_000_000,
+            queue_depth: 256,
+            jitter: SimDuration::ZERO,
+            drop_ppm: 0,
+            duplicate_ppm: 0,
+        }
+    }
+
+    /// Sets the one-way latency.
+    pub fn latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the jitter bound.
+    pub fn jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the drop probability (parts per million).
+    pub fn drop_ppm(mut self, ppm: u32) -> Self {
+        self.drop_ppm = ppm;
+        self
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// Per-channel traffic and fault counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages offered to the channel (including dropped ones).
+    pub messages: u64,
+    /// Payload bytes offered.
+    pub bytes: u64,
+    /// Messages lost to the seeded drop fault.
+    pub dropped: u64,
+    /// Messages duplicated on the wire.
+    pub duplicated: u64,
+    /// Messages swallowed by a partition.
+    pub partition_drops: u64,
+    /// Sends that found the channel full and had to wait.
+    pub queue_stalls: u64,
+    /// Total virtual time senders spent waiting for a free slot.
+    pub stall_time: SimDuration,
+}
+
+/// The outcome of offering one message to a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the message reaches the far end; `None` if it was lost
+    /// (seeded drop or partition).
+    pub delivered: Option<SimTime>,
+    /// When the sender's slot was admitted (after any queue stall).
+    pub admitted: SimTime,
+}
+
+/// One direction of one link (see module docs).
+#[derive(Debug)]
+pub struct Channel {
+    config: LinkConfig,
+    wire: Resource,
+    /// Outstanding (undelivered) delivery instants, pruned lazily.
+    inflight: BinaryHeap<Reverse<SimTime>>,
+    rng: DeterministicRng,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Creates an idle channel with its own seeded fault stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        assert!(config.queue_depth > 0, "channel queue depth must be >= 1");
+        Channel {
+            config,
+            wire: Resource::new(),
+            inflight: BinaryHeap::new(),
+            rng: DeterministicRng::seed_from(seed),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (the fabric reshapes links for
+    /// slow-replica and degradation scenarios; the fault stream and
+    /// in-flight traffic carry over).
+    pub fn config_mut(&mut self) -> &mut LinkConfig {
+        &mut self.config
+    }
+
+    /// Traffic and fault counters.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Offers one message of `bytes` to the channel at `now`;
+    /// `partitioned` messages are swallowed without consuming the
+    /// fault stream (a partition is a link state, not a per-message
+    /// coin flip).
+    pub fn send(&mut self, now: SimTime, bytes: u64, partitioned: bool) -> Delivery {
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        if partitioned {
+            self.stats.partition_drops += 1;
+            return Delivery {
+                delivered: None,
+                admitted: now,
+            };
+        }
+
+        // Bounded queue: free slots whose deliveries already happened,
+        // then stall on the earliest outstanding one if still full.
+        while let Some(&Reverse(t)) = self.inflight.peek() {
+            if t <= now {
+                self.inflight.pop();
+            } else {
+                break;
+            }
+        }
+        let mut admitted = now;
+        if self.inflight.len() >= self.config.queue_depth {
+            let Reverse(earliest) = self.inflight.pop().expect("full queue is nonempty");
+            self.stats.queue_stalls += 1;
+            self.stats.stall_time += earliest.since(admitted);
+            admitted = earliest;
+        }
+
+        // Serialization: messages queue FIFO on the wire.
+        let wired = if self.config.bytes_per_sec == 0 {
+            admitted
+        } else {
+            self.wire
+                .acquire(
+                    admitted,
+                    SimDuration::for_bytes(bytes, self.config.bytes_per_sec),
+                )
+                .end
+        };
+
+        // Seeded per-message faults, drawn in a fixed order so the
+        // stream is a pure function of (seed, message index, config).
+        let jitter = if self.config.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.rng.below(self.config.jitter.as_nanos() + 1))
+        };
+        let dropped =
+            self.config.drop_ppm > 0 && self.rng.below(1_000_000) < u64::from(self.config.drop_ppm);
+        let duplicated = self.config.duplicate_ppm > 0
+            && self.rng.below(1_000_000) < u64::from(self.config.duplicate_ppm);
+
+        if duplicated {
+            // The retransmission occupies the wire again; the receiver
+            // still sees a single delivery.
+            self.stats.duplicated += 1;
+            if self.config.bytes_per_sec > 0 {
+                let _ = self.wire.acquire(
+                    wired,
+                    SimDuration::for_bytes(bytes, self.config.bytes_per_sec),
+                );
+            }
+        }
+
+        if dropped {
+            self.stats.dropped += 1;
+            return Delivery {
+                delivered: None,
+                admitted,
+            };
+        }
+
+        let delivered = wired + self.config.latency + jitter;
+        self.inflight.push(Reverse(delivered));
+        Delivery {
+            delivered: Some(delivered),
+            admitted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn ideal_channel_is_free() {
+        let mut c = Channel::new(LinkConfig::ideal(), 1);
+        let d = c.send(SimTime::ZERO, 1 << 20, false);
+        assert_eq!(d.delivered, Some(SimTime::ZERO));
+        assert_eq!(d.admitted, SimTime::ZERO);
+    }
+
+    #[test]
+    fn latency_and_bandwidth_add_up() {
+        let cfg = LinkConfig {
+            latency: us(10),
+            bytes_per_sec: 1_000_000_000, // 1 GB/s: 4096 B ~ 4.096 us
+            ..LinkConfig::ideal()
+        };
+        let mut c = Channel::new(cfg, 1);
+        let d = c.send(SimTime::ZERO, 4096, false).delivered.unwrap();
+        assert_eq!(
+            d.since(SimTime::ZERO),
+            SimDuration::for_bytes(4096, 1_000_000_000) + us(10)
+        );
+    }
+
+    #[test]
+    fn wire_serializes_concurrent_messages() {
+        let cfg = LinkConfig {
+            bytes_per_sec: 1_000_000, // 1 MB/s: 1000 B = 1 ms
+            ..LinkConfig::ideal()
+        };
+        let mut c = Channel::new(cfg, 1);
+        let a = c.send(SimTime::ZERO, 1000, false).delivered.unwrap();
+        let b = c.send(SimTime::ZERO, 1000, false).delivered.unwrap();
+        assert_eq!(b.since(a), SimDuration::for_bytes(1000, 1_000_000));
+    }
+
+    #[test]
+    fn bounded_queue_stalls_the_sender() {
+        let cfg = LinkConfig {
+            latency: us(100),
+            queue_depth: 2,
+            ..LinkConfig::ideal()
+        };
+        let mut c = Channel::new(cfg, 1);
+        let _ = c.send(SimTime::ZERO, 64, false);
+        let _ = c.send(SimTime::ZERO, 64, false);
+        let d = c.send(SimTime::ZERO, 64, false); // full: waits for a delivery
+        assert_eq!(d.admitted, SimTime::ZERO + us(100));
+        assert_eq!(c.stats().queue_stalls, 1);
+        assert_eq!(c.stats().stall_time, us(100));
+    }
+
+    #[test]
+    fn queue_slots_free_as_time_passes() {
+        let cfg = LinkConfig {
+            latency: us(100),
+            queue_depth: 1,
+            ..LinkConfig::ideal()
+        };
+        let mut c = Channel::new(cfg, 1);
+        let _ = c.send(SimTime::ZERO, 64, false);
+        // Sent after the first delivery landed: no stall.
+        let d = c.send(SimTime::ZERO + us(200), 64, false);
+        assert_eq!(d.admitted, SimTime::ZERO + us(200));
+        assert_eq!(c.stats().queue_stalls, 0);
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let cfg = LinkConfig {
+            latency: us(10),
+            jitter: us(5),
+            ..LinkConfig::ideal()
+        };
+        let run = |seed| {
+            let mut c = Channel::new(cfg, seed);
+            (0..32)
+                .map(|_| c.send(SimTime::ZERO, 64, false).delivered.unwrap())
+                .collect::<Vec<_>>()
+        };
+        let a = run(9);
+        assert_eq!(a, run(9), "same seed, same jitter stream");
+        assert_ne!(a, run(10), "different seed, different stream");
+        for t in &a {
+            let lat = t.since(SimTime::ZERO);
+            assert!(
+                lat >= us(10) && lat <= us(15),
+                "jitter out of bounds: {lat}"
+            );
+        }
+    }
+
+    #[test]
+    fn drops_are_seeded_and_counted() {
+        let cfg = LinkConfig {
+            drop_ppm: 200_000, // 20 %
+            ..LinkConfig::ideal()
+        };
+        let mut c = Channel::new(cfg, 5);
+        let lost = (0..1000)
+            .filter(|_| c.send(SimTime::ZERO, 64, false).delivered.is_none())
+            .count() as u64;
+        assert_eq!(c.stats().dropped, lost);
+        assert!((100..400).contains(&lost), "~20 % of 1000, got {lost}");
+        // Same seed reproduces the exact loss pattern.
+        let mut c2 = Channel::new(cfg, 5);
+        let lost2 = (0..1000)
+            .filter(|_| c2.send(SimTime::ZERO, 64, false).delivered.is_none())
+            .count() as u64;
+        assert_eq!(lost, lost2);
+    }
+
+    #[test]
+    fn duplicates_load_the_wire_but_deliver_once() {
+        let cfg = LinkConfig {
+            bytes_per_sec: 1_000_000,
+            duplicate_ppm: 1_000_000, // always duplicate
+            ..LinkConfig::ideal()
+        };
+        let mut c = Channel::new(cfg, 1);
+        let first = c.send(SimTime::ZERO, 1000, false).delivered.unwrap();
+        assert_eq!(c.stats().duplicated, 1);
+        // The retransmission occupied the wire: the next message
+        // queues behind two transmissions, not one.
+        let second = c.send(SimTime::ZERO, 1000, false).delivered.unwrap();
+        assert_eq!(
+            second.since(first),
+            SimDuration::for_bytes(1000, 1_000_000) * 2
+        );
+    }
+
+    #[test]
+    fn partition_swallows_without_consuming_the_fault_stream() {
+        let cfg = LinkConfig {
+            jitter: us(50),
+            ..LinkConfig::ideal()
+        };
+        // Stream A: partition swallows the first two sends.
+        let mut a = Channel::new(cfg, 3);
+        assert!(a.send(SimTime::ZERO, 64, true).delivered.is_none());
+        assert!(a.send(SimTime::ZERO, 64, true).delivered.is_none());
+        let after = a.send(SimTime::ZERO, 64, false).delivered.unwrap();
+        // Stream B: no partition. The first non-partitioned send must
+        // draw the same jitter as stream A's.
+        let mut b = Channel::new(cfg, 3);
+        let first = b.send(SimTime::ZERO, 64, false).delivered.unwrap();
+        assert_eq!(after, first);
+        assert_eq!(a.stats().partition_drops, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_depth_rejected() {
+        let cfg = LinkConfig {
+            queue_depth: 0,
+            ..LinkConfig::ideal()
+        };
+        let _ = Channel::new(cfg, 1);
+    }
+}

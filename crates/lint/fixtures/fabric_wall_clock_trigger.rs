@@ -1,0 +1,9 @@
+//! Fixture: wall-clock timing smuggled into a fabric link module must
+//! trigger `no-wall-clock` — the transport is NOT on the allowlist, so
+//! its latency/jitter math has to stay in `SimTime`/`SimDuration`.
+use std::time::Instant;
+
+pub fn link_delay_from_host_clock() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -51,6 +51,28 @@ fn wall_clock_clean_is_clean() {
     assert!(sup.is_empty());
 }
 
+#[test]
+fn fabric_crate_is_not_wall_clock_sanctioned() {
+    // The transport simulates a network in virtual time; its timing
+    // must come from SimTime/SimDuration, never the host clock. No
+    // fabric path is on the allowlist, so wall-clock use anywhere in
+    // the crate is an error — checked through the production path with
+    // a fabric pseudo-path.
+    assert!(
+        !kvssd_lint::WALL_CLOCK_ALLOWLIST
+            .iter()
+            .any(|p| p.contains("fabric")),
+        "no fabric module may be wall-clock-sanctioned"
+    );
+    let (d, sup) = lint_rust_str(
+        "crates/fabric/src/link.rs",
+        include_str!("../fixtures/fabric_wall_clock_trigger.rs"),
+    );
+    assert_eq!(rule_lines(&d, "no-wall-clock"), vec![4, 7]);
+    assert_eq!(d.len(), 2, "{d:?}");
+    assert!(sup.is_empty());
+}
+
 // ----- no-random-state-map ---------------------------------------------
 
 #[test]

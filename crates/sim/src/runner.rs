@@ -171,7 +171,9 @@ impl FanIn {
         self.lanes.len()
     }
 
-    /// True when constructed with zero lanes (never, by construction).
+    /// True when the fan-in currently has no lanes (possible after
+    /// [`Self::reset_empty`], e.g. when every leg of an operation was
+    /// lost in transit).
     pub fn is_empty(&self) -> bool {
         self.lanes.is_empty()
     }
@@ -194,21 +196,45 @@ impl FanIn {
         self.lanes.resize(lanes, SimTime::ZERO);
     }
 
+    /// Resets to zero lanes, reusing the allocation. Pair with
+    /// [`Self::push`] when the lane count is not known up front —
+    /// a transport can lose legs and a hedged read can add them, so
+    /// the per-operation fan-in grows one recorded leg at a time.
+    pub fn reset_empty(&mut self) {
+        self.lanes.clear();
+    }
+
+    /// Appends a lane already carrying its completion; returns its
+    /// index. The push-style counterpart of [`Self::record`] for
+    /// operations whose leg count is discovered as legs land.
+    pub fn push(&mut self, done: SimTime) -> usize {
+        self.lanes.push(done);
+        self.lanes.len() - 1
+    }
+
     /// The quorum instant: when the `q`-th lane (1-based, by completion
     /// order) landed. `quorum(len())` is [`Self::barrier`]; `quorum(1)`
     /// is the fastest lane. Used by replicated clusters that
     /// acknowledge an operation once `q` of its replica legs completed
     /// while the stragglers keep running.
     ///
+    /// `q` is clamped to `1..=len()`: hedged reads and lossy transports
+    /// change an operation's leg count mid-op, so a quorum larger than
+    /// the legs that actually landed degrades to the barrier over the
+    /// recorded legs instead of panicking (and `quorum(0)` asks for no
+    /// legs at all, which only a caller bug produces — hence the debug
+    /// assertion).
+    ///
     /// # Panics
     ///
-    /// Panics unless `1 ≤ q ≤ len()`.
+    /// Panics if no lanes exist at all.
     pub fn quorum(&self, q: usize) -> SimTime {
         assert!(
-            q >= 1 && q <= self.lanes.len(),
-            "quorum {q} out of range for {} lanes",
-            self.lanes.len()
+            !self.lanes.is_empty(),
+            "quorum over an empty fan-in (no legs recorded)"
         );
+        debug_assert!(q >= 1, "a quorum of zero legs is meaningless");
+        let q = q.clamp(1, self.lanes.len());
         // Lane counts are replica factors (single digits); an O(n²)
         // selection scan avoids allocating a scratch copy to sort. The
         // q-th smallest is the least lane value with at least q lanes
@@ -280,10 +306,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quorum 4 out of range")]
-    fn quorum_beyond_lanes_panics() {
-        let f = FanIn::new(3);
-        let _ = f.quorum(4);
+    fn quorum_beyond_lanes_clamps_to_barrier() {
+        // Hedged reads and lossy transports change leg counts mid-op:
+        // a quorum larger than the recorded legs must degrade to the
+        // barrier, not panic (regression for the old out-of-range
+        // assertion).
+        let mut f = FanIn::new(3);
+        f.record(0, SimTime::ZERO + us(30));
+        f.record(1, SimTime::ZERO + us(10));
+        f.record(2, SimTime::ZERO + us(20));
+        assert_eq!(f.quorum(4), f.barrier());
+        assert_eq!(f.quorum(usize::MAX), f.barrier());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fan-in")]
+    fn quorum_over_zero_lanes_panics() {
+        let mut f = FanIn::new(1);
+        f.reset_empty();
+        let _ = f.quorum(1);
+    }
+
+    #[test]
+    fn push_grows_a_fan_in_leg_by_leg() {
+        let mut f = FanIn::new(1);
+        f.reset_empty();
+        assert!(f.is_empty());
+        assert_eq!(f.push(SimTime::ZERO + us(7)), 0);
+        assert_eq!(f.push(SimTime::ZERO + us(3)), 1);
+        assert_eq!(f.quorum(1), SimTime::ZERO + us(3));
+        assert_eq!(f.quorum(2), SimTime::ZERO + us(7));
+        assert_eq!(f.barrier(), SimTime::ZERO + us(7));
     }
 
     #[test]

@@ -36,9 +36,23 @@ echo "== replication determinism + property suite =="
 cargo test "${CARGO_FLAGS[@]}" -q --test determinism replication
 cargo test "${CARGO_FLAGS[@]}" -q -p kvssd-cluster --test replication
 
+echo "== fabric determinism + property suite =="
+# The transport must keep its contracts: seeded fault streams replay
+# byte-identically at any thread count, an ideal fabric is the
+# in-process transport exactly, and acked quorum writes survive
+# drops/partitions.
+cargo test "${CARGO_FLAGS[@]}" -q -p kvssd-fabric
+cargo test "${CARGO_FLAGS[@]}" -q -p kvssd-cluster --test fabric
+
 echo "== replication smoke (tiny scale) =="
 KVSSD_BENCH_SCALE=tiny \
     cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example repro_all -- replication > /dev/null
+
+echo "== fabric smoke (tiny scale) =="
+# The hedged-vs-not slow-replica table must render (the tail-cut shape
+# itself is asserted in tests/cluster_shapes.rs at the same scale).
+KVSSD_BENCH_SCALE=tiny \
+    cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example repro_all -- fabric > /dev/null
 
 echo "== repro_all smoke (tiny scale, timed) =="
 time KVSSD_BENCH_SCALE=tiny \

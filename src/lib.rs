@@ -8,6 +8,7 @@ pub use kvssd_bench as bench;
 pub use kvssd_block_ftl as block_ftl;
 pub use kvssd_cluster as cluster;
 pub use kvssd_core as core;
+pub use kvssd_fabric as fabric;
 pub use kvssd_flash as flash;
 pub use kvssd_hash_store as hash_store;
 pub use kvssd_host_stack as host_stack;

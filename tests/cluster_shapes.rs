@@ -2,7 +2,7 @@
 //! single-device reproduction exactly, and spreading a uniform workload
 //! over more shards increases aggregate bandwidth.
 
-use kvssd_study::bench::experiments::{replication, scaleout};
+use kvssd_study::bench::experiments::{fabric, replication, scaleout};
 use kvssd_study::bench::{setup, Scale};
 use kvssd_study::cluster::KvCluster;
 use kvssd_study::core::KvConfig;
@@ -180,6 +180,56 @@ fn replication_experiment_shapes() {
             "N=2 R={r}: the lone survivor already holds every key"
         );
     }
+}
+
+/// The fabric experiment's Tiny sweep keeps the transport shapes: read
+/// latency climbs with link latency, unhedged cells never launch a
+/// spare leg, the slow-replica cell eats the gray link in its p99.9,
+/// and hedging pulls that tail back down for a sub-one-leg extra-read
+/// bill — the acceptance shape for the transport figure.
+#[test]
+fn fabric_experiment_shapes() {
+    let res = fabric::run(Scale::Tiny);
+    assert_eq!(res.points.len(), fabric::SWEEP.len());
+    // Link sweep: the whole read distribution tracks the one-way latency.
+    let (l5, l20, l80) = (res.point("lat5"), res.point("lat20"), res.point("lat80"));
+    assert!(
+        l5.read_p50_us < l20.read_p50_us && l20.read_p50_us < l80.read_p50_us,
+        "read p50 must climb with link latency: {} / {} / {}",
+        l5.read_p50_us,
+        l20.read_p50_us,
+        l80.read_p50_us
+    );
+    // Nobody hedges without a hedge delay.
+    for p in res.points.iter().filter(|p| p.hedge_us == 0) {
+        assert_eq!(p.hedged_spares, 0, "{}: spare legs without a hedge", p.name);
+        assert_eq!(p.extra_read_pct, 0.0);
+    }
+    // Slow replica: lean quorums that include the gray link stall on it...
+    let slow = res.point("slow");
+    let hedged = res.point("slow-hedge");
+    assert!(
+        slow.read_p999_us >= slow.slow_link_us as f64,
+        "slow p99.9 {} should eat the {} µs gray link",
+        slow.read_p999_us,
+        slow.slow_link_us
+    );
+    // ...and the hedged spare leg caps the tail below the unhedged one.
+    assert!(
+        hedged.read_p999_us < slow.read_p999_us,
+        "hedging must cut p99.9: {} vs {}",
+        hedged.read_p999_us,
+        slow.read_p999_us
+    );
+    assert!(
+        hedged.hedged_spares > 0,
+        "the slow link never tripped a hedge"
+    );
+    assert!(
+        hedged.extra_read_pct > 0.0 && hedged.extra_read_pct < 100.0,
+        "extra-read bill {}% should be a fraction of a leg per read",
+        hedged.extra_read_pct
+    );
 }
 
 /// Rebalance accounting: keys move only when membership changes, the
