@@ -8,9 +8,14 @@
 //! Scale: `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
 use std::fmt::Write as _;
 
-use kvssd_bench::experiments::{self, cells, device_ops};
+use kvssd_bench::experiments::{self, cells, cluster_ops, device_ops};
 use kvssd_bench::walltime::Stopwatch;
-use kvssd_bench::Scale;
+use kvssd_bench::{opprof, Scale};
+
+// Count heap traffic for the opprof section (pure pass-through to the
+// system allocator otherwise).
+#[global_allocator]
+static ALLOC: opprof::CountingAlloc = opprof::CountingAlloc;
 
 /// Per-figure wall-clock for one pass (seconds, plus cell stats).
 struct Pass {
@@ -54,6 +59,7 @@ fn scale_name(scale: Scale) -> &'static str {
 }
 
 fn main() {
+    kvssd_bench::alloctune::retain_large_allocations();
     let scale = Scale::from_env();
     let threads = cells::thread_count();
     eprintln!(
@@ -64,6 +70,10 @@ fn main() {
 
     eprintln!("bench_harness: device_ops microbench...");
     let ops = device_ops::run(scale);
+    eprintln!("bench_harness: cluster_ops microbench...");
+    let cl_ops = cluster_ops::run(scale);
+    eprintln!("bench_harness: opprof stage profile...");
+    let prof = opprof::run(scale);
     eprintln!("bench_harness: serial pass (1 thread)...");
     let serial = run_pass(scale, 1);
     eprintln!("bench_harness: parallel pass ({threads} threads)...");
@@ -89,6 +99,36 @@ fn main() {
         ops.optimized.ops_per_sec(),
         ops.improvement(),
         ops.baseline.checksum
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"cluster_ops\": {{\"scale\": \"{}\", \"ops\": {}, \
+         \"baseline_ops_per_sec\": {:.0}, \"optimized_ops_per_sec\": {:.0}, \
+         \"improvement\": {:.2}, \"checksum\": \"{:016x}\"}},",
+        scale_name(scale),
+        cl_ops.baseline.ops,
+        cl_ops.baseline.ops_per_sec(),
+        cl_ops.optimized.ops_per_sec(),
+        cl_ops.improvement(),
+        cl_ops.baseline.checksum
+    )
+    .unwrap();
+    let stages: Vec<String> = prof
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "\"{}\": {{\"ns_per_op\": {:.1}, \"allocs_per_op\": {:.3}}}",
+                s.name, s.ns_per_op, s.allocs_per_op
+            )
+        })
+        .collect();
+    writeln!(
+        json,
+        "  \"opprof\": {{\"scale\": \"{}\", {}}},",
+        scale_name(scale),
+        stages.join(", ")
     )
     .unwrap();
     json.push_str("  \"figures\": [\n");

@@ -1,28 +1,28 @@
-//! Device hot-path microbench runner: prints the legacy-scan vs
-//! victim-queue throughput table and records the result in
+//! Cluster hot-path microbench runner: prints the legacy per-op vs
+//! batched fast-path throughput table and records the result in
 //! `BENCH_HARNESS.json` (override the path with
 //! `KVSSD_BENCH_HARNESS_OUT`).
 //!
 //! Both legs are measured in this same process on this same host — the
 //! improvement figure never compares against a stale snapshot. The JSON
-//! update is line-based: the `"device_ops"` entry is replaced when
+//! update is line-based: the `"cluster_ops"` entry is replaced when
 //! present, otherwise inserted after the opening brace, so the harness
 //! file's other sections survive untouched.
 //!
 //! Scale: `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
 
-use kvssd_bench::experiments::device_ops;
+use kvssd_bench::experiments::cluster_ops;
 use kvssd_bench::Scale;
 
-/// Renders the one-line JSON value for the `"device_ops"` key.
-fn device_ops_json(r: &device_ops::DeviceOpsResult, scale: Scale) -> String {
+/// Renders the one-line JSON value for the `"cluster_ops"` key.
+fn cluster_ops_json(r: &cluster_ops::ClusterOpsResult, scale: Scale) -> String {
     let scale = match scale {
         Scale::Tiny => "tiny",
         Scale::Quick => "quick",
         Scale::Full => "full",
     };
     format!(
-        "  \"device_ops\": {{\"scale\": \"{}\", \"ops\": {}, \
+        "  \"cluster_ops\": {{\"scale\": \"{}\", \"ops\": {}, \
          \"baseline_ops_per_sec\": {:.0}, \"optimized_ops_per_sec\": {:.0}, \
          \"improvement\": {:.2}, \"checksum\": \"{:016x}\"}},",
         scale,
@@ -34,7 +34,7 @@ fn device_ops_json(r: &device_ops::DeviceOpsResult, scale: Scale) -> String {
     )
 }
 
-/// Replaces or inserts the `"device_ops"` line in the harness JSON.
+/// Replaces or inserts the `"cluster_ops"` line in the harness JSON.
 fn patch_harness(path: &str, line: &str) -> std::io::Result<()> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -49,7 +49,7 @@ fn patch_harness(path: &str, line: &str) -> std::io::Result<()> {
     let mut out = Vec::new();
     let mut replaced = false;
     for l in text.lines() {
-        if l.trim_start().starts_with("\"device_ops\"") {
+        if l.trim_start().starts_with("\"cluster_ops\"") {
             out.push(line.to_string());
             replaced = true;
         } else {
@@ -69,12 +69,12 @@ fn patch_harness(path: &str, line: &str) -> std::io::Result<()> {
 fn main() {
     kvssd_bench::alloctune::retain_large_allocations();
     let scale = Scale::from_env();
-    let r = device_ops::run(scale);
-    device_ops::print_table(&r);
+    let r = cluster_ops::run(scale);
+    cluster_ops::print_table(&r);
 
     let path = kvssd_bench::env_config("KVSSD_BENCH_HARNESS_OUT")
         .unwrap_or_else(|| "BENCH_HARNESS.json".to_string());
-    let line = device_ops_json(&r, scale);
+    let line = cluster_ops_json(&r, scale);
     patch_harness(&path, &line).expect("update harness JSON");
-    println!("updated {path} [device_ops]");
+    println!("updated {path} [cluster_ops]");
 }

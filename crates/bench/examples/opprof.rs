@@ -1,40 +1,44 @@
-//! Device hot-path microbench runner: prints the legacy-scan vs
-//! victim-queue throughput table and records the result in
-//! `BENCH_HARNESS.json` (override the path with
-//! `KVSSD_BENCH_HARNESS_OUT`).
+//! Op-path stage profiler runner: prints ns/op and allocs/op for each
+//! hot-path stage and records the result in `BENCH_HARNESS.json`
+//! (override the path with `KVSSD_BENCH_HARNESS_OUT`).
 //!
-//! Both legs are measured in this same process on this same host — the
-//! improvement figure never compares against a stale snapshot. The JSON
-//! update is line-based: the `"device_ops"` entry is replaced when
-//! present, otherwise inserted after the opening brace, so the harness
-//! file's other sections survive untouched.
+//! Installs [`kvssd_bench::opprof::CountingAlloc`] as the global
+//! allocator so the allocs/op column is live — the one process in the
+//! workspace that counts heap traffic.
 //!
 //! Scale: `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
 
-use kvssd_bench::experiments::device_ops;
+use kvssd_bench::opprof;
 use kvssd_bench::Scale;
 
-/// Renders the one-line JSON value for the `"device_ops"` key.
-fn device_ops_json(r: &device_ops::DeviceOpsResult, scale: Scale) -> String {
+#[global_allocator]
+static ALLOC: opprof::CountingAlloc = opprof::CountingAlloc;
+
+/// Renders the one-line JSON value for the `"opprof"` key.
+fn opprof_json(r: &opprof::OpProfResult, scale: Scale) -> String {
     let scale = match scale {
         Scale::Tiny => "tiny",
         Scale::Quick => "quick",
         Scale::Full => "full",
     };
+    let stages: Vec<String> = r
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "\"{}\": {{\"ns_per_op\": {:.1}, \"allocs_per_op\": {:.3}}}",
+                s.name, s.ns_per_op, s.allocs_per_op
+            )
+        })
+        .collect();
     format!(
-        "  \"device_ops\": {{\"scale\": \"{}\", \"ops\": {}, \
-         \"baseline_ops_per_sec\": {:.0}, \"optimized_ops_per_sec\": {:.0}, \
-         \"improvement\": {:.2}, \"checksum\": \"{:016x}\"}},",
+        "  \"opprof\": {{\"scale\": \"{}\", {}}},",
         scale,
-        r.baseline.ops,
-        r.baseline.ops_per_sec(),
-        r.optimized.ops_per_sec(),
-        r.improvement(),
-        r.baseline.checksum
+        stages.join(", ")
     )
 }
 
-/// Replaces or inserts the `"device_ops"` line in the harness JSON.
+/// Replaces or inserts the `"opprof"` line in the harness JSON.
 fn patch_harness(path: &str, line: &str) -> std::io::Result<()> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -49,7 +53,7 @@ fn patch_harness(path: &str, line: &str) -> std::io::Result<()> {
     let mut out = Vec::new();
     let mut replaced = false;
     for l in text.lines() {
-        if l.trim_start().starts_with("\"device_ops\"") {
+        if l.trim_start().starts_with("\"opprof\"") {
             out.push(line.to_string());
             replaced = true;
         } else {
@@ -69,12 +73,12 @@ fn patch_harness(path: &str, line: &str) -> std::io::Result<()> {
 fn main() {
     kvssd_bench::alloctune::retain_large_allocations();
     let scale = Scale::from_env();
-    let r = device_ops::run(scale);
-    device_ops::print_table(&r);
+    let r = opprof::run(scale);
+    opprof::print_table(&r);
 
     let path = kvssd_bench::env_config("KVSSD_BENCH_HARNESS_OUT")
         .unwrap_or_else(|| "BENCH_HARNESS.json".to_string());
-    let line = device_ops_json(&r, scale);
+    let line = opprof_json(&r, scale);
     patch_harness(&path, &line).expect("update harness JSON");
-    println!("updated {path} [device_ops]");
+    println!("updated {path} [opprof]");
 }

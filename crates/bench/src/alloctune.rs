@@ -1,0 +1,39 @@
+//! Host-side allocator tuning for the experiment binaries.
+//!
+//! Every figure cell builds multi-million-entry index maps and tears
+//! them down again; glibc serves allocations past its mmap threshold
+//! (128 KiB by default) with a fresh `mmap` and returns them with
+//! `munmap`, so each cell pays the kernel for hundreds of megabytes of
+//! page faults that the previous cell already paid. Raising the mmap
+//! and trim thresholds keeps those generations on the heap, where the
+//! pages stay resident and the next cell reuses them warm — on the
+//! quick-scale cluster figures this converts tens of seconds of system
+//! time into nothing.
+//!
+//! This is process-level tuning of *where* memory comes from, not *what*
+//! is computed: simulated time, figure bytes, and checksums are
+//! untouched. Call it first thing in `main` of an experiment binary;
+//! it is deliberately not called from library or test code.
+
+/// `mallopt` parameter numbers from glibc's `malloc.h`.
+#[cfg(target_os = "linux")]
+const M_TRIM_THRESHOLD: i32 = -1;
+#[cfg(target_os = "linux")]
+const M_MMAP_THRESHOLD: i32 = -3;
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn mallopt(param: i32, value: i32) -> i32;
+}
+
+/// Keeps large, frequently-recycled allocations on the heap instead of
+/// round-tripping them through `mmap`/`munmap` on every figure cell.
+pub fn retain_large_allocations() {
+    #[cfg(target_os = "linux")]
+    // SAFETY: mallopt only adjusts allocator tunables; it takes no
+    // pointers and is safe to call at any time.
+    unsafe {
+        mallopt(M_MMAP_THRESHOLD, i32::MAX);
+        mallopt(M_TRIM_THRESHOLD, i32::MAX);
+    }
+}

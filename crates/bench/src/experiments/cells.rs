@@ -29,6 +29,9 @@ pub type Cell<T> = Box<dyn FnOnce() -> T + Send>;
 pub struct FigureTiming {
     /// Figure label (e.g. `fig5`).
     pub figure: String,
+    /// Sub-cell phase within the figure (e.g. `fill`, `measure`);
+    /// empty for figures that run as one monolithic round.
+    pub phase: String,
     /// Worker threads used.
     pub threads: usize,
     /// Number of cells executed.
@@ -75,6 +78,15 @@ pub fn take_timings() -> Vec<FigureTiming> {
 
 /// Runs `cells` and returns their results in cell-index order.
 pub fn run_cells<T: Send>(figure: &str, cells: Vec<Cell<T>>) -> Vec<T> {
+    run_cells_phase(figure, "", cells)
+}
+
+/// Runs one phase of a figure split into scheduling sub-cells
+/// (e.g. `fill` then `measure`): identical execution semantics to
+/// [`run_cells`], but the timing record carries the phase label so the
+/// harness and `repro_all --timings` can show where a figure's
+/// wall-clock goes.
+pub fn run_cells_phase<T: Send>(figure: &str, phase: &str, cells: Vec<Cell<T>>) -> Vec<T> {
     let n = cells.len();
     let threads = thread_count().min(n.max(1));
     let wall = Stopwatch::start();
@@ -85,6 +97,7 @@ pub fn run_cells<T: Send>(figure: &str, cells: Vec<Cell<T>>) -> Vec<T> {
     };
     TIMINGS.lock().expect("timing registry").push(FigureTiming {
         figure: figure.to_string(),
+        phase: phase.to_string(),
         threads,
         cells: n,
         wall_seconds: wall.elapsed_secs(),

@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod cells;
+pub mod cluster_ops;
 pub mod device_ops;
 pub mod fabric;
 pub mod fig2;

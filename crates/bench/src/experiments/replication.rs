@@ -89,8 +89,20 @@ fn cluster(scale: Scale, shards: usize, replicas: usize) -> ClusterStore {
     }
 }
 
-/// Runs one (N, R) cell: fill, uniform reads, then a one-shard repair.
-fn run_point(scale: Scale, shards: usize, replicas: usize) -> ReplicationPoint {
+/// An (N, R) cluster after its fill phase: the fill sub-cell's product,
+/// handed to the measure sub-cell.
+struct Filled {
+    store: ClusterStore,
+    fill_mbps: f64,
+    fill_writes: LatencyHistogram,
+    fill_finished: SimTime,
+    n_kv: u64,
+    shards: usize,
+    replicas: usize,
+}
+
+/// Fill sub-cell: builds the cluster and fills it at quorum.
+fn fill_point(scale: Scale, shards: usize, replicas: usize) -> Filled {
     let mut store = cluster(scale, shards, replicas);
 
     // Size the fill for the *post-repair* worst case: after the
@@ -114,6 +126,28 @@ fn run_point(scale: Scale, shards: usize, replicas: usize) -> ReplicationPoint {
     let n_kv = (cap_shard as f64 * survivors * 0.45 / (4160.0 * rel_skew * copies_after)) as u64;
 
     let f = crate::experiments::fill(&mut store, n_kv, 4096, 8, SimTime::ZERO);
+    Filled {
+        store,
+        fill_mbps: f.mean_mbps(),
+        fill_writes: f.writes,
+        fill_finished: f.finished,
+        n_kv,
+        shards,
+        replicas,
+    }
+}
+
+/// Measure sub-cell: uniform quorum reads, then a one-shard repair.
+fn measure_point(filled: Filled) -> ReplicationPoint {
+    let Filled {
+        mut store,
+        fill_mbps,
+        fill_writes,
+        fill_finished,
+        n_kv,
+        shards,
+        replicas,
+    } = filled;
 
     // Uniform quorum reads over the resident population.
     let rd = run_phase(
@@ -123,7 +157,7 @@ fn run_point(scale: Scale, shards: usize, replicas: usize) -> ReplicationPoint {
             .value(ValueSize::Fixed(4096))
             .queue_depth(16)
             .seed(53),
-        crate::experiments::settle(f.finished),
+        crate::experiments::settle(fill_finished),
     );
 
     // Repair: remove one shard and re-replicate everything it held.
@@ -135,9 +169,9 @@ fn run_point(scale: Scale, shards: usize, replicas: usize) -> ReplicationPoint {
         shards,
         replicas,
         resident_kvps: n_kv,
-        write_mbps: f.mean_mbps(),
-        write_p50_us: pctl_us(&f.writes, 50.0),
-        write_p99_us: pctl_us(&f.writes, 99.0),
+        write_mbps: fill_mbps,
+        write_p50_us: pctl_us(&fill_writes, 50.0),
+        write_p99_us: pctl_us(&fill_writes, 99.0),
         read_p50_us: pctl_us(&rd.reads, 50.0),
         read_p99_us: pctl_us(&rd.reads, 99.0),
         moved_keys: rep.moved_keys,
@@ -147,19 +181,27 @@ fn run_point(scale: Scale, shards: usize, replicas: usize) -> ReplicationPoint {
     }
 }
 
-/// Runs the experiment. One cell per (N, R) pair (each builds its own
-/// cluster), scheduled by [`cells::run_cells`].
+/// Runs the experiment as two sub-cell rounds: one fill cell per (N, R)
+/// pair, then one measure cell per filled cluster, each round scheduled
+/// by [`cells::run_cells_phase`].
 pub fn run(scale: Scale) -> ReplicationResult {
-    let work: Vec<cells::Cell<ReplicationPoint>> = SWEEP
+    let fills: Vec<cells::Cell<Filled>> = SWEEP
         .iter()
         .map(|&(shards, replicas)| {
-            let cell: cells::Cell<ReplicationPoint> =
-                Box::new(move || run_point(scale, shards, replicas));
+            let cell: cells::Cell<Filled> = Box::new(move || fill_point(scale, shards, replicas));
+            cell
+        })
+        .collect();
+    let filled = cells::run_cells_phase("replication", "fill", fills);
+    let measures: Vec<cells::Cell<ReplicationPoint>> = filled
+        .into_iter()
+        .map(|f| {
+            let cell: cells::Cell<ReplicationPoint> = Box::new(move || measure_point(f));
             cell
         })
         .collect();
     ReplicationResult {
-        points: cells::run_cells("replication", work),
+        points: cells::run_cells_phase("replication", "measure", measures),
     }
 }
 

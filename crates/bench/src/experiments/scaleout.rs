@@ -87,8 +87,18 @@ fn cluster(scale: Scale, shards: usize) -> ClusterStore {
     }
 }
 
-/// Runs one shard count through fill + uniform updates.
-fn run_point(scale: Scale, shards: usize) -> ScaleoutPoint {
+/// A shard count's cluster after its fill phase: the fill sub-cell's
+/// product, handed to the measure sub-cell.
+struct Filled {
+    store: ClusterStore,
+    fill_finished: SimTime,
+    n_kv: u64,
+    shards: usize,
+    fg_before: u64,
+}
+
+/// Fill sub-cell: builds the cluster and fills it.
+fn fill_point(scale: Scale, shards: usize) -> Filled {
     let mut store = cluster(scale, shards);
 
     // Fill so the *hottest* shard sits at ~80 % occupancy (Fig. 6
@@ -107,6 +117,24 @@ fn run_point(scale: Scale, shards: usize) -> ScaleoutPoint {
     let n_kv = (cap_shard as f64 * 0.8 / (4160.0 * max_share)) as u64;
     let f = crate::experiments::fill(&mut store, n_kv, 4096, 8, SimTime::ZERO);
     let fg_before = store.cluster().stats().devices.foreground_gc_events;
+    Filled {
+        store,
+        fill_finished: f.finished,
+        n_kv,
+        shards,
+        fg_before,
+    }
+}
+
+/// Measure sub-cell: uniform updates over a filled cluster.
+fn measure_point(filled: Filled) -> ScaleoutPoint {
+    let Filled {
+        mut store,
+        fill_finished,
+        n_kv,
+        shards,
+        fg_before,
+    } = filled;
 
     // Uniform updates at a queue depth deep enough to keep all shards
     // busy at N = 8.
@@ -117,7 +145,7 @@ fn run_point(scale: Scale, shards: usize) -> ScaleoutPoint {
             .value(ValueSize::Fixed(4096))
             .queue_depth(32)
             .seed(37),
-        crate::experiments::settle(f.finished),
+        crate::experiments::settle(fill_finished),
     );
 
     let (shard_dips, sync_dips) = dip_windows(&store, upd.started);
@@ -135,18 +163,28 @@ fn run_point(scale: Scale, shards: usize) -> ScaleoutPoint {
     }
 }
 
-/// Runs the experiment. One cell per shard count (each builds its own
-/// cluster), scheduled by [`cells::run_cells`].
+/// Runs the experiment as two sub-cell rounds: one fill cell per shard
+/// count, then one measure cell per filled cluster. Each round is
+/// scheduled by [`cells::run_cells_phase`], so the largest schedulable
+/// unit is a single phase, not fill + measure fused.
 pub fn run(scale: Scale) -> ScaleoutResult {
-    let work: Vec<cells::Cell<ScaleoutPoint>> = SHARD_COUNTS
+    let fills: Vec<cells::Cell<Filled>> = SHARD_COUNTS
         .iter()
         .map(|&shards| {
-            let cell: cells::Cell<ScaleoutPoint> = Box::new(move || run_point(scale, shards));
+            let cell: cells::Cell<Filled> = Box::new(move || fill_point(scale, shards));
+            cell
+        })
+        .collect();
+    let filled = cells::run_cells_phase("scaleout", "fill", fills);
+    let measures: Vec<cells::Cell<ScaleoutPoint>> = filled
+        .into_iter()
+        .map(|f| {
+            let cell: cells::Cell<ScaleoutPoint> = Box::new(move || measure_point(f));
             cell
         })
         .collect();
     ScaleoutResult {
-        points: cells::run_cells("scaleout", work),
+        points: cells::run_cells_phase("scaleout", "measure", measures),
     }
 }
 

@@ -11,7 +11,9 @@
 //! `KVSSD_BENCH_SCALE=full` for populations closer to the scaled-paper
 //! sizes (several times slower).
 
+pub mod alloctune;
 pub mod experiments;
+pub mod opprof;
 pub mod setup;
 pub mod walltime;
 

@@ -1,0 +1,243 @@
+//! Dependency-free op-path profiler: host-side ns/op and allocs/op for
+//! each stage of the benchmark hot path.
+//!
+//! The per-op fast path overhaul claims the hot loop stopped paying for
+//! key allocation and per-op dispatch; this module measures each stage
+//! in isolation so the claim is quoted, not asserted:
+//!
+//! * `keygen` — [`KeyGen::key_into`] regenerating into a reused buffer,
+//! * `keygen_alloc` — the pre-overhaul [`KeyGen::key`] allocating path,
+//! * `ring` — consistent-hash replica lookup
+//!   ([`HashRing::replica_set_into`]) into a reused buffer,
+//! * `submit` — one [`SubmissionQueue::submit`] round trip
+//!   (inflight-heap push/pop plus doorbell amortization),
+//! * `device` — one steady-state [`KvSsd::store`] update (the full
+//!   firmware model: index, buffer, accounting),
+//! * `histogram` — one [`LatencyHistogram::record`].
+//!
+//! Wall-clock comes only from [`crate::walltime::Stopwatch`] (the
+//! workspace's sanctioned window). Allocation counts come from
+//! [`CountingAlloc`], a zero-dependency [`GlobalAlloc`] wrapper around
+//! the system allocator that the `opprof` example installs with
+//! `#[global_allocator]`; without it installed the alloc columns read
+//! zero (wall-clock numbers are unaffected).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kvssd_cluster::HashRing;
+use kvssd_core::{KvConfig, KvSsd, Payload};
+use kvssd_flash::{FlashTiming, Geometry};
+use kvssd_kvbench::keys::KeyGen;
+use kvssd_nvme::{SqConfig, SubmissionQueue};
+use kvssd_sim::rng::mix64;
+use kvssd_sim::{LatencyHistogram, SimDuration, SimTime};
+
+use crate::walltime::Stopwatch;
+use crate::Scale;
+
+/// Heap allocations observed by [`CountingAlloc`] since process start.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper around the system allocator. Install it as the
+/// process's `#[global_allocator]` to make [`allocations`] live:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: kvssd_bench::opprof::CountingAlloc =
+///     kvssd_bench::opprof::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Allocations counted so far (zero unless [`CountingAlloc`] is the
+/// process's global allocator).
+pub fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One stage's measured cost.
+#[derive(Debug, Clone, Copy)]
+pub struct StageCost {
+    /// Stage name (stable identifiers; see module docs).
+    pub name: &'static str,
+    /// Host nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Heap allocations (malloc/realloc) per operation.
+    pub allocs_per_op: f64,
+}
+
+/// All stages, in hot-path order.
+#[derive(Debug, Clone)]
+pub struct OpProfResult {
+    /// Measured stages.
+    pub stages: Vec<StageCost>,
+}
+
+impl OpProfResult {
+    /// Finds a stage by name.
+    pub fn stage(&self, name: &str) -> &StageCost {
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing stage {name}"))
+    }
+}
+
+/// Times `ops` iterations of `f` after a 1/8 warmup, charging the
+/// allocation delta to the measured window.
+fn measure(name: &'static str, ops: u64, mut f: impl FnMut(u64)) -> StageCost {
+    for i in 0..ops / 8 {
+        f(i);
+    }
+    let a0 = allocations();
+    let sw = Stopwatch::start();
+    for i in 0..ops {
+        f(i);
+    }
+    let secs = sw.elapsed_secs();
+    let allocs = allocations() - a0;
+    StageCost {
+        name,
+        ns_per_op: secs * 1e9 / ops as f64,
+        allocs_per_op: allocs as f64 / ops as f64,
+    }
+}
+
+/// Roomy single-device geometry so the `device` stage measures
+/// steady-state update cost, not GC.
+fn device() -> KvSsd {
+    let geometry = Geometry {
+        channels: 2,
+        dies_per_channel: 2,
+        planes_per_die: 2,
+        blocks_per_plane: 64,
+        pages_per_block: 64,
+        page_bytes: 32 * 1024,
+    };
+    let config = KvConfig {
+        iterator_buckets: false,
+        max_kvps: 1_000_000,
+        ..KvConfig::pm983_scaled()
+    };
+    KvSsd::new(geometry, FlashTiming::pm983_like(), config)
+}
+
+/// Measures every stage at the given scale.
+pub fn run(scale: Scale) -> OpProfResult {
+    let mut stages = Vec::new();
+    let light_ops = scale.pick(100_000, 2_000_000, 4_000_000);
+    let device_ops = scale.pick(20_000, 300_000, 600_000);
+
+    // Key generation: reused buffer vs per-op allocation.
+    let keygen = KeyGen::new(16);
+    let mut key_buf = Vec::with_capacity(16);
+    stages.push(measure("keygen", light_ops, |i| {
+        keygen.key_into(i & 0xF_FFFF, &mut key_buf);
+        black_box(&key_buf);
+    }));
+    stages.push(measure("keygen_alloc", light_ops, |i| {
+        black_box(keygen.key(i & 0xF_FFFF));
+    }));
+
+    // Consistent-hash replica lookup into a reused buffer.
+    let ring = HashRing::new(0xB1A5, 64, &(0..8).collect::<Vec<_>>());
+    let mut replicas = Vec::with_capacity(3);
+    stages.push(measure("ring", light_ops, |i| {
+        ring.replica_set_into(mix64(i), 3, &mut replicas);
+        black_box(&replicas);
+    }));
+
+    // Submission-queue round trip with a fixed-latency op.
+    let mut sq = SubmissionQueue::new(SqConfig::batched(32, 8, SimDuration::from_micros(1)));
+    let mut now = SimTime::ZERO;
+    stages.push(measure("submit", light_ops, |_| {
+        let timing = sq.submit(now, |issue| issue + SimDuration::from_micros(10));
+        black_box(timing);
+        now += SimDuration::from_nanos(500);
+    }));
+
+    // Steady-state device update on a prefilled device.
+    let mut d = device();
+    let n_keys = 4_096u64;
+    let keys: Vec<Vec<u8>> = (0..n_keys).map(|i| keygen.key(i)).collect();
+    let mut t = SimTime::ZERO;
+    for (i, k) in keys.iter().enumerate() {
+        t = d.store(t, k, Payload::synthetic(1024, i as u64)).unwrap();
+    }
+    stages.push(measure("device", device_ops, |i| {
+        t = d
+            .store(
+                t,
+                &keys[(i % n_keys) as usize],
+                Payload::synthetic(1024, !i),
+            )
+            .unwrap();
+    }));
+
+    // Latency-histogram record.
+    let mut hist = LatencyHistogram::new();
+    stages.push(measure("histogram", light_ops, |i| {
+        hist.record(SimDuration::from_nanos(
+            2_000 + (i.wrapping_mul(37)) % 50_000,
+        ));
+    }));
+    black_box(&hist);
+
+    OpProfResult { stages }
+}
+
+/// Prints the stage table.
+pub fn print_table(r: &OpProfResult) {
+    println!("opprof: hot-path stage costs (host wall-clock)");
+    println!("  stage         ns/op     allocs/op");
+    for s in &r.stages {
+        println!(
+            "  {:<12}  {:<8.1}  {:.3}",
+            s.name, s.ns_per_op, s.allocs_per_op
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_every_stage() {
+        let r = run(Scale::Tiny);
+        for name in [
+            "keygen",
+            "keygen_alloc",
+            "ring",
+            "submit",
+            "device",
+            "histogram",
+        ] {
+            assert!(r.stage(name).ns_per_op > 0.0, "{name} must take time");
+        }
+    }
+}

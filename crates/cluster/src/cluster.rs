@@ -30,18 +30,198 @@
 //! `read_quorum` legs and can hedge one spare leg when the quorum
 //! acknowledgement runs past the hedge delay.
 
-use std::collections::BTreeSet;
-
 use kvssd_core::hash::key_hash;
+use kvssd_core::KeyBuf;
 use kvssd_core::{KvError, KvSsd, KvSsdStats, Lookup, Payload, SpaceReport};
 use kvssd_nvme::{SqStats, SubmissionQueue};
-use kvssd_sim::{BandwidthSeries, FanIn, LatencyHistogram, SimDuration, SimTime};
+use kvssd_sim::{BandwidthSeries, FanIn, LatencyHistogram, PrehashedMap, SimDuration, SimTime};
 
 use crate::config::ClusterConfig;
 use crate::ring::{HashRing, RingDelta};
 use crate::transport::{
     InProcess, ReadFanout, Transport, TransportStats, REQUEST_CAPSULE_BYTES, RESPONSE_CAPSULE_BYTES,
 };
+
+/// Live-key registry of one shard, keyed by the key's 64-bit hash.
+///
+/// The per-op store/delete path probes and updates this on every write
+/// leg, so it must stay O(1); a `BTreeSet<Box<[u8]>>` here cost ~900 ns
+/// per probe at a million resident keys (every tree descent is a chain
+/// of cache misses). Rebalance is the only consumer that needs byte
+/// order, and it is rare — it sorts a snapshot instead
+/// ([`KvCluster::repair_placement`]), reproducing the tree's
+/// enumeration order exactly. Distinct keys sharing a 64-bit hash are
+/// kept in a spill list, so collisions stay correct (if essentially
+/// unobserved).
+#[derive(Debug, Default)]
+struct KeyRegistry {
+    by_hash: PrehashedMap<u64, KeySlot>,
+    len: usize,
+    /// Baseline leg of the `cluster_ops` microbench: when set, the
+    /// registry routes every probe and update through the original
+    /// byte-ordered tree instead of the hash map (the same
+    /// keep-the-slow-path-measurable pattern as
+    /// `KvSsd::set_legacy_gc_scan`). Host-side only; behavior-invisible.
+    legacy: Option<std::collections::BTreeSet<Box<[u8]>>>,
+}
+
+#[derive(Debug)]
+enum KeySlot {
+    One(KeyBuf),
+    Many(Vec<KeyBuf>),
+}
+
+impl KeySlot {
+    fn as_slice(&self) -> &[KeyBuf] {
+        match self {
+            KeySlot::One(k) => std::slice::from_ref(k),
+            KeySlot::Many(v) => v,
+        }
+    }
+}
+
+impl KeyRegistry {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Switches between the hash-map fast path and the legacy tree
+    /// (rebuilding the chosen structure from the other's contents).
+    fn set_legacy(&mut self, on: bool) {
+        if on == self.legacy.is_some() {
+            return;
+        }
+        let snapshot: Vec<Box<[u8]>> = self.iter().map(Box::from).collect();
+        self.by_hash.clear();
+        self.len = 0;
+        self.legacy = on.then(std::collections::BTreeSet::new);
+        for key in &snapshot {
+            self.insert(key);
+        }
+    }
+
+    fn contains(&self, key: &[u8]) -> bool {
+        self.contains_hashed(key_hash(key), key)
+    }
+
+    /// [`Self::contains`] with the key's hash precomputed — repair
+    /// probes every shard's registry for the same key, and hashes it
+    /// once instead of once per shard.
+    fn contains_hashed(&self, h: u64, key: &[u8]) -> bool {
+        if let Some(tree) = &self.legacy {
+            return tree.contains(key);
+        }
+        self.by_hash
+            .get(&h)
+            .is_some_and(|slot| slot.as_slice().iter().any(|k| k.as_slice() == key))
+    }
+
+    /// Inserts a key copy; no-op when already present.
+    fn insert(&mut self, key: &[u8]) {
+        self.insert_hashed(key_hash(key), key);
+    }
+
+    /// Registry update for one executed store leg. The device just ran
+    /// the store and reports whether the key existed; the registry
+    /// mirrors the device's key set leg-for-leg (stores insert on both,
+    /// deletes remove from both, repair keeps them in step, and a
+    /// decommissioned shard is dropped whole), so an existing key is
+    /// already registered and the fast path skips its probe entirely.
+    /// The legacy tree still probes every leg — the microbench baseline
+    /// keeps paying the baseline's costs.
+    fn note_store(&mut self, h: u64, key: &[u8], existed: bool) {
+        if self.legacy.is_some() {
+            self.insert(key);
+        } else if !existed {
+            self.insert_hashed(h, key);
+        }
+    }
+
+    /// [`Self::insert`] with the key's hash precomputed — the store
+    /// fan-out hashes the key once for ring lookup and reuses it for
+    /// every replica leg's registry update.
+    fn insert_hashed(&mut self, h: u64, key: &[u8]) {
+        use std::collections::hash_map::Entry;
+        if let Some(tree) = &mut self.legacy {
+            if tree.insert(key.into()) {
+                self.len += 1;
+            }
+            return;
+        }
+        match self.by_hash.entry(h) {
+            Entry::Vacant(v) => {
+                v.insert(KeySlot::One(KeyBuf::new(key)));
+                self.len += 1;
+            }
+            Entry::Occupied(mut o) => {
+                if o.get().as_slice().iter().any(|k| k.as_slice() == key) {
+                    return;
+                }
+                let slot = o.get_mut();
+                if let KeySlot::One(first) = slot {
+                    let first = std::mem::replace(first, KeyBuf::new(&[]));
+                    *slot = KeySlot::Many(vec![first]);
+                }
+                let KeySlot::Many(v) = slot else {
+                    unreachable!()
+                };
+                v.push(KeyBuf::new(key));
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Removes a key copy; no-op when absent.
+    fn remove(&mut self, key: &[u8]) {
+        self.remove_hashed(key_hash(key), key);
+    }
+
+    /// [`Self::remove`] with the key's hash precomputed (see
+    /// [`Self::insert_hashed`]).
+    fn remove_hashed(&mut self, h: u64, key: &[u8]) {
+        use std::collections::hash_map::Entry;
+        if let Some(tree) = &mut self.legacy {
+            if tree.remove(key) {
+                self.len -= 1;
+            }
+            return;
+        }
+        let Entry::Occupied(mut o) = self.by_hash.entry(h) else {
+            return;
+        };
+        let gone = match o.get_mut() {
+            KeySlot::One(k) => {
+                if k.as_slice() != key {
+                    return;
+                }
+                true
+            }
+            KeySlot::Many(v) => {
+                let Some(i) = v.iter().position(|k| k.as_slice() == key) else {
+                    return;
+                };
+                v.remove(i);
+                v.is_empty()
+            }
+        };
+        self.len -= 1;
+        if gone {
+            o.remove();
+        }
+    }
+
+    /// All registered keys, in unspecified order.
+    fn iter(&self) -> Box<dyn Iterator<Item = &[u8]> + '_> {
+        if let Some(tree) = &self.legacy {
+            return Box::new(tree.iter().map(|k| &**k));
+        }
+        Box::new(
+            self.by_hash
+                .values()
+                .flat_map(|slot| slot.as_slice().iter().map(|k| k.as_slice())),
+        )
+    }
+}
 
 /// One device shard: the KV-SSD, its submission queue, its metrics, and
 /// the key registry the rebalancer enumerates.
@@ -53,8 +233,8 @@ pub struct Shard {
     writes: LatencyHistogram,
     reads: LatencyHistogram,
     bandwidth: BandwidthSeries,
-    /// Live keys, ordered so rebalance enumeration is deterministic.
-    keys: BTreeSet<Box<[u8]>>,
+    /// Live keys; rebalance sorts a snapshot for deterministic order.
+    keys: KeyRegistry,
 }
 
 impl Shard {
@@ -235,7 +415,7 @@ impl KvCluster {
                 writes: LatencyHistogram::new(),
                 reads: LatencyHistogram::new(),
                 bandwidth: BandwidthSeries::new(config.bandwidth_window),
-                keys: BTreeSet::new(),
+                keys: KeyRegistry::default(),
             })
             .collect();
         KvCluster {
@@ -315,6 +495,17 @@ impl KvCluster {
             .unwrap_or_else(|| panic!("shard {id} not in cluster"))
     }
 
+    /// Routes every shard's key registry through the legacy byte-ordered
+    /// tree (`true`) or the hash-map fast path (`false`, the default).
+    /// Purely host-side bookkeeping — virtual-time behavior is identical
+    /// either way; the `cluster_ops` microbench uses the legacy mode as
+    /// its measured baseline.
+    pub fn set_legacy_key_registry(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.keys.set_legacy(on);
+        }
+    }
+
     /// The shard index a key's primary replica routes to.
     pub fn route(&self, key: &[u8]) -> usize {
         self.index_of(self.ring.shard_for(key_hash(key)))
@@ -333,18 +524,20 @@ impl KvCluster {
     /// Fills `replica_scratch` with the key's replica shard *indices*
     /// and empties `op_fan` (legs push their acknowledgement times as
     /// they land, so lost legs simply never appear). Returns the
-    /// replica count.
-    fn begin_replicated_op(&mut self, key: &[u8]) -> usize {
+    /// replica count and the key's hash, so the per-leg registry
+    /// updates reuse it instead of rehashing the key once per replica.
+    fn begin_replicated_op(&mut self, key: &[u8]) -> (usize, u64) {
+        let h = key_hash(key);
         let mut ids = std::mem::take(&mut self.replica_scratch);
         self.ring
-            .replica_set_into(key_hash(key), self.config.replication_factor, &mut ids);
+            .replica_set_into(h, self.config.replication_factor, &mut ids);
         for id in ids.iter_mut() {
             *id = self.index_of(*id);
         }
         let k = ids.len();
         self.replica_scratch = ids;
         self.op_fan.reset_empty();
-        k
+        (k, h)
     }
 
     /// Stores one pair on every replica shard; completes at the write
@@ -362,7 +555,7 @@ impl KvCluster {
     /// repair pass of the next membership change re-converges
     /// placement).
     pub fn store(&mut self, now: SimTime, key: &[u8], value: Payload) -> Result<SimTime, KvError> {
-        let k = self.begin_replicated_op(key);
+        let (k, h) = self.begin_replicated_op(key);
         let bytes = key.len() as u64 + value.len();
         for lane in 0..k {
             let idx = self.replica_scratch[lane];
@@ -389,7 +582,8 @@ impl KvCluster {
             res.expect("submit runs the operation")?;
             shard.writes.record(timing.latency());
             shard.bandwidth.record(timing.completed, bytes);
-            shard.keys_insert(key);
+            let existed = shard.device.last_store_was_update();
+            shard.keys.note_store(h, key, existed);
             self.aggregate_bw.record(timing.completed, bytes);
             self.completions.record(idx, timing.completed);
             let Some(acked) =
@@ -465,7 +659,7 @@ impl KvCluster {
     /// in leg order that holds one; if fewer than `read_quorum` legs
     /// acknowledge, [`KvError::QuorumUnavailable`] is returned.
     pub fn retrieve(&mut self, now: SimTime, key: &[u8]) -> Result<Lookup, KvError> {
-        let k = self.begin_replicated_op(key);
+        let (k, _) = self.begin_replicated_op(key);
         let rq = self.config.read_quorum.min(k);
         let legs = match self.config.read_fanout {
             ReadFanout::All => k,
@@ -495,7 +689,7 @@ impl KvCluster {
     /// Deletes a key on every replica shard; completes at the write
     /// quorum. Returns whether any replica held it.
     pub fn delete(&mut self, now: SimTime, key: &[u8]) -> Result<(SimTime, bool), KvError> {
-        let k = self.begin_replicated_op(key);
+        let (k, h) = self.begin_replicated_op(key);
         let mut existed_any = false;
         for lane in 0..k {
             let idx = self.replica_scratch[lane];
@@ -520,7 +714,7 @@ impl KvCluster {
             });
             let (_, existed) = res.expect("submit runs the operation")?;
             if existed {
-                shard.keys.remove(key);
+                shard.keys.remove_hashed(h, key);
                 existed_any = true;
             }
             self.completions.record(idx, timing.completed);
@@ -581,7 +775,7 @@ impl KvCluster {
             writes: LatencyHistogram::new(),
             reads: LatencyHistogram::new(),
             bandwidth: BandwidthSeries::new(self.config.bandwidth_window),
-            keys: BTreeSet::new(),
+            keys: KeyRegistry::default(),
         });
         self.completions.add_lane();
         self.transport.on_add_shard();
@@ -643,10 +837,15 @@ impl KvCluster {
         let mut dropped_replicas = 0u64;
         let mut barrier = now;
 
-        let mut all_keys: BTreeSet<Box<[u8]>> = BTreeSet::new();
+        // Snapshot every registered key in ascending byte order — the
+        // same sequence the former per-shard BTreeSet union produced, at
+        // a one-time sort cost instead of a per-op tree insert.
+        let mut all_keys: Vec<Box<[u8]>> = Vec::new();
         for s in &self.shards {
-            all_keys.extend(s.keys.iter().cloned());
+            all_keys.extend(s.keys.iter().map(Box::from));
         }
+        all_keys.sort_unstable();
+        all_keys.dedup();
 
         let mut desired_ids: Vec<usize> = Vec::new();
         let mut desired: Vec<usize> = Vec::new();
@@ -655,15 +854,15 @@ impl KvCluster {
 
         for key in &all_keys {
             let key: &[u8] = key;
-            self.ring.replica_set_into(
-                key_hash(key),
-                self.config.replication_factor,
-                &mut desired_ids,
-            );
+            let h = key_hash(key);
+            self.ring
+                .replica_set_into(h, self.config.replication_factor, &mut desired_ids);
             desired.clear();
             desired.extend(desired_ids.iter().map(|&id| self.index_of(id)));
             holders.clear();
-            holders.extend((0..self.shards.len()).filter(|&i| self.shards[i].keys.contains(key)));
+            holders.extend(
+                (0..self.shards.len()).filter(|&i| self.shards[i].keys.contains_hashed(h, key)),
+            );
             missing.clear();
             missing.extend(desired.iter().copied().filter(|d| !holders.contains(d)));
             let demote_any = holders.iter().any(|h| !desired.contains(h));
@@ -951,9 +1150,7 @@ impl KvCluster {
 
 impl Shard {
     fn keys_insert(&mut self, key: &[u8]) {
-        if !self.keys.contains(key) {
-            self.keys.insert(key.into());
-        }
+        self.keys.insert(key);
     }
 }
 

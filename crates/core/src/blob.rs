@@ -10,6 +10,11 @@
 //! paper's Fig. 7 space-amplification curve.
 
 use crate::config::KvConfig;
+use crate::inline_vec::InlineVec;
+
+/// Per-segment byte counts. Inline up to two segments: the layout is
+/// planned on every store, and the common unsplit blob must not allocate.
+pub type SegBytes = InlineVec<u32, 2>;
 
 /// The on-flash layout plan for one KV pair.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,9 +23,9 @@ pub struct BlobLayout {
     pub user_bytes: u64,
     /// Allocated bytes per segment, in order. Single-segment blobs have
     /// one entry.
-    pub segment_alloc: Vec<u32>,
+    pub segment_alloc: SegBytes,
     /// Raw (pre-padding) bytes per segment.
-    pub segment_raw: Vec<u32>,
+    pub segment_raw: SegBytes,
 }
 
 impl BlobLayout {
@@ -33,16 +38,20 @@ impl BlobLayout {
         let user_bytes = key_len as u64 + value_len;
         if raw_total <= budget {
             let raw = raw_total as u32;
+            let mut segment_alloc = SegBytes::new();
+            segment_alloc.push(Self::align(config, raw));
+            let mut segment_raw = SegBytes::new();
+            segment_raw.push(raw);
             return BlobLayout {
                 user_bytes,
-                segment_alloc: vec![Self::align(config, raw)],
-                segment_raw: vec![raw],
+                segment_alloc,
+                segment_raw,
             };
         }
         // Split: first segment fills a whole page payload (metadata, key,
         // offset table, then value bytes); continuations carry a header
         // plus value bytes, each capped at the page payload.
-        let mut segment_raw = Vec::new();
+        let mut segment_raw = SegBytes::new();
         let mut remaining = value_len;
         let first_value = budget - first_overhead;
         segment_raw.push(budget as u32);
@@ -53,10 +62,10 @@ impl BlobLayout {
             segment_raw.push((take + config.seg_header_bytes as u64) as u32);
             remaining -= take;
         }
-        let segment_alloc = segment_raw
-            .iter()
-            .map(|&r| Self::align(config, r))
-            .collect();
+        let mut segment_alloc = SegBytes::new();
+        for &r in &segment_raw {
+            segment_alloc.push(Self::align(config, r));
+        }
         BlobLayout {
             user_bytes,
             segment_alloc,

@@ -148,6 +148,10 @@ pub struct KvSsd {
     itiming: IndexTiming,
     iters: IterBuckets,
     free: Vec<VecDeque<BlockId>>,
+    /// Count of blocks across the `free` queues, maintained at the three
+    /// places blocks enter or leave them — the per-op GC-band checks read
+    /// this instead of summing 64 per-plane queues.
+    free_count: u32,
     state: Vec<BState>,
     valid_bytes: Vec<u64>,
     refs: Vec<Vec<BlobRef>>,
@@ -168,6 +172,11 @@ pub struct KvSsd {
     /// of the queue — the pre-change baseline for the `device_ops`
     /// microbench. Must be enabled on a fresh device.
     legacy_gc_scan: bool,
+    /// Whether the most recent store replaced an existing key (vs
+    /// inserting a fresh one). Host layers that mirror the device's key
+    /// set (the cluster's per-shard registry) read this to skip their
+    /// own containment probe.
+    last_store_was_update: bool,
     in_gc: bool,
     compound_seq: u64,
     alloc_cursor: usize,
@@ -249,6 +258,7 @@ impl KvSsd {
             gc_victim: None,
             victims: VictimQueue::new(),
             legacy_gc_scan: false,
+            last_store_was_update: false,
             in_gc: false,
             compound_seq: 0,
             alloc_cursor: 0,
@@ -261,6 +271,7 @@ impl KvSsd {
             seg_scratch: Vec::new(),
             failure_scratch: Vec::new(),
             failure_seen: PrehashedSet::default(),
+            free_count: free.iter().map(|q| q.len() as u32).sum(),
             free,
             state,
             link: NvmeLink::new(config.nvme),
@@ -291,6 +302,13 @@ impl KvSsd {
             "legacy GC scan mode must be chosen before the first store"
         );
         self.legacy_gc_scan = on;
+    }
+
+    /// Whether the most recent [`Self::store`] replaced an existing key
+    /// rather than inserting a fresh one. Lets host layers that mirror
+    /// the device's key set skip their own containment probe.
+    pub fn last_store_was_update(&self) -> bool {
+        self.last_store_was_update
     }
 
     /// Index cost-model counters.
@@ -327,7 +345,12 @@ impl KvSsd {
 
     /// Free (erased) data blocks currently available.
     pub fn free_blocks(&self) -> u32 {
-        self.free.iter().map(|q| q.len() as u32).sum()
+        debug_assert_eq!(
+            self.free_count,
+            self.free.iter().map(|q| q.len() as u32).sum::<u32>(),
+            "free-block counter drifted from the queues"
+        );
+        self.free_count
     }
 
     /// Stores a key-value pair; returns the host-visible completion time.
@@ -342,17 +365,17 @@ impl KvSsd {
         }
         let (h, fp) = (key_hash(key), key_fingerprint(key));
         let layout = BlobLayout::plan(&self.config, key.len(), vlen);
-        let existing = self.index.get(h, fp).is_some();
+        // One probe answers both "does it exist" and "how much does the
+        // old version hold" (GC may relocate the old segments below, but
+        // relocation preserves per-segment allocation).
+        let prior_alloc = self.index.get(h, fp).map(IndexEntry::allocated_bytes);
+        let existing = prior_alloc.is_some();
         if !existing && self.index.len() >= self.config.max_kvps {
             return Err(KvError::IndexFull {
                 max_kvps: self.config.max_kvps,
             });
         }
-        let old_alloc = self
-            .index
-            .get(h, fp)
-            .map(IndexEntry::allocated_bytes)
-            .unwrap_or(0);
+        let old_alloc = prior_alloc.unwrap_or(0);
         let projected =
             |d: &Self| d.allocated_bytes - old_alloc + layout.allocated_bytes() + d.waste_bytes;
         if projected(self) > self.data_capacity {
@@ -407,20 +430,20 @@ impl KvSsd {
         }
 
         // 3.5 Hard watermark: reclaim space synchronously before placing
-        // (the foreground-GC stall of Fig. 6).
-        if self.free_pages() <= self.hard_watermark_pages() {
+        // (the foreground-GC stall of Fig. 6). `free_pages()` is at least
+        // `free_count * pages_per_block` (open-block tails only add), so
+        // the page walk is skipped while whole free blocks alone clear
+        // the watermark.
+        if self.free_count as u64 <= self.config.gc_hard_free_blocks as u64 + 1
+            && self.free_pages() <= self.hard_watermark_pages()
+        {
             t = self.foreground_gc(t);
         }
 
         // 4. Invalidate any previous version and commit a skeleton index
         // record up front: garbage collection may run *while* this store
         // is placing segments, and it finds live data through the index.
-        if let Some(old) = self.index.remove(h, fp) {
-            self.invalidate_entry(&old);
-        } else {
-            self.iters.insert(key);
-        }
-        self.index.insert(
+        let old = self.index.insert(
             h,
             fp,
             IndexEntry {
@@ -431,6 +454,13 @@ impl KvSsd {
                 segs: SegList::new(),
             },
         );
+        let was_update = old.is_some();
+        self.last_store_was_update = was_update;
+        if let Some(old) = old {
+            self.invalidate_entry(&old);
+        } else {
+            self.iters.insert(key);
+        }
 
         // 5. Place segments, publishing each location as it lands (GC may
         // even relocate a just-placed segment; it updates the entry).
@@ -472,14 +502,17 @@ impl KvSsd {
             t = t.max(last_program);
         }
 
-        // 6. Account the committed record.
-        let (ub, ab) = {
-            let entry = self.index.get(h, fp).expect("committed above");
-            (entry.user_bytes(), entry.allocated_bytes())
-        };
-        self.user_bytes += ub;
-        self.allocated_bytes += ab;
-        self.blooms[m].insert(h);
+        // 6. Account the committed record. The entry's byte totals equal
+        // the layout's: every placed segment carries a layout allocation,
+        // and GC relocation or failure re-placement preserve it.
+        self.user_bytes += layout.user_bytes;
+        self.allocated_bytes += layout.allocated_bytes();
+        // An existing key's hash already has its bits set (bloom bits are
+        // never cleared), so re-inserting on update would touch the same
+        // `k` scattered cache lines to set nothing — skip it.
+        if !was_update {
+            self.blooms[m].insert(h);
+        }
         if !write_through {
             self.buffer_resident
                 .entry((h, fp))
@@ -498,10 +531,10 @@ impl KvSsd {
                 .end;
         }
 
-        // 8. Background GC band.
-        let soft_pages =
-            self.config.gc_soft_free_blocks as u64 * self.flash.geometry().pages_per_block as u64;
-        if self.free_blocks() < self.config.gc_soft_free_blocks || self.free_pages() < soft_pages {
+        // 8. Background GC band. `free_pages() < soft * pages_per_block`
+        // implies `free_count < soft` (open-block tails only add pages),
+        // so the page condition is subsumed by the block-count one.
+        if self.free_count < self.config.gc_soft_free_blocks {
             for _ in 0..self.config.gc_copies_per_store {
                 if !self.gc_copy_one(t) {
                     break;
@@ -1120,8 +1153,9 @@ impl KvSsd {
     /// caller will panic — capacity checks should prevent this).
     fn alloc_block(&mut self, now: SimTime) -> Option<BlockId> {
         if !self.in_gc
-            && (self.free_blocks() <= self.config.gc_hard_free_blocks
-                || self.free_pages() <= self.hard_watermark_pages())
+            && (self.free_count <= self.config.gc_hard_free_blocks
+                || (self.free_count as u64 <= self.config.gc_hard_free_blocks as u64 + 1
+                    && self.free_pages() <= self.hard_watermark_pages()))
         {
             self.foreground_gc(now);
         }
@@ -1135,6 +1169,7 @@ impl KvSsd {
         for i in 0..self.free.len() {
             let q = (self.alloc_cursor + i) % self.free.len();
             if let Some(b) = self.free[q].pop_front() {
+                self.free_count -= 1;
                 self.alloc_cursor = (q + 1) % self.free.len();
                 return Some(b);
             }
@@ -1287,21 +1322,23 @@ impl KvSsd {
             return false;
         }
         let v = self.gc_victim.expect("victim selected");
-        // Find the next still-live ref in the victim.
+        // Find the next still-live ref in the victim, keeping the segment
+        // location the liveness probe already fetched.
         let live = loop {
             let Some(r) = self.refs[v.0 as usize].pop() else {
                 break None;
             };
-            let still_here = self
+            let seg = self
                 .index
                 .get(r.key.0, r.key.1)
                 .and_then(|e| e.segs.get(r.seg_no as usize))
-                .is_some_and(|s| s.block == v);
-            if still_here {
-                break Some(r);
+                .copied();
+            match seg {
+                Some(s) if s.block == v => break Some((r, s)),
+                _ => {}
             }
         };
-        let Some(r) = live else {
+        let Some((r, seg)) = live else {
             if self.valid_bytes[v.0 as usize] == 0 {
                 self.erase_victim(now);
             } else {
@@ -1313,8 +1350,6 @@ impl KvSsd {
             }
             return false;
         };
-        let entry = self.index.get(r.key.0, r.key.1).expect("checked live");
-        let seg = entry.segs[r.seg_no as usize];
         let _ = self
             .flash
             .read_page(
@@ -1382,6 +1417,7 @@ impl KvSsd {
         let g = self.flash.geometry();
         let dp = (g.die_of(v) * g.planes_per_die + g.plane_of(v)) as usize;
         self.free[dp].push_back(v);
+        self.free_count += 1;
         r.done
     }
 

@@ -1,0 +1,83 @@
+//! An owned key copy that avoids the heap for short keys.
+//!
+//! Host-side bookkeeping structures (the cluster's per-shard key
+//! registry, the hash store's per-write-block key lists) retain a copy
+//! of every stored key. With `Box<[u8]>` that is one heap allocation
+//! per store operation — pure overhead, since real workload keys
+//! (kvbench emits 16-byte keys) fit in the slot a fat pointer already
+//! occupies. [`KeyBuf`] keeps keys up to 22 bytes inline and spills
+//! longer ones to a box, so the common case allocates nothing.
+
+/// An owned key: inline when short (the universal case), boxed
+/// otherwise.
+#[derive(Debug, Clone)]
+pub enum KeyBuf {
+    /// A key of up to [`KeyBuf::INLINE`] bytes, stored in place.
+    Inline {
+        /// Number of meaningful bytes in `buf`.
+        len: u8,
+        /// The key bytes, zero-padded.
+        buf: [u8; KeyBuf::INLINE],
+    },
+    /// A longer key, spilled to the heap.
+    Heap(Box<[u8]>),
+}
+
+impl KeyBuf {
+    /// Inline capacity, sized so `KeyBuf` matches the boxed variant's
+    /// 24 bytes.
+    pub const INLINE: usize = 22;
+
+    /// Copies `key`, inline when it fits.
+    pub fn new(key: &[u8]) -> Self {
+        if key.len() <= Self::INLINE {
+            let mut buf = [0u8; Self::INLINE];
+            buf[..key.len()].copy_from_slice(key);
+            KeyBuf::Inline {
+                len: key.len() as u8,
+                buf,
+            }
+        } else {
+            KeyBuf::Heap(key.into())
+        }
+    }
+
+    /// The key bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            KeyBuf::Inline { len, buf } => &buf[..*len as usize],
+            KeyBuf::Heap(k) => k,
+        }
+    }
+}
+
+impl std::ops::Deref for KeyBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_keys_stay_inline_and_round_trip() {
+        for len in 0..=KeyBuf::INLINE {
+            let key: Vec<u8> = (0..len as u8).collect();
+            let k = KeyBuf::new(&key);
+            assert!(matches!(k, KeyBuf::Inline { .. }));
+            assert_eq!(k.as_slice(), &key[..]);
+        }
+    }
+
+    #[test]
+    fn long_keys_spill_and_round_trip() {
+        let key: Vec<u8> = (0..=KeyBuf::INLINE as u8).collect();
+        let k = KeyBuf::new(&key);
+        assert!(matches!(k, KeyBuf::Heap(_)));
+        assert_eq!(k.as_slice(), &key[..]);
+    }
+}

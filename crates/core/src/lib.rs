@@ -46,6 +46,7 @@ pub mod error;
 pub mod hash;
 pub mod index;
 pub mod inline_vec;
+pub mod keybuf;
 pub mod model;
 pub mod value;
 pub mod victim;
@@ -53,5 +54,6 @@ pub mod victim;
 pub use config::KvConfig;
 pub use device::{KvSsd, KvSsdStats, Lookup, SpaceReport};
 pub use error::KvError;
+pub use keybuf::KeyBuf;
 pub use model::KvModel;
 pub use value::Payload;

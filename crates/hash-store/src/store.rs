@@ -1,7 +1,7 @@
 //! The hash-index store implementation.
 
 use kvssd_block_ftl::BlockSsd;
-use kvssd_core::Payload;
+use kvssd_core::{KeyBuf, Payload};
 use kvssd_host_stack::{CpuCosts, HostCpu};
 use kvssd_sim::{PrehashedMap, SimDuration, SimTime};
 
@@ -93,7 +93,8 @@ pub struct HashStore {
     wblocks: Vec<WBlockMeta>,
     /// Keys whose newest record was appended to each write block (may
     /// contain stale entries; verified against the index during defrag).
-    wblock_keys: Vec<Vec<Box<[u8]>>>,
+    /// Inline key copies: pushing one is allocation-free on the put path.
+    wblock_keys: Vec<Vec<KeyBuf>>,
     free_wblocks: Vec<u32>,
     current: u32,
     defrag_queue: Vec<u32>,
@@ -170,17 +171,20 @@ impl HashStore {
     pub fn put(&mut self, now: SimTime, key: &[u8], value: Payload) -> SimTime {
         self.stats.puts += 1;
         let rec = self.record_bytes(key.len() as u64, value.len());
+        let vlen = value.len();
         let mut t = self
             .cpu
             .run(now, self.config.cost_index_op + self.costs.memcpy(rec));
         // Invalidate any previous version.
-        if let Some((old, oldv)) = self.index.get(key).map(|(l, v)| (*l, v.len())) {
+        let update = self.index.get(key).map(|(l, v)| (*l, v.len()));
+        if let Some((old, oldv)) = update {
             self.invalidate(old);
             self.user_bytes -= key.len() as u64 + oldv;
         }
-        // Append into the current write block.
-        t = self.append_record(t, key, value, rec);
-        self.user_bytes += key.len() as u64 + self.index[key].1.len();
+        // Append into the current write block; this probe already
+        // settled whether the key exists, so the append need not.
+        t = self.append_record(t, key, value, rec, update.is_some());
+        self.user_bytes += key.len() as u64 + vlen;
         // Defragmentation tax rides on writes.
         for _ in 0..self.config.defrag_copies_per_write {
             if !self.defrag_step(t) {
@@ -239,7 +243,14 @@ impl HashStore {
     /// Appends a record and writes it through to the device at its
     /// offset (commit-to-device semantics: the paper's Aerospike runs
     /// with direct I/O). Returns the device completion.
-    fn append_record(&mut self, now: SimTime, key: &[u8], value: Payload, rec: u64) -> SimTime {
+    fn append_record(
+        &mut self,
+        now: SimTime,
+        key: &[u8],
+        value: Payload,
+        rec: u64,
+        existing: bool,
+    ) -> SimTime {
         let cur = self.current as usize;
         if self.wblocks[cur].used_bytes + rec > self.config.write_block_bytes {
             // Seal the block; its records are already on the device.
@@ -255,18 +266,19 @@ impl HashStore {
         let offset = self.wblocks[cur].used_bytes;
         self.wblocks[cur].used_bytes += rec;
         self.wblocks[cur].live_bytes += rec;
-        self.wblock_keys[cur].push(key.into());
-        self.index.insert(
-            key.into(),
-            (
-                RecordLoc {
-                    wblock: self.current,
-                    offset,
-                    len: rec,
-                },
-                value,
-            ),
-        );
+        self.wblock_keys[cur].push(KeyBuf::new(key));
+        let loc = RecordLoc {
+            wblock: self.current,
+            offset,
+            len: rec,
+        };
+        // Updates overwrite in place (`insert` would also keep the
+        // original boxed key); only first-time keys allocate one.
+        if existing {
+            *self.index.get_mut(key).expect("caller probed the key") = (loc, value);
+        } else {
+            self.index.insert(key.into(), (loc, value));
+        }
         // Commit-to-device writes flush the not-yet-written enclosing
         // 512 B sectors (records are 128 B-aligned inside the block; the
         // shared boundary sector was already flushed with its
@@ -314,7 +326,11 @@ impl HashStore {
             let Some(k) = self.wblock_keys[wb as usize].pop() else {
                 break None;
             };
-            if self.index.get(&k).is_some_and(|(loc, _)| loc.wblock == wb) {
+            if self
+                .index
+                .get(k.as_slice())
+                .is_some_and(|(loc, _)| loc.wblock == wb)
+            {
                 break Some(k);
             }
         };
@@ -322,7 +338,7 @@ impl HashStore {
             Some(key) => {
                 let (loc, value) = self
                     .index
-                    .get(&key)
+                    .get(key.as_slice())
                     .map(|(l, v)| (*l, v.clone()))
                     .expect("found");
                 // Read the record and re-append it.
@@ -334,7 +350,7 @@ impl HashStore {
                     .read(now, base + lo, hi - lo)
                     .expect("defrag read");
                 self.invalidate(loc);
-                self.append_record(now, &key, value, loc.len);
+                self.append_record(now, &key, value, loc.len, true);
                 self.stats.defrag_copies += 1;
                 true
             }

@@ -40,10 +40,19 @@ impl KeyGen {
     /// The key for index `i`.
     pub fn key(&self, i: u64) -> Vec<u8> {
         let mut k = Vec::with_capacity(self.key_bytes);
+        self.key_into(i, &mut k);
+        k
+    }
+
+    /// Writes the key for index `i` into `buf`, clearing it first. Hot
+    /// loops reuse one buffer across ops instead of allocating per key.
+    pub fn key_into(&self, i: u64, buf: &mut Vec<u8>) {
+        buf.clear();
+        let k = buf;
         k.extend_from_slice(&self.prefix);
         if self.key_bytes <= 4 {
             k.truncate(self.key_bytes);
-            return k;
+            return;
         }
         let body = self.key_bytes - 4;
         if body >= 20 {
@@ -69,7 +78,6 @@ impl KeyGen {
             k.extend_from_slice(&buf[..body]);
         }
         debug_assert_eq!(k.len(), self.key_bytes);
-        k
     }
 }
 
@@ -110,6 +118,27 @@ mod tests {
         let a = g.key(41);
         let b = g.key(42);
         assert!(a < b, "key order must follow index order");
+    }
+
+    #[test]
+    fn key_into_matches_key_exactly() {
+        // The hot path reuses one buffer via `key_into`; it must produce
+        // byte-identical keys to the allocating `key`, including after
+        // reuse with longer prior contents.
+        for len in [4, 8, 16, 24, 64] {
+            let g = KeyGen::new(len);
+            let mut buf = vec![0xAAu8; 300];
+            for i in [0u64, 1, 35, 36, 1000, 123_456_789] {
+                // Skip indices past the body's base-36 capacity (the
+                // overflow panic is covered by `overflowing_body_panics`).
+                let body = len.saturating_sub(4) as u32;
+                if (1..20).contains(&body) && i >= 36u64.saturating_pow(body) {
+                    continue;
+                }
+                g.key_into(i, &mut buf);
+                assert_eq!(buf, g.key(i), "len={len} i={i}");
+            }
+        }
     }
 
     #[test]

@@ -27,10 +27,10 @@ pub mod ycsb;
 
 pub use adapters::{ClusterStore, HashKvStore, KvSsdStore, LsmKvStore, RawBlockStore};
 pub use report::Table;
-pub use runner::{run_phase, RunMetrics};
+pub use runner::{run_phase, OpBatch, PhaseRecorder, PlannedOp, RunMetrics};
 pub use spec::{AccessPattern, OpMix, ValueSize, WorkloadSpec};
 
-use kvssd_sim::{SimDuration, SimTime};
+use kvssd_sim::{QueueRunner, SimDuration, SimTime};
 
 /// Space usage snapshot of a store (drives Fig. 7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,4 +74,25 @@ pub trait KvStore {
 
     /// Space usage snapshot.
     fn space(&self) -> SpaceUsage;
+
+    /// Executes a planned batch through `runner`, recording each op's
+    /// outcome. Must behave exactly like submitting each planned op in
+    /// order via [`insert`](Self::insert)/[`read`](Self::read) — this
+    /// default does precisely that; stores with a cheaper internal path
+    /// (the cluster fan-out) override it to skip per-op dispatch.
+    fn run_ops(&mut self, runner: &mut QueueRunner, batch: &OpBatch, rec: &mut PhaseRecorder<'_>) {
+        for (op, key) in batch.iter() {
+            let mut found = true;
+            let timing = runner.submit(|issue| {
+                if op.is_read {
+                    let (done, hit) = self.read(issue, key);
+                    found = hit;
+                    done
+                } else {
+                    self.insert(issue, key, op.value_len, op.tag)
+                }
+            });
+            rec.record(op, key.len(), timing, found);
+        }
+    }
 }

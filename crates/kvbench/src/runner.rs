@@ -1,5 +1,15 @@
 //! Queue-depth workload execution and metric collection.
+//!
+//! The hot loop is batched: `run_phase` *plans* a run of operations
+//! (key, value length, read/write — everything the phase RNG decides)
+//! into a reusable [`OpBatch`], then hands the batch to
+//! [`KvStore::run_ops`] to execute. Planning consumes the RNG in
+//! exactly the per-op order, and execution only spends virtual time, so
+//! the batched loop is operation-for-operation identical to submitting
+//! each op as it is planned — it just stops paying per-op dispatch and
+//! per-op key allocation.
 
+use kvssd_sim::runner::OpTiming;
 use kvssd_sim::{
     BandwidthSeries, DeterministicRng, LatencyHistogram, QueueRunner, SimDuration, SimTime,
     ZipfianDistribution,
@@ -8,6 +18,107 @@ use kvssd_sim::{
 use crate::keys::KeyGen;
 use crate::spec::{AccessPattern, OpMix, ValueSize, WorkloadSpec};
 use crate::KvStore;
+
+/// Ops planned per [`OpBatch`] before execution. Large enough to
+/// amortize the batch hand-off, small enough to stay cache-resident.
+const BATCH_OPS: usize = 256;
+
+/// One planned operation inside an [`OpBatch`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedOp {
+    key_start: u32,
+    key_end: u32,
+    /// Value length in bytes (writes; zero for reads).
+    pub value_len: u32,
+    /// Caller-chosen value identity tag (writes).
+    pub tag: u64,
+    /// True for point lookups.
+    pub is_read: bool,
+}
+
+/// A reusable batch of planned operations. Key bytes live in one flat
+/// arena, so planning a batch allocates nothing once the buffers are
+/// warm.
+#[derive(Debug, Default)]
+pub struct OpBatch {
+    keys: Vec<u8>,
+    ops: Vec<PlannedOp>,
+}
+
+impl OpBatch {
+    /// Empties the batch, keeping its allocations.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.ops.clear();
+    }
+
+    /// Number of planned operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are planned.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends one planned operation (the key is copied into the arena).
+    pub fn push(&mut self, key: &[u8], value_len: u32, tag: u64, is_read: bool) {
+        let key_start = self.keys.len() as u32;
+        self.keys.extend_from_slice(key);
+        self.ops.push(PlannedOp {
+            key_start,
+            key_end: self.keys.len() as u32,
+            value_len,
+            tag,
+            is_read,
+        });
+    }
+
+    /// The planned operations with their keys, in plan order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PlannedOp, &[u8])> {
+        self.ops
+            .iter()
+            .map(|op| (op, &self.keys[op.key_start as usize..op.key_end as usize]))
+    }
+}
+
+/// Where a batch's outcomes land: the phase's histograms and bandwidth
+/// series, borrowed for the duration of one [`KvStore::run_ops`] call.
+#[derive(Debug)]
+pub struct PhaseRecorder<'a> {
+    /// Insert/update latencies.
+    pub writes: &'a mut LatencyHistogram,
+    /// Read latencies.
+    pub reads: &'a mut LatencyHistogram,
+    /// Completed-bytes series (phase-relative).
+    pub bandwidth: &'a mut BandwidthSeries,
+    /// Reads that found no value.
+    pub not_found: &'a mut u64,
+    /// Phase start (bandwidth windows are phase-relative).
+    pub phase_start: SimTime,
+}
+
+impl PhaseRecorder<'_> {
+    /// Records one executed operation's outcome.
+    #[inline]
+    pub fn record(&mut self, op: &PlannedOp, key_len: usize, timing: OpTiming, found: bool) {
+        if op.is_read {
+            self.reads.record(timing.latency());
+            if !found {
+                *self.not_found += 1;
+            }
+        } else {
+            self.writes.record(timing.latency());
+        }
+        let user_bytes = key_len as u64 + if op.is_read { 0 } else { op.value_len as u64 };
+        // The series is phase-relative so window 0 is the phase start.
+        self.bandwidth.record(
+            SimTime::from_nanos(timing.completed.since(self.phase_start).as_nanos()),
+            user_bytes,
+        );
+    }
+}
 
 /// Everything measured during one phase.
 #[derive(Debug)]
@@ -105,73 +216,70 @@ pub fn run_phase(store: &mut dyn KvStore, spec: &WorkloadSpec, start: SimTime) -
     let mut bandwidth = BandwidthSeries::new(SimDuration::from_millis(100));
     let mut not_found = 0u64;
     let cpu_before = store.host_cpu_busy();
+    // One key buffer for the whole phase: `key_into` regenerates in
+    // place, so the hot loop makes zero key allocations.
+    let mut key_buf = Vec::with_capacity(spec.key_bytes);
+    let mut batch = OpBatch::default();
 
-    for i in 0..spec.ops {
-        let idx = pick_index(spec, &mut rng, zipf.as_ref(), i);
-        let key = keygen.key(idx);
-        let vlen = match spec.value {
-            ValueSize::Fixed(n) => n,
-            ValueSize::Uniform { lo, hi } => rng.between(lo as u64, hi as u64) as u32,
-            ValueSize::Discrete { choices } => {
-                let wsum: u64 = choices.iter().map(|&(_, w)| w as u64).sum();
-                let mut pick = rng.below(wsum.max(1));
-                let mut chosen = choices[0].0;
-                for &(s, w) in &choices {
-                    if pick < w as u64 {
-                        chosen = s;
-                        break;
+    // Plan-then-execute in batches: planning drains the RNG in the
+    // exact per-op order, execution spends only virtual time, so this
+    // is op-for-op identical to submitting each op as it is planned.
+    let mut planned = 0u64;
+    while planned < spec.ops {
+        batch.clear();
+        let batch_end = (planned + BATCH_OPS as u64).min(spec.ops);
+        for i in planned..batch_end {
+            let idx = pick_index(spec, &mut rng, zipf.as_ref(), i);
+            let vlen = match spec.value {
+                ValueSize::Fixed(n) => n,
+                ValueSize::Uniform { lo, hi } => rng.between(lo as u64, hi as u64) as u32,
+                ValueSize::Discrete { choices } => {
+                    let wsum: u64 = choices.iter().map(|&(_, w)| w as u64).sum();
+                    let mut pick = rng.below(wsum.max(1));
+                    let mut chosen = choices[0].0;
+                    for &(s, w) in &choices {
+                        if pick < w as u64 {
+                            chosen = s;
+                            break;
+                        }
+                        pick -= w as u64;
                     }
-                    pick -= w as u64;
+                    chosen
                 }
-                chosen
-            }
-        };
-        let is_read = match spec.mix {
-            OpMix::InsertOnly | OpMix::UpdateOnly => false,
-            OpMix::ReadOnly => true,
-            OpMix::Mixed { read_pct } | OpMix::ReadLatest { read_pct } => {
-                rng.below(100) < read_pct as u64
-            }
-        };
-        // ReadLatest overrides key choice: inserts append, reads skew to
-        // the most recent keys.
-        let key = if let Some(z) = &latest {
-            let idx = if is_read {
-                let back = z.sample(&mut rng).min(grown - 1);
-                spec.insert_base + (grown - 1 - back)
-            } else {
-                let fresh = grown;
-                grown += 1;
-                spec.insert_base + fresh
             };
-            keygen.key(idx)
-        } else {
-            key
-        };
-        let user_bytes = key.len() as u64 + if is_read { 0 } else { vlen as u64 };
-        let mut found = true;
-        let timing = runner.submit(|issue| {
-            if is_read {
-                let (done, hit) = store.read(issue, &key);
-                found = hit;
-                done
+            let is_read = match spec.mix {
+                OpMix::InsertOnly | OpMix::UpdateOnly => false,
+                OpMix::ReadOnly => true,
+                OpMix::Mixed { read_pct } | OpMix::ReadLatest { read_pct } => {
+                    rng.below(100) < read_pct as u64
+                }
+            };
+            // ReadLatest overrides key choice: inserts append, reads
+            // skew to the most recent keys.
+            let key_idx = if let Some(z) = &latest {
+                if is_read {
+                    let back = z.sample(&mut rng).min(grown - 1);
+                    spec.insert_base + (grown - 1 - back)
+                } else {
+                    let fresh = grown;
+                    grown += 1;
+                    spec.insert_base + fresh
+                }
             } else {
-                store.insert(issue, &key, vlen, idx)
-            }
-        });
-        if is_read {
-            reads.record(timing.latency());
-            if !found {
-                not_found += 1;
-            }
-        } else {
-            writes.record(timing.latency());
+                idx
+            };
+            keygen.key_into(key_idx, &mut key_buf);
+            batch.push(&key_buf, vlen, idx, is_read);
         }
-        // The series is phase-relative so window 0 is the phase start.
-        bandwidth.record(
-            SimTime::from_nanos(timing.completed.since(start).as_nanos()),
-            user_bytes,
-        );
+        planned = batch_end;
+        let mut rec = PhaseRecorder {
+            writes: &mut writes,
+            reads: &mut reads,
+            bandwidth: &mut bandwidth,
+            not_found: &mut not_found,
+            phase_start: start,
+        };
+        store.run_ops(&mut runner, &batch, &mut rec);
     }
     let finished = runner.drain();
     let settled = store.flush(finished);

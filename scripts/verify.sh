@@ -58,10 +58,21 @@ echo "== repro_all smoke (tiny scale, timed) =="
 time KVSSD_BENCH_SCALE=tiny \
     cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example repro_all > /dev/null
 
+echo "== golden digests (figure tables pinned at threads 1 and 4) =="
+# The per-op fast path must not move a byte of any figure: the tiny
+# scaleout/replication/fabric tables are pinned to fixed digests.
+cargo test "${CARGO_FLAGS[@]}" -q --test golden_digests
+
 echo "== device_ops microbench (legacy scan vs victim queue) =="
 # Measures both legs in this same run and records the result in
 # BENCH_HARNESS.json (the "device_ops" line is patched in place).
 KVSSD_BENCH_SCALE="${KVSSD_BENCH_SCALE:-quick}" \
     cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example device_ops
+
+echo "== cluster_ops microbench (legacy per-op path vs batched fast path) =="
+# Both legs assert identical behavior checksums in-process; the
+# "cluster_ops" line in BENCH_HARNESS.json is patched in place.
+KVSSD_BENCH_SCALE="${KVSSD_BENCH_SCALE:-quick}" \
+    cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example cluster_ops
 
 echo "verify: OK"
