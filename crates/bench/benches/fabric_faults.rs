@@ -1,0 +1,59 @@
+//! Bench target for the fabric fault sweep: prints the drop_ppm ×
+//! timeout × retries availability table, then times a simulator kernel
+//! under Criterion.
+//!
+//! Run with `cargo bench --bench fabric_faults`; scale via
+//! `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+#[cfg(feature = "criterion")]
+use criterion::Criterion;
+use kvssd_bench::{experiments, Scale};
+
+/// A small simulator kernel for Criterion to time: wall-clock cost of
+/// deadline-retried quorum stores over a lossy fabric.
+#[cfg(feature = "criterion")]
+fn kernel(c: &mut Criterion) {
+    c.bench_function("sim_cluster_store_fabric_faults", |b| {
+        b.iter(|| {
+            let link = kvssd_fabric::LinkConfig::datacenter().drop_ppm(200_000);
+            let fabric = kvssd_fabric::Fabric::new(kvssd_fabric::FabricConfig::new(42, link), 4);
+            let mut cluster = kvssd_cluster::KvCluster::with_transport(
+                kvssd_cluster::ClusterConfig::new(4, 42)
+                    .replication(3)
+                    .deadlines(kvssd_sim::SimDuration::from_micros(500), 3),
+                Box::new(fabric),
+                |_| {
+                    kvssd_core::KvSsd::new(
+                        kvssd_flash::Geometry::small(),
+                        kvssd_flash::FlashTiming::pm983_like(),
+                        kvssd_core::KvConfig::small(),
+                    )
+                },
+            );
+            let mut t = kvssd_sim::SimTime::ZERO;
+            for i in 0..400u64 {
+                let key = format!("faults.key.{i:08}");
+                if let Ok(done) =
+                    cluster.store(t, key.as_bytes(), kvssd_core::Payload::synthetic(1024, i))
+                {
+                    t = done;
+                }
+            }
+            std::hint::black_box(t);
+        })
+    });
+}
+
+fn main() {
+    // 1. Regenerate the sweep (captured into bench_output.txt).
+    experiments::fabric_faults::report(Scale::from_env());
+
+    // 2. Time the kernel (only with the non-default `criterion`
+    //    feature; the offline default stops at the printed tables).
+    #[cfg(feature = "criterion")]
+    {
+        let mut c = Criterion::default().sample_size(10).configure_from_args();
+        kernel(&mut c);
+        c.final_summary();
+    }
+}

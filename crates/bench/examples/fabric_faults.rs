@@ -1,0 +1,89 @@
+//! Fabric fault-sweep runner: prints the drop_ppm × timeout × retries
+//! availability table and records the headline trade — retry-rescued
+//! ops vs extra wire bytes — in `BENCH_HARNESS.json` (override the
+//! path with `KVSSD_BENCH_HARNESS_OUT`).
+//!
+//! The recorded line quotes the heaviest armed scenario
+//! (`drop20-t500r3`) against the raw transport at the same loss rate:
+//! how many quorums the deadline retries rescued, what availability
+//! that bought back, and the wire-byte premium the re-sent legs cost.
+//! The JSON update is line-based: the `"fabric_faults"` entry is
+//! replaced when present, otherwise inserted after the opening brace,
+//! so the harness file's other sections survive untouched.
+//!
+//! Scale: `KVSSD_BENCH_SCALE` = tiny|quick|full (default quick).
+
+use kvssd_bench::experiments::fabric_faults;
+use kvssd_bench::Scale;
+
+/// Renders the one-line JSON value for the `"fabric_faults"` key.
+fn fabric_faults_json(r: &fabric_faults::FabricFaultsResult, scale: Scale) -> String {
+    let scale = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let raw = r.point("drop20-raw");
+    let armed = r.point("drop20-t500r3");
+    format!(
+        "  \"fabric_faults\": {{\"scale\": \"{}\", \"shards\": {}, \"replicas\": {}, \
+         \"drop_ppm\": {}, \"ops\": {}, \"raw_avail_pct\": {:.2}, \
+         \"retried_avail_pct\": {:.2}, \"rescued_ops\": {}, \"leg_retries\": {}, \
+         \"extra_leg_bytes\": {}, \"dup_suppressed\": {}}},",
+        scale,
+        fabric_faults::SHARDS,
+        fabric_faults::REPLICAS,
+        armed.drop_ppm,
+        armed.ops,
+        raw.availability_pct,
+        armed.availability_pct,
+        armed.rescued,
+        armed.leg_retries,
+        r.extra_bytes_vs_raw("drop20-t500r3"),
+        armed.dup_suppressed,
+    )
+}
+
+/// Replaces or inserts the `"fabric_faults"` line in the harness JSON.
+fn patch_harness(path: &str, line: &str) -> std::io::Result<()> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        // No harness file yet: write a minimal one holding just this
+        // section (the trailing comma becomes a closing line).
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let body = format!("{{\n{}\n}}\n", line.trim_end_matches(','));
+            return std::fs::write(path, body);
+        }
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    let mut replaced = false;
+    for l in text.lines() {
+        if l.trim_start().starts_with("\"fabric_faults\"") {
+            out.push(line.to_string());
+            replaced = true;
+        } else {
+            out.push(l.to_string());
+        }
+    }
+    if !replaced {
+        let brace = out
+            .iter()
+            .position(|l| l.trim() == "{")
+            .expect("harness JSON must open with a brace");
+        out.insert(brace + 1, line.to_string());
+    }
+    std::fs::write(path, out.join("\n") + "\n")
+}
+
+fn main() {
+    kvssd_bench::alloctune::retain_large_allocations();
+    let scale = Scale::from_env();
+    let r = fabric_faults::report(scale);
+
+    let path = kvssd_bench::env_config("KVSSD_BENCH_HARNESS_OUT")
+        .unwrap_or_else(|| "BENCH_HARNESS.json".to_string());
+    let line = fabric_faults_json(&r, scale);
+    patch_harness(&path, &line).expect("update harness JSON");
+    println!("updated {path} [fabric_faults]");
+}

@@ -9,6 +9,7 @@ pub mod cells;
 pub mod cluster_ops;
 pub mod device_ops;
 pub mod fabric;
+pub mod fabric_faults;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -32,7 +33,7 @@ pub type FigureFn = fn(Scale);
 
 /// Every figure's name with its report function, in canonical order
 /// (the order `repro_all` runs them).
-pub const FIGURES: [(&str, FigureFn); 12] = [
+pub const FIGURES: [(&str, FigureFn); 13] = [
     ("fig2", |s| {
         fig2::report(s);
     }),
@@ -69,12 +70,15 @@ pub const FIGURES: [(&str, FigureFn); 12] = [
     ("fabric", |s| {
         fabric::report(s);
     }),
+    ("fabric_faults", |s| {
+        fabric_faults::report(s);
+    }),
 ];
 
 /// The figures ported onto the parallel cell scheduler, in canonical
 /// order. Each entry runs the figure *silently* (no table printing) —
 /// what the self-timing harness executes.
-pub const PORTED: [(&str, FigureFn); 8] = [
+pub const PORTED: [(&str, FigureFn); 9] = [
     ("fig2", |s| {
         fig2::run(s);
     }),
@@ -98,6 +102,9 @@ pub const PORTED: [(&str, FigureFn); 8] = [
     }),
     ("fabric", |s| {
         fabric::run(s);
+    }),
+    ("fabric_faults", |s| {
+        fabric_faults::run(s);
     }),
 ];
 

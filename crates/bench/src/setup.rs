@@ -167,6 +167,42 @@ pub fn kv_cluster_fabric_small(
     ))
 }
 
+/// A fabric-backed replicated cluster returned bare (no `ClusterStore`
+/// adapter): the fault-injection sweep drives it directly because its
+/// ops may legitimately fail with `QuorumUnavailable`, which the
+/// adapter treats as fatal. `deadlines` arms per-leg timeouts/retries
+/// and `write_hedge` arms hedged quorum writes; `small` picks the
+/// unit-test device geometry for Tiny-scale runs.
+pub fn kv_cluster_faulty(
+    shards: usize,
+    r: usize,
+    seed: u64,
+    link: LinkConfig,
+    small: bool,
+    deadlines: Option<(kvssd_sim::SimDuration, u32)>,
+    write_hedge: Option<kvssd_sim::SimDuration>,
+) -> KvCluster {
+    let mut cfg = ClusterConfig::new(shards, seed)
+        .replication(r)
+        .hedged_writes(write_hedge);
+    if let Some((timeout, retries)) = deadlines {
+        cfg = cfg.deadlines(timeout, retries);
+    }
+    let transport = Box::new(Fabric::new(FabricConfig::new(seed, link), shards));
+    if small {
+        KvCluster::with_transport(cfg, transport, |_| {
+            KvSsd::new(
+                Geometry::small(),
+                FlashTiming::pm983_like(),
+                KvConfig::small(),
+            )
+        })
+    } else {
+        let config = kv_config_macro();
+        KvCluster::with_transport(cfg, transport, |_| KvSsd::new(geometry(), timing(), config))
+    }
+}
+
 /// Aerospike-like store with direct device I/O.
 pub fn aerospike() -> HashKvStore {
     HashKvStore::new(HashStore::new(

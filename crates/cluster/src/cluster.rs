@@ -24,17 +24,36 @@
 //! lossless (byte-identical to the pre-transport cluster); a
 //! fabric-backed transport charges link latency and can lose messages,
 //! in which case operations that fail to assemble their quorum return
-//! [`KvError::QuorumUnavailable`]. Flush and placement repair are
-//! control-plane work and stay off the fabric. With lean read fanout
+//! [`KvError::QuorumUnavailable`] carrying exactly which replica lanes
+//! acknowledged. Flush stays control-plane work off the fabric, but
+//! placement repair (copy and demotion legs) pays the wire like any
+//! other replica traffic. With lean read fanout
 //! ([`crate::transport::ReadFanout::Lean`]) retrieves send only
 //! `read_quorum` legs and can hedge one spare leg when the quorum
 //! acknowledgement runs past the hedge delay.
+//!
+//! The transport contract is deadline-aware
+//! ([`crate::ClusterConfig::deadlines`]): a leg whose acknowledgement
+//! has not arrived by `send + op_timeout` is re-issued up to
+//! `max_retries` times with exponential backoff drawn from a seeded
+//! per-cluster RNG stream, and only then counts as failed toward the
+//! quorum. Hedged quorum *writes*
+//! ([`crate::ClusterConfig::hedged_writes`]) symmetrize the read
+//! hedge: when the write quorum has not assembled by `now + hedge`, a
+//! spare (tied) leg re-sends the mutation to the slowest unacked
+//! replica, skipping known-partitioned links. Replicas dedupe
+//! re-delivered mutations by op id — the losing copy's device work is
+//! cancelled and the recorded completion re-acknowledged — so retries,
+//! wire duplicates, and tied legs are all idempotent.
 
 use kvssd_core::hash::key_hash;
 use kvssd_core::KeyBuf;
 use kvssd_core::{KvError, KvSsd, KvSsdStats, Lookup, Payload, SpaceReport};
 use kvssd_nvme::{SqStats, SubmissionQueue};
-use kvssd_sim::{BandwidthSeries, FanIn, LatencyHistogram, PrehashedMap, SimDuration, SimTime};
+use kvssd_sim::{
+    mix64, BandwidthSeries, DeterministicRng, FanIn, LatencyHistogram, PrehashedMap, SimDuration,
+    SimTime,
+};
 
 use crate::config::ClusterConfig;
 use crate::ring::{HashRing, RingDelta};
@@ -235,6 +254,13 @@ pub struct Shard {
     bandwidth: BandwidthSeries,
     /// Live keys; rebalance sorts a snapshot for deterministic order.
     keys: KeyRegistry,
+    /// Last mutation executed on this replica, for idempotent
+    /// re-delivery: `(op id, device completion, key existed before)`.
+    /// The router is a synchronous closed loop — all deliveries of one
+    /// op land before the next mutation starts — so one record per
+    /// shard suffices to dedupe retries, wire duplicates, and tied
+    /// hedge legs.
+    last_exec: Option<(u64, SimTime, bool)>,
 }
 
 impl Shard {
@@ -297,6 +323,16 @@ pub struct ClusterStats {
     pub transport: TransportStats,
     /// Spare read legs launched by hedged lean reads.
     pub hedged_spares: u64,
+    /// Leg re-issues after a missed per-op deadline.
+    pub leg_retries: u64,
+    /// Operations whose quorum only assembled thanks to a retried or
+    /// hedged leg (the first attempts alone would have failed).
+    pub retry_rescued_ops: u64,
+    /// Spare (tied) legs launched by hedged quorum writes.
+    pub hedged_write_spares: u64,
+    /// Re-delivered mutations deduped at a replica (device work
+    /// cancelled, recorded completion re-acknowledged).
+    pub dup_suppressed: u64,
 }
 
 /// What one shard add/remove cost.
@@ -316,6 +352,16 @@ pub struct RebalanceReport {
     /// replica set). Copies on a shard being decommissioned leave with
     /// the device and are not counted.
     pub dropped_replicas: u64,
+    /// Repair copy legs that never executed on their destination (the
+    /// transport swallowed every attempt): the key is left
+    /// under-replicated until the next repair. A key whose repair
+    /// *read* failed on every surviving holder counts one failed copy
+    /// per missing replica.
+    pub failed_copies: u64,
+    /// Demotion legs that never executed (the stale copy survives on
+    /// its old holder; registry and device stay in step, so a later
+    /// repair can retry the drop).
+    pub failed_drops: u64,
     /// When the rebalance started.
     pub started: SimTime,
     /// Fan-in instant: when the last surviving-shard leg landed.
@@ -361,6 +407,20 @@ pub struct KvCluster {
     transport: Box<dyn Transport>,
     /// Spare read legs launched by hedged lean reads.
     hedged_spares: u64,
+    /// Monotonic mutation id; replicas dedupe re-deliveries by it.
+    op_seq: u64,
+    /// Backoff stream for deadline retries, seeded from the cluster
+    /// seed. Consumed only when a leg actually retries, so fault-free
+    /// runs never touch it and stay byte-identical.
+    retry_rng: DeterministicRng,
+    /// Leg re-issues after a missed deadline.
+    leg_retries: u64,
+    /// Ops whose quorum needed a retried or hedged leg to assemble.
+    retry_rescued_ops: u64,
+    /// Spare (tied) legs launched by hedged quorum writes.
+    hedged_write_spares: u64,
+    /// Re-delivered mutations deduped at a replica.
+    dup_suppressed: u64,
     next_shard_id: usize,
     aggregate_bw: BandwidthSeries,
     rebalanced_keys: u64,
@@ -416,6 +476,7 @@ impl KvCluster {
                 reads: LatencyHistogram::new(),
                 bandwidth: BandwidthSeries::new(config.bandwidth_window),
                 keys: KeyRegistry::default(),
+                last_exec: None,
             })
             .collect();
         KvCluster {
@@ -424,6 +485,14 @@ impl KvCluster {
             replica_scratch: Vec::with_capacity(config.replication_factor),
             transport,
             hedged_spares: 0,
+            op_seq: 0,
+            // Domain-tagged so the retry stream never collides with the
+            // fabric's per-channel streams derived from the same seed.
+            retry_rng: DeterministicRng::seed_from(mix64(config.seed ^ mix64(0x52_4554_5259))),
+            leg_retries: 0,
+            retry_rescued_ops: 0,
+            hedged_write_spares: 0,
+            dup_suppressed: 0,
             next_shard_id: config.shards,
             aggregate_bw: BandwidthSeries::new(config.bandwidth_window),
             rebalanced_keys: 0,
@@ -540,6 +609,302 @@ impl KvCluster {
         (k, h)
     }
 
+    /// The next mutation id; replicas dedupe re-deliveries by it.
+    fn next_op_id(&mut self) -> u64 {
+        self.op_seq += 1;
+        self.op_seq
+    }
+
+    /// Attempts allowed per leg: one, plus `max_retries` once deadlines
+    /// are armed.
+    fn leg_attempts(&self) -> u32 {
+        match self.config.op_timeout {
+            Some(_) => 1 + self.config.max_retries,
+            None => 1,
+        }
+    }
+
+    /// Seeded exponential backoff added before retry `attempt`
+    /// (0-based): uniform in `[0, timeout << min(attempt, 16)]`. Drawn
+    /// only when a retry actually fires, so fault-free runs never
+    /// advance the stream.
+    fn retry_backoff(&mut self, attempt: u32, timeout: SimDuration) -> SimDuration {
+        let span = timeout.as_nanos().saturating_mul(1u64 << attempt.min(16));
+        SimDuration::from_nanos(self.retry_rng.below(span.saturating_add(1)))
+    }
+
+    /// Executes a store request arriving at replica `idx` at `arrival`.
+    /// A re-delivery of a mutation this replica already ran (a retry
+    /// after a lost ack, a wire duplicate, a tied hedge leg) is deduped
+    /// by op id: the device work is cancelled and the recorded
+    /// completion re-acknowledged once the re-delivery is in hand.
+    fn exec_store_replica(
+        &mut self,
+        idx: usize,
+        op_id: u64,
+        arrival: SimTime,
+        h: u64,
+        key: &[u8],
+        value: &Payload,
+    ) -> Result<SimTime, KvError> {
+        let bytes = key.len() as u64 + value.len();
+        if let Some((last, completed, _)) = self.shards[idx].last_exec {
+            if last == op_id {
+                self.dup_suppressed += 1;
+                return Ok(completed.max(arrival));
+            }
+        }
+        let shard = &mut self.shards[idx];
+        let Shard { device, sq, .. } = shard;
+        let v = value.clone();
+        let mut res: Option<Result<SimTime, KvError>> = None;
+        let timing = sq.submit(arrival, |issue| match device.store(issue, key, v) {
+            Ok(done) => {
+                res = Some(Ok(done));
+                done
+            }
+            Err(e) => {
+                res = Some(Err(e));
+                issue
+            }
+        });
+        res.expect("submit runs the operation")?;
+        shard.writes.record(timing.latency());
+        shard.bandwidth.record(timing.completed, bytes);
+        let existed = shard.device.last_store_was_update();
+        shard.keys.note_store(h, key, existed);
+        shard.last_exec = Some((op_id, timing.completed, existed));
+        self.aggregate_bw.record(timing.completed, bytes);
+        self.completions.record(idx, timing.completed);
+        Ok(timing.completed)
+    }
+
+    /// [`Self::exec_store_replica`]'s delete counterpart; also reports
+    /// whether the key existed on this replica.
+    fn exec_delete_replica(
+        &mut self,
+        idx: usize,
+        op_id: u64,
+        arrival: SimTime,
+        h: u64,
+        key: &[u8],
+    ) -> Result<(SimTime, bool), KvError> {
+        if let Some((last, completed, existed)) = self.shards[idx].last_exec {
+            if last == op_id {
+                self.dup_suppressed += 1;
+                return Ok((completed.max(arrival), existed));
+            }
+        }
+        let shard = &mut self.shards[idx];
+        let Shard { device, sq, .. } = shard;
+        let mut res: Option<Result<(SimTime, bool), KvError>> = None;
+        let timing = sq.submit(arrival, |issue| match device.delete(issue, key) {
+            Ok((done, existed)) => {
+                res = Some(Ok((done, existed)));
+                done
+            }
+            Err(e) => {
+                res = Some(Err(e));
+                issue
+            }
+        });
+        let (_, existed) = res.expect("submit runs the operation")?;
+        if existed {
+            shard.keys.remove_hashed(h, key);
+        }
+        shard.last_exec = Some((op_id, timing.completed, existed));
+        self.completions.record(idx, timing.completed);
+        Ok((timing.completed, existed))
+    }
+
+    /// One store leg against replica `idx` under the deadline/retry
+    /// budget: each attempt crosses the transport out, executes (or
+    /// dedupes) on the replica, and crosses back. An attempt whose
+    /// acknowledgement misses `send + op_timeout` is re-issued with
+    /// seeded backoff; a late ack still counts when it arrives. Returns
+    /// the leg's earliest acknowledgement and the attempt that produced
+    /// it (0 = first try), or `None` when no attempt acked.
+    fn store_leg(
+        &mut self,
+        issue_at: SimTime,
+        idx: usize,
+        op_id: u64,
+        h: u64,
+        key: &[u8],
+        value: &Payload,
+    ) -> Result<Option<(SimTime, u32)>, KvError> {
+        let bytes = key.len() as u64 + value.len();
+        let attempts = self.leg_attempts();
+        let mut best: Option<(SimTime, u32)> = None;
+        let mut send_at = issue_at;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.leg_retries += 1;
+            }
+            let d = self
+                .transport
+                .request(send_at, idx, REQUEST_CAPSULE_BYTES + bytes);
+            for arrival in [d.delivered, d.duplicate].into_iter().flatten() {
+                let completed = self.exec_store_replica(idx, op_id, arrival, h, key, value)?;
+                if let Some(a) = self
+                    .transport
+                    .response(completed, idx, RESPONSE_CAPSULE_BYTES)
+                    .first_arrival()
+                {
+                    if best.is_none_or(|(b, _)| a < b) {
+                        best = Some((a, attempt));
+                    }
+                }
+            }
+            let Some(timeout) = self.config.op_timeout else {
+                break; // no deadline armed: a lost leg stays lost
+            };
+            if best.is_some_and(|(b, _)| b <= send_at + timeout) {
+                break; // acked within this attempt's deadline
+            }
+            if attempt + 1 < attempts {
+                send_at = send_at + timeout + self.retry_backoff(attempt, timeout);
+            }
+        }
+        Ok(best)
+    }
+
+    /// [`Self::store_leg`]'s delete counterpart; flags `existed_any`
+    /// when the key existed on the replica (known at execution, like
+    /// the pre-deadline path).
+    fn delete_leg(
+        &mut self,
+        issue_at: SimTime,
+        idx: usize,
+        op_id: u64,
+        h: u64,
+        key: &[u8],
+        existed_any: &mut bool,
+    ) -> Result<Option<(SimTime, u32)>, KvError> {
+        let attempts = self.leg_attempts();
+        let mut best: Option<(SimTime, u32)> = None;
+        let mut send_at = issue_at;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.leg_retries += 1;
+            }
+            let d = self
+                .transport
+                .request(send_at, idx, REQUEST_CAPSULE_BYTES + key.len() as u64);
+            for arrival in [d.delivered, d.duplicate].into_iter().flatten() {
+                let (completed, existed) = self.exec_delete_replica(idx, op_id, arrival, h, key)?;
+                if existed {
+                    *existed_any = true;
+                }
+                if let Some(a) = self
+                    .transport
+                    .response(completed, idx, RESPONSE_CAPSULE_BYTES)
+                    .first_arrival()
+                {
+                    if best.is_none_or(|(b, _)| a < b) {
+                        best = Some((a, attempt));
+                    }
+                }
+            }
+            let Some(timeout) = self.config.op_timeout else {
+                break;
+            };
+            if best.is_some_and(|(b, _)| b <= send_at + timeout) {
+                break;
+            }
+            if attempt + 1 < attempts {
+                send_at = send_at + timeout + self.retry_backoff(attempt, timeout);
+            }
+        }
+        Ok(best)
+    }
+
+    /// One retrieve leg against replica `idx` under the deadline/retry
+    /// budget. Reads are side-effect-free, so re-deliveries simply
+    /// execute again (no dedupe needed). Fills `value` from the first
+    /// acked hit in call order; returns the leg's earliest
+    /// acknowledgement and its attempt, or `None`.
+    fn retrieve_leg(
+        &mut self,
+        issue_at: SimTime,
+        idx: usize,
+        key: &[u8],
+        value: &mut Option<Payload>,
+    ) -> Result<Option<(SimTime, u32)>, KvError> {
+        let attempts = self.leg_attempts();
+        let mut best: Option<(SimTime, u32)> = None;
+        let mut send_at = issue_at;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.leg_retries += 1;
+            }
+            let d = self
+                .transport
+                .request(send_at, idx, REQUEST_CAPSULE_BYTES + key.len() as u64);
+            for arrival in [d.delivered, d.duplicate].into_iter().flatten() {
+                let shard = &mut self.shards[idx];
+                let Shard { device, sq, .. } = shard;
+                let mut res: Option<Result<Lookup, KvError>> = None;
+                let timing = sq.submit(arrival, |issue| match device.retrieve(issue, key) {
+                    Ok(l) => {
+                        let at = l.at;
+                        res = Some(Ok(l));
+                        at
+                    }
+                    Err(e) => {
+                        res = Some(Err(e));
+                        issue
+                    }
+                });
+                let lookup = res.expect("submit runs the operation")?;
+                shard.reads.record(timing.latency());
+                let mut resp_bytes = RESPONSE_CAPSULE_BYTES;
+                if let Some(v) = &lookup.value {
+                    let vbytes = key.len() as u64 + v.len();
+                    shard.bandwidth.record(timing.completed, vbytes);
+                    self.aggregate_bw.record(timing.completed, vbytes);
+                    resp_bytes += vbytes;
+                }
+                self.completions.record(idx, timing.completed);
+                let Some(a) = self
+                    .transport
+                    .response(timing.completed, idx, resp_bytes)
+                    .first_arrival()
+                else {
+                    continue; // completion lost: value never reached the router
+                };
+                if best.is_none_or(|(b, _)| a < b) {
+                    best = Some((a, attempt));
+                }
+                if value.is_none() {
+                    *value = lookup.value;
+                }
+            }
+            let Some(timeout) = self.config.op_timeout else {
+                break;
+            };
+            if best.is_some_and(|(b, _)| b <= send_at + timeout) {
+                break;
+            }
+            if attempt + 1 < attempts {
+                send_at = send_at + timeout + self.retry_backoff(attempt, timeout);
+            }
+        }
+        Ok(best)
+    }
+
+    /// The lane a hedged write re-sends to: the first replica with no
+    /// acknowledgement whose link is not known-partitioned (a spare
+    /// down a cut link could only be wasted). `None` when every lane
+    /// acked — a slow-but-acked quorum would re-pay the same slow
+    /// link — or only partitioned lanes remain.
+    fn tied_write_lane(&self, k: usize, acked_lanes: u64) -> Option<usize> {
+        (0..k).find(|&lane| {
+            acked_lanes & (1u64 << (lane as u32 & 63)) == 0
+                && !self.transport.is_partitioned(self.replica_scratch[lane])
+        })
+    }
+
     /// Stores one pair on every replica shard; completes at the write
     /// quorum.
     ///
@@ -547,105 +912,52 @@ impl KvCluster {
     /// through the owner's submission queue, and crosses back; the
     /// returned time is when the `write_quorum`-th fastest
     /// acknowledgement arrived at the router. Straggler legs still
-    /// occupy their devices and land in the completion tracker. On a
-    /// device error the error is returned immediately; if the transport
-    /// loses enough legs that fewer than `write_quorum`
-    /// acknowledgements arrive, [`KvError::QuorumUnavailable`] is
-    /// returned — in both cases legs already executed stay applied (the
-    /// repair pass of the next membership change re-converges
+    /// occupy their devices and land in the completion tracker. Legs
+    /// unacked by their deadline retry per
+    /// [`crate::ClusterConfig::deadlines`]; with
+    /// [`crate::ClusterConfig::hedged_writes`] armed, a quorum still
+    /// missing or late at `now + hedge` launches one spare (tied) leg
+    /// to the slowest unacked replica, deduped by op id at the
+    /// replica. On a device error the error is returned immediately;
+    /// if fewer than `write_quorum` acknowledgements arrive after all
+    /// that, [`KvError::QuorumUnavailable`] reports exactly which
+    /// lanes acked — in both cases legs already executed stay applied
+    /// (the repair pass of the next membership change re-converges
     /// placement).
     pub fn store(&mut self, now: SimTime, key: &[u8], value: Payload) -> Result<SimTime, KvError> {
         let (k, h) = self.begin_replicated_op(key);
-        let bytes = key.len() as u64 + value.len();
+        let op_id = self.next_op_id();
+        let wq = self.config.write_quorum.min(k);
+        let mut acked_lanes = 0u64;
+        let mut first_try_acks = 0usize;
         for lane in 0..k {
             let idx = self.replica_scratch[lane];
-            let Some(issue_from) = self
-                .transport
-                .request(now, idx, REQUEST_CAPSULE_BYTES + bytes)
-            else {
-                continue; // request lost: the leg never executes
-            };
-            let shard = &mut self.shards[idx];
-            let Shard { device, sq, .. } = shard;
-            let v = value.clone();
-            let mut res: Option<Result<SimTime, KvError>> = None;
-            let timing = sq.submit(issue_from, |issue| match device.store(issue, key, v) {
-                Ok(done) => {
-                    res = Some(Ok(done));
-                    done
+            if let Some((acked, attempt)) = self.store_leg(now, idx, op_id, h, key, &value)? {
+                self.op_fan.push(acked);
+                acked_lanes |= 1u64 << (lane as u32 & 63);
+                if attempt == 0 {
+                    first_try_acks += 1;
                 }
-                Err(e) => {
-                    res = Some(Err(e));
-                    issue
+            }
+        }
+        if let Some(hedge) = self.config.write_hedge {
+            // Hedge once: the write quorum is missing or late and an
+            // unacked, un-partitioned replica remains to tie.
+            let late = self.op_fan.len() < wq || self.op_fan.quorum(wq) > now + hedge;
+            if late {
+                if let Some(lane) = self.tied_write_lane(k, acked_lanes) {
+                    let idx = self.replica_scratch[lane];
+                    self.hedged_write_spares += 1;
+                    if let Some((acked, _)) =
+                        self.store_leg(now + hedge, idx, op_id, h, key, &value)?
+                    {
+                        self.op_fan.push(acked);
+                        acked_lanes |= 1u64 << (lane as u32 & 63);
+                    }
                 }
-            });
-            res.expect("submit runs the operation")?;
-            shard.writes.record(timing.latency());
-            shard.bandwidth.record(timing.completed, bytes);
-            let existed = shard.device.last_store_was_update();
-            shard.keys.note_store(h, key, existed);
-            self.aggregate_bw.record(timing.completed, bytes);
-            self.completions.record(idx, timing.completed);
-            let Some(acked) =
-                self.transport
-                    .response(timing.completed, idx, RESPONSE_CAPSULE_BYTES)
-            else {
-                continue; // completion lost: durable on the replica, unacknowledged
-            };
-            self.op_fan.push(acked);
-        }
-        self.quorum_ack(self.config.write_quorum.min(k))
-    }
-
-    /// Runs one retrieve leg against replica index `idx`: request out,
-    /// device lookup through the submission queue, completion (plus any
-    /// value payload) back. Pushes the acknowledgement into `op_fan`
-    /// and fills `value` from the first acked hit in call order.
-    fn retrieve_leg(
-        &mut self,
-        now: SimTime,
-        idx: usize,
-        key: &[u8],
-        value: &mut Option<Payload>,
-    ) -> Result<(), KvError> {
-        let Some(issue_from) =
-            self.transport
-                .request(now, idx, REQUEST_CAPSULE_BYTES + key.len() as u64)
-        else {
-            return Ok(()); // request lost: the leg never executes
-        };
-        let shard = &mut self.shards[idx];
-        let Shard { device, sq, .. } = shard;
-        let mut res: Option<Result<Lookup, KvError>> = None;
-        let timing = sq.submit(issue_from, |issue| match device.retrieve(issue, key) {
-            Ok(l) => {
-                let at = l.at;
-                res = Some(Ok(l));
-                at
             }
-            Err(e) => {
-                res = Some(Err(e));
-                issue
-            }
-        });
-        let lookup = res.expect("submit runs the operation")?;
-        shard.reads.record(timing.latency());
-        let mut resp_bytes = RESPONSE_CAPSULE_BYTES;
-        if let Some(v) = &lookup.value {
-            let bytes = key.len() as u64 + v.len();
-            shard.bandwidth.record(timing.completed, bytes);
-            self.aggregate_bw.record(timing.completed, bytes);
-            resp_bytes += bytes;
         }
-        self.completions.record(idx, timing.completed);
-        let Some(acked) = self.transport.response(timing.completed, idx, resp_bytes) else {
-            return Ok(()); // completion lost: value never reached the router
-        };
-        self.op_fan.push(acked);
-        if value.is_none() {
-            *value = lookup.value;
-        }
-        Ok(())
+        self.finish_quorum(wq, acked_lanes, first_try_acks, true)
     }
 
     /// Looks a key up on its replica set; completes at the read quorum
@@ -654,10 +966,11 @@ impl KvCluster {
     /// [`ReadFanout::All`] every replica gets a leg; with
     /// [`ReadFanout::Lean`] only the first `read_quorum` replicas do,
     /// plus — when hedging is configured and the quorum ack would land
-    /// after `now + hedge` — one spare leg to the next replica issued
-    /// at `now + hedge`. The value comes from the first acked replica
-    /// in leg order that holds one; if fewer than `read_quorum` legs
-    /// acknowledge, [`KvError::QuorumUnavailable`] is returned.
+    /// after `now + hedge` — one spare leg to the next unused replica
+    /// whose link is not known-partitioned, issued at `now + hedge`.
+    /// The value comes from the first acked replica in leg order that
+    /// holds one; if fewer than `read_quorum` legs acknowledge,
+    /// [`KvError::QuorumUnavailable`] is returned.
     pub fn retrieve(&mut self, now: SimTime, key: &[u8]) -> Result<Lookup, KvError> {
         let (k, _) = self.begin_replicated_op(key);
         let rq = self.config.read_quorum.min(k);
@@ -666,79 +979,110 @@ impl KvCluster {
             ReadFanout::Lean { .. } => rq,
         };
         let mut value: Option<Payload> = None;
+        let mut acked_lanes = 0u64;
+        let mut first_try_acks = 0usize;
         for lane in 0..legs {
             let idx = self.replica_scratch[lane];
-            self.retrieve_leg(now, idx, key, &mut value)?;
+            if let Some((acked, attempt)) = self.retrieve_leg(now, idx, key, &mut value)? {
+                self.op_fan.push(acked);
+                acked_lanes |= 1u64 << (lane as u32 & 63);
+                if attempt == 0 {
+                    first_try_acks += 1;
+                }
+            }
         }
         if let ReadFanout::Lean { hedge: Some(hedge) } = self.config.read_fanout {
             // Hedge once: the quorum is late (or short a leg) and an
-            // unused replica remains.
+            // unused replica with a live link remains — a spare down a
+            // known-partitioned link could only be wasted.
             let late = self.op_fan.len() < rq || self.op_fan.quorum(rq) > now + hedge;
-            if late && legs < k {
-                self.hedged_spares += 1;
-                let idx = self.replica_scratch[legs];
-                self.retrieve_leg(now + hedge, idx, key, &mut value)?;
+            if late {
+                if let Some(lane) =
+                    (legs..k).find(|&l| !self.transport.is_partitioned(self.replica_scratch[l]))
+                {
+                    self.hedged_spares += 1;
+                    let idx = self.replica_scratch[lane];
+                    if let Some((acked, _)) =
+                        self.retrieve_leg(now + hedge, idx, key, &mut value)?
+                    {
+                        self.op_fan.push(acked);
+                        acked_lanes |= 1u64 << (lane as u32 & 63);
+                    }
+                }
             }
         }
-        match self.quorum_ack(rq) {
+        match self.finish_quorum(rq, acked_lanes, first_try_acks, false) {
             Ok(at) => Ok(Lookup { at, value }),
             Err(e) => Err(e),
         }
     }
 
     /// Deletes a key on every replica shard; completes at the write
-    /// quorum. Returns whether any replica held it.
+    /// quorum, with the same deadline/retry/hedge machinery as
+    /// [`Self::store`]. Returns whether any replica held it.
     pub fn delete(&mut self, now: SimTime, key: &[u8]) -> Result<(SimTime, bool), KvError> {
         let (k, h) = self.begin_replicated_op(key);
+        let op_id = self.next_op_id();
+        let wq = self.config.write_quorum.min(k);
         let mut existed_any = false;
+        let mut acked_lanes = 0u64;
+        let mut first_try_acks = 0usize;
         for lane in 0..k {
             let idx = self.replica_scratch[lane];
-            let Some(issue_from) =
-                self.transport
-                    .request(now, idx, REQUEST_CAPSULE_BYTES + key.len() as u64)
-            else {
-                continue; // request lost: the leg never executes
-            };
-            let shard = &mut self.shards[idx];
-            let Shard { device, sq, .. } = shard;
-            let mut res: Option<Result<(SimTime, bool), KvError>> = None;
-            let timing = sq.submit(issue_from, |issue| match device.delete(issue, key) {
-                Ok((done, existed)) => {
-                    res = Some(Ok((done, existed)));
-                    done
+            if let Some((acked, attempt)) =
+                self.delete_leg(now, idx, op_id, h, key, &mut existed_any)?
+            {
+                self.op_fan.push(acked);
+                acked_lanes |= 1u64 << (lane as u32 & 63);
+                if attempt == 0 {
+                    first_try_acks += 1;
                 }
-                Err(e) => {
-                    res = Some(Err(e));
-                    issue
-                }
-            });
-            let (_, existed) = res.expect("submit runs the operation")?;
-            if existed {
-                shard.keys.remove_hashed(h, key);
-                existed_any = true;
             }
-            self.completions.record(idx, timing.completed);
-            let Some(acked) =
-                self.transport
-                    .response(timing.completed, idx, RESPONSE_CAPSULE_BYTES)
-            else {
-                continue; // completion lost: applied on the replica, unacknowledged
-            };
-            self.op_fan.push(acked);
         }
-        match self.quorum_ack(self.config.write_quorum.min(k)) {
+        if let Some(hedge) = self.config.write_hedge {
+            let late = self.op_fan.len() < wq || self.op_fan.quorum(wq) > now + hedge;
+            if late {
+                if let Some(lane) = self.tied_write_lane(k, acked_lanes) {
+                    let idx = self.replica_scratch[lane];
+                    self.hedged_write_spares += 1;
+                    if let Some((acked, _)) =
+                        self.delete_leg(now + hedge, idx, op_id, h, key, &mut existed_any)?
+                    {
+                        self.op_fan.push(acked);
+                        acked_lanes |= 1u64 << (lane as u32 & 63);
+                    }
+                }
+            }
+        }
+        match self.finish_quorum(wq, acked_lanes, first_try_acks, true) {
             Ok(at) => Ok((at, existed_any)),
             Err(e) => Err(e),
         }
     }
 
     /// The quorum acknowledgement instant over the current op's acked
-    /// legs, or [`KvError::QuorumUnavailable`] when fewer than `quorum`
-    /// legs made it back.
-    fn quorum_ack(&self, quorum: usize) -> Result<SimTime, KvError> {
+    /// legs, or [`KvError::QuorumUnavailable`] — carrying the acked
+    /// lane mask and the mutation flag — when fewer than `quorum` legs
+    /// made it back. An op whose quorum only assembled thanks to
+    /// retried or hedged legs counts as rescued.
+    fn finish_quorum(
+        &mut self,
+        quorum: usize,
+        acked_lanes: u64,
+        first_try_acks: usize,
+        write: bool,
+    ) -> Result<SimTime, KvError> {
         let acked = self.op_fan.len();
         if acked < quorum {
-            return Err(KvError::QuorumUnavailable { acked, quorum });
+            return Err(KvError::QuorumUnavailable {
+                acked,
+                quorum,
+                acked_replicas: acked_lanes,
+                write,
+            });
+        }
+        if first_try_acks < quorum {
+            self.retry_rescued_ops += 1;
         }
         Ok(self.op_fan.quorum(quorum))
     }
@@ -776,6 +1120,7 @@ impl KvCluster {
             reads: LatencyHistogram::new(),
             bandwidth: BandwidthSeries::new(self.config.bandwidth_window),
             keys: KeyRegistry::default(),
+            last_exec: None,
         });
         self.completions.add_lane();
         self.transport.on_add_shard();
@@ -808,23 +1153,242 @@ impl KvCluster {
         report
     }
 
+    /// One repair read over the fabric: fetch `key`'s payload off
+    /// holder `src` under the deadline/retry budget. Returns the
+    /// payload and the instant the router holds it, or `None` when the
+    /// link swallowed every attempt (the caller fails over to another
+    /// holder).
+    fn repair_read_leg(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        key: &[u8],
+    ) -> Option<(Payload, SimTime)> {
+        let attempts = self.leg_attempts();
+        let mut best: Option<(Payload, SimTime)> = None;
+        let mut send_at = now;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.leg_retries += 1;
+            }
+            let d = self
+                .transport
+                .request(send_at, src, REQUEST_CAPSULE_BYTES + key.len() as u64);
+            // Reads are idempotent: one device pass per delivered
+            // attempt suffices (duplicates just re-ack).
+            if let Some(arrival) = d.first_arrival() {
+                let (payload, read_done) = {
+                    let Shard { device, sq, .. } = &mut self.shards[src];
+                    let mut payload: Option<Payload> = None;
+                    let read = sq.submit(arrival, |issue| {
+                        let l = device
+                            .retrieve(issue, key)
+                            .expect("repair reads a live key");
+                        let at = l.at;
+                        payload = l.value;
+                        at
+                    });
+                    (
+                        payload.expect("registry said the key was live"),
+                        read.completed,
+                    )
+                };
+                self.completions.record(src, read_done);
+                let resp_bytes = RESPONSE_CAPSULE_BYTES + key.len() as u64 + payload.len();
+                if let Some(a) = self
+                    .transport
+                    .response(read_done, src, resp_bytes)
+                    .first_arrival()
+                {
+                    if best.as_ref().is_none_or(|(_, b)| a < *b) {
+                        best = Some((payload, a));
+                    }
+                }
+            }
+            let Some(timeout) = self.config.op_timeout else {
+                break;
+            };
+            if best.as_ref().is_some_and(|(_, b)| *b <= send_at + timeout) {
+                break;
+            }
+            if attempt + 1 < attempts {
+                send_at = send_at + timeout + self.retry_backoff(attempt, timeout);
+            }
+        }
+        best
+    }
+
+    /// One repair copy over the fabric: store `key`/`payload` onto
+    /// `dst`. Returns the instant the copy is known durable when it
+    /// executed (registry updated; an executed-but-unacked copy still
+    /// counts — the device holds it), or `None` when no attempt's
+    /// request ever arrived.
+    fn repair_copy_leg(
+        &mut self,
+        send_from: SimTime,
+        dst: usize,
+        op_id: u64,
+        key: &[u8],
+        payload: &Payload,
+    ) -> Option<SimTime> {
+        let bytes = REQUEST_CAPSULE_BYTES + key.len() as u64 + payload.len();
+        let attempts = self.leg_attempts();
+        let mut durable: Option<SimTime> = None;
+        let mut send_at = send_from;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.leg_retries += 1;
+            }
+            let d = self.transport.request(send_at, dst, bytes);
+            let mut acked: Option<SimTime> = None;
+            for arrival in [d.delivered, d.duplicate].into_iter().flatten() {
+                let completed = match self.shards[dst].last_exec {
+                    Some((last, completed, _)) if last == op_id => {
+                        self.dup_suppressed += 1;
+                        completed.max(arrival)
+                    }
+                    _ => {
+                        let Shard { device, sq, .. } = &mut self.shards[dst];
+                        let write = sq.submit(arrival, |issue| {
+                            device
+                                .store(issue, key, payload.clone())
+                                .expect("destination shard has room")
+                        });
+                        let done = write.completed;
+                        self.shards[dst].keys_insert(key);
+                        self.shards[dst].last_exec = Some((op_id, done, false));
+                        self.completions.record(dst, done);
+                        done
+                    }
+                };
+                durable = Some(match durable {
+                    Some(p) => p.max(completed),
+                    None => completed,
+                });
+                if let Some(a) = self
+                    .transport
+                    .response(completed, dst, RESPONSE_CAPSULE_BYTES)
+                    .first_arrival()
+                {
+                    acked = Some(match acked {
+                        Some(p) => p.min(a),
+                        None => a,
+                    });
+                }
+            }
+            if let Some(a) = acked {
+                // The router heard the copy land; the ack instant is
+                // when it may safely demote the replica it replaces.
+                return Some(match durable {
+                    Some(p) => p.max(a),
+                    None => a,
+                });
+            }
+            let Some(timeout) = self.config.op_timeout else {
+                break;
+            };
+            if attempt + 1 < attempts {
+                send_at = send_at + timeout + self.retry_backoff(attempt, timeout);
+            }
+        }
+        durable
+    }
+
+    /// One demotion over the fabric: delete `key` off holder `holder`.
+    /// Returns the instant the drop is known complete when it executed
+    /// (registry updated), or `None` when no attempt's request ever
+    /// arrived — the stale copy survives on its old holder.
+    fn repair_drop_leg(
+        &mut self,
+        send_from: SimTime,
+        holder: usize,
+        op_id: u64,
+        key: &[u8],
+    ) -> Option<SimTime> {
+        let attempts = self.leg_attempts();
+        let mut durable: Option<SimTime> = None;
+        let mut send_at = send_from;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.leg_retries += 1;
+            }
+            let d =
+                self.transport
+                    .request(send_at, holder, REQUEST_CAPSULE_BYTES + key.len() as u64);
+            let mut acked: Option<SimTime> = None;
+            for arrival in [d.delivered, d.duplicate].into_iter().flatten() {
+                let completed = match self.shards[holder].last_exec {
+                    Some((last, completed, _)) if last == op_id => {
+                        self.dup_suppressed += 1;
+                        completed.max(arrival)
+                    }
+                    _ => {
+                        let Shard { device, sq, .. } = &mut self.shards[holder];
+                        let drop_leg = sq.submit(arrival, |issue| {
+                            device.delete(issue, key).expect("holder had the key").0
+                        });
+                        let done = drop_leg.completed;
+                        self.shards[holder].keys.remove(key);
+                        self.shards[holder].last_exec = Some((op_id, done, true));
+                        self.completions.record(holder, done);
+                        done
+                    }
+                };
+                durable = Some(match durable {
+                    Some(p) => p.max(completed),
+                    None => completed,
+                });
+                if let Some(a) = self
+                    .transport
+                    .response(completed, holder, RESPONSE_CAPSULE_BYTES)
+                    .first_arrival()
+                {
+                    acked = Some(match acked {
+                        Some(p) => p.min(a),
+                        None => a,
+                    });
+                }
+            }
+            if let Some(a) = acked {
+                return Some(match durable {
+                    Some(p) => p.max(a),
+                    None => a,
+                });
+            }
+            let Some(timeout) = self.config.op_timeout else {
+                break;
+            };
+            if attempt + 1 < attempts {
+                send_at = send_at + timeout + self.retry_backoff(attempt, timeout);
+            }
+        }
+        durable
+    }
+
     /// Re-converges every key onto its current replica set after a
     /// membership change. For each key (deterministic order: the union
     /// of all shard registries, BTreeSet byte order):
     ///
     /// 1. missing replicas are copied from one surviving holder — a
-    ///    timed read on the source at `now`, then a timed store on each
-    ///    new holder at the read's completion;
-    /// 2. holders no longer in the replica set are demoted — a timed
+    ///    fabric read off the preferred source at `now` (failing over
+    ///    across holders when a link swallows every attempt), then a
+    ///    fabric store per new holder once the router has the payload;
+    /// 2. holders no longer in the replica set are demoted — a fabric
     ///    delete issued once the key's new copies have landed (so a
-    ///    replica is never dropped before its replacement is durable),
-    ///    except on a shard being decommissioned (`decommission`),
-    ///    whose copies leave with the device.
+    ///    replica is never dropped before its replacement is durable;
+    ///    when any copy failed, the demotion is skipped and counted as
+    ///    a failed drop instead), except on a shard being
+    ///    decommissioned (`decommission`), whose copies leave with the
+    ///    device.
     ///
-    /// Every surviving-shard leg lands in the completion tracker; the
+    /// Repair traffic pays the fabric like any data-path leg — request
+    /// out, completion back, deadline retries included — so a
+    /// partitioned link makes repair legs *fail* (counted in the
+    /// report) instead of silently teleporting data. Every
+    /// surviving-shard leg lands in the completion tracker; the
     /// report's `completed` is the fan-in barrier over those legs. At
-    /// R = 1 this reduces to the classic read → store → delete key
-    /// migration.
+    /// R = 1 on the in-process transport this reduces to the classic
+    /// read → store → delete key migration, byte for byte.
     fn repair_placement(
         &mut self,
         now: SimTime,
@@ -835,6 +1399,8 @@ impl KvCluster {
         let mut moved_bytes = 0u64;
         let mut copied_replicas = 0u64;
         let mut dropped_replicas = 0u64;
+        let mut failed_copies = 0u64;
+        let mut failed_drops = 0u64;
         let mut barrier = now;
 
         // Snapshot every registered key in ascending byte order — the
@@ -851,6 +1417,7 @@ impl KvCluster {
         let mut desired: Vec<usize> = Vec::new();
         let mut holders: Vec<usize> = Vec::new();
         let mut missing: Vec<usize> = Vec::new();
+        let mut sources: Vec<usize> = Vec::new();
 
         for key in &all_keys {
             let key: &[u8] = key;
@@ -870,49 +1437,57 @@ impl KvCluster {
                 continue;
             }
 
-            // Copy legs: one read off the preferred source (a holder
-            // staying in the set, else any holder), then a store per
-            // missing replica at the read's completion.
+            // Copy legs: one fabric read off the preferred source (a
+            // holder staying in the set first, then any other holder —
+            // failing over when a link swallows every attempt), then a
+            // fabric store per missing replica once the router has the
+            // payload.
             let mut write_barrier = now;
+            let mut copies_ok = true;
             if !missing.is_empty() {
-                let src = holders
-                    .iter()
-                    .copied()
-                    .find(|h| desired.contains(h))
-                    .or_else(|| holders.first().copied())
-                    .expect("a registered key has at least one holder");
-                let (payload, read_done) = {
-                    let Shard { device, sq, .. } = &mut self.shards[src];
-                    let mut payload: Option<Payload> = None;
-                    let read = sq.submit(now, |issue| {
-                        let l = device
-                            .retrieve(issue, key)
-                            .expect("repair reads a live key");
-                        let at = l.at;
-                        payload = l.value;
-                        at
-                    });
-                    (
-                        payload.expect("registry said the key was live"),
-                        read.completed,
-                    )
-                };
-                self.completions.record(src, read_done);
-                for &dst in &missing {
-                    let Shard { device, sq, .. } = &mut self.shards[dst];
-                    let write = sq.submit(read_done, |issue| {
-                        device
-                            .store(issue, key, payload.clone())
-                            .expect("destination shard has room")
-                    });
-                    self.shards[dst].keys_insert(key);
-                    self.completions.record(dst, write.completed);
-                    write_barrier = write_barrier.max(write.completed);
-                    moved_bytes += key.len() as u64 + payload.len();
-                    copied_replicas += 1;
+                sources.clear();
+                sources.extend(holders.iter().copied().filter(|h| desired.contains(h)));
+                sources.extend(holders.iter().copied().filter(|h| !desired.contains(h)));
+                debug_assert!(
+                    !sources.is_empty(),
+                    "a registered key has at least one holder"
+                );
+                let mut read: Option<(Payload, SimTime)> = None;
+                for &src in &sources {
+                    read = self.repair_read_leg(now, src, key);
+                    if read.is_some() {
+                        break;
+                    }
                 }
-                moved_keys += 1;
-                barrier = barrier.max(write_barrier);
+                match read {
+                    Some((payload, have_at)) => {
+                        let mut copied = 0u64;
+                        for &dst in &missing {
+                            let op_id = self.next_op_id();
+                            match self.repair_copy_leg(have_at, dst, op_id, key, &payload) {
+                                Some(done) => {
+                                    write_barrier = write_barrier.max(done);
+                                    moved_bytes += key.len() as u64 + payload.len();
+                                    copied_replicas += 1;
+                                    copied += 1;
+                                }
+                                None => failed_copies += 1,
+                            }
+                        }
+                        if copied > 0 {
+                            moved_keys += 1;
+                            barrier = barrier.max(write_barrier);
+                        }
+                        copies_ok = copied == missing.len() as u64;
+                    }
+                    None => {
+                        // No surviving link produced the payload: every
+                        // missing replica goes unfilled until the next
+                        // repair.
+                        failed_copies += missing.len() as u64;
+                        copies_ok = false;
+                    }
+                }
             }
 
             // Demotion legs: never before the new copies are durable.
@@ -921,17 +1496,26 @@ impl KvCluster {
                     continue;
                 }
                 if decommission == Some(self.shards[h].id) {
+                    // The decommissioned device leaves wholesale; its
+                    // registry entries go with it (any unfilled replica
+                    // is already counted as a failed copy).
                     self.shards[h].keys.remove(key);
                     continue;
                 }
-                let Shard { device, sq, .. } = &mut self.shards[h];
-                let drop_leg = sq.submit(write_barrier, |issue| {
-                    device.delete(issue, key).expect("holder had the key").0
-                });
-                self.shards[h].keys.remove(key);
-                self.completions.record(h, drop_leg.completed);
-                barrier = barrier.max(drop_leg.completed);
-                dropped_replicas += 1;
+                if !copies_ok {
+                    // A replacement copy is missing: keep the stale
+                    // replica rather than shrink redundancy further.
+                    failed_drops += 1;
+                    continue;
+                }
+                let op_id = self.next_op_id();
+                match self.repair_drop_leg(write_barrier, h, op_id, key) {
+                    Some(done) => {
+                        barrier = barrier.max(done);
+                        dropped_replicas += 1;
+                    }
+                    None => failed_drops += 1,
+                }
             }
         }
 
@@ -943,6 +1527,8 @@ impl KvCluster {
             moved_bytes,
             copied_replicas,
             dropped_replicas,
+            failed_copies,
+            failed_drops,
             started: now,
             completed: barrier,
         }
@@ -981,6 +1567,10 @@ impl KvCluster {
             rebalanced_bytes: self.rebalanced_bytes,
             transport: self.transport.stats(),
             hedged_spares: self.hedged_spares,
+            leg_retries: self.leg_retries,
+            retry_rescued_ops: self.retry_rescued_ops,
+            hedged_write_spares: self.hedged_write_spares,
+            dup_suppressed: self.dup_suppressed,
         }
     }
 
@@ -993,6 +1583,27 @@ impl KvCluster {
     /// Spare read legs launched by hedged lean reads so far.
     pub fn hedged_spares(&self) -> u64 {
         self.hedged_spares
+    }
+
+    /// Leg re-issues after a missed per-op deadline so far.
+    pub fn leg_retries(&self) -> u64 {
+        self.leg_retries
+    }
+
+    /// Ops whose quorum only assembled thanks to a retried or hedged
+    /// leg so far.
+    pub fn retry_rescued_ops(&self) -> u64 {
+        self.retry_rescued_ops
+    }
+
+    /// Spare (tied) legs launched by hedged quorum writes so far.
+    pub fn hedged_write_spares(&self) -> u64 {
+        self.hedged_write_spares
+    }
+
+    /// Re-delivered mutations deduped at a replica so far.
+    pub fn dup_suppressed(&self) -> u64 {
+        self.dup_suppressed
     }
 
     /// The underlying fabric, when this cluster runs on one — the hook
@@ -1142,6 +1753,22 @@ impl KvCluster {
                 ts.queue_stalls,
                 ts.bytes,
                 self.hedged_spares
+            ));
+        }
+        // Likewise gated: rendered only once a deadline, hedge, or
+        // dedupe actually fired, so pre-deadline reports keep their
+        // exact byte layout.
+        if self.leg_retries > 0
+            || self.retry_rescued_ops > 0
+            || self.hedged_write_spares > 0
+            || self.dup_suppressed > 0
+        {
+            lines.push(format!(
+                "deadlines retries={} rescued={} write_spares={} dup_suppressed={}",
+                self.leg_retries,
+                self.retry_rescued_ops,
+                self.hedged_write_spares,
+                self.dup_suppressed
             ));
         }
         ClusterReport { lines }

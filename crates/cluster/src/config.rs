@@ -34,6 +34,25 @@ pub struct ClusterConfig {
     /// every replica (free on the in-process transport); lean fanout
     /// sends `read_quorum` legs and optionally hedges a spare.
     pub read_fanout: ReadFanout,
+    /// Per-leg acknowledgement deadline. `None` (the default, the seed
+    /// behavior) trusts the transport: a lost leg simply never counts.
+    /// With a timeout set, a leg whose acknowledgement has not arrived
+    /// by `send + op_timeout` is re-issued up to [`Self::max_retries`]
+    /// times with seeded exponential backoff before it counts as
+    /// failed toward the quorum. On a fault-free transport no leg ever
+    /// misses its deadline, so tables stay byte-identical.
+    pub op_timeout: Option<SimDuration>,
+    /// Re-issues allowed per leg once [`Self::op_timeout`] is set (the
+    /// leg runs at most `1 + max_retries` attempts). Ignored without a
+    /// timeout.
+    pub max_retries: u32,
+    /// Hedged/tied quorum writes: when the write quorum has not
+    /// assembled by `now + hedge`, one spare (tied) leg re-sends the
+    /// mutation to the slowest unacked replica, skipping
+    /// known-partitioned links. The replica dedupes by op id, so the
+    /// losing copy's device work is cancelled rather than silently
+    /// done twice. `None` disables the spare leg.
+    pub write_hedge: Option<SimDuration>,
 }
 
 impl ClusterConfig {
@@ -92,6 +111,27 @@ impl ClusterConfig {
         self.read_fanout = ReadFanout::Lean { hedge };
         self
     }
+
+    /// Arms per-leg deadlines: a leg unacknowledged `timeout` after its
+    /// send is re-issued up to `max_retries` times (seeded exponential
+    /// backoff) before counting as failed. The retry RNG stream derives
+    /// from the cluster seed, so runs stay reproducible; with a
+    /// fault-free transport nothing ever times out and behavior is
+    /// byte-identical to the un-deadlined cluster.
+    pub fn deadlines(mut self, timeout: SimDuration, max_retries: u32) -> Self {
+        self.op_timeout = Some(timeout);
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Arms hedged/tied quorum writes: a spare leg re-sends the
+    /// mutation to the slowest unacked, un-partitioned replica when the
+    /// write quorum has not assembled by the hedge delay. See
+    /// [`Self::write_hedge`].
+    pub fn hedged_writes(mut self, hedge: Option<SimDuration>) -> Self {
+        self.write_hedge = hedge;
+        self
+    }
 }
 
 impl Default for ClusterConfig {
@@ -106,6 +146,9 @@ impl Default for ClusterConfig {
             read_quorum: 1,
             write_quorum: 1,
             read_fanout: ReadFanout::All,
+            op_timeout: None,
+            max_retries: 0,
+            write_hedge: None,
         }
     }
 }
@@ -121,6 +164,24 @@ mod tests {
         assert_eq!(c.read_quorum, 1);
         assert_eq!(c.write_quorum, 1);
         assert_eq!(c.read_fanout, ReadFanout::All);
+        assert_eq!(c.op_timeout, None);
+        assert_eq!(c.max_retries, 0);
+        assert_eq!(c.write_hedge, None);
+    }
+
+    #[test]
+    fn deadlines_and_hedged_writes_arm_the_fields() {
+        let t = SimDuration::from_micros(500);
+        let h = SimDuration::from_micros(200);
+        let c = ClusterConfig::new(4, 7)
+            .replication(3)
+            .deadlines(t, 2)
+            .hedged_writes(Some(h));
+        assert_eq!(c.op_timeout, Some(t));
+        assert_eq!(c.max_retries, 2);
+        assert_eq!(c.write_hedge, Some(h));
+        let c = c.hedged_writes(None);
+        assert_eq!(c.write_hedge, None);
     }
 
     #[test]

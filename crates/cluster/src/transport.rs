@@ -15,7 +15,17 @@
 //! replica) but cannot acknowledge. Operations that collect fewer
 //! acknowledgements than their quorum return
 //! [`kvssd_core::KvError::QuorumUnavailable`] instead of pretending.
+//!
+//! The contract is *deadline-aware*: both directions return the full
+//! [`Delivery`] (original arrival, duplicated-copy arrival, admission
+//! instant), so the router can tell exactly when a leg will never
+//! acknowledge and re-issue it under its per-op deadline
+//! ([`crate::ClusterConfig::deadlines`]), and so replicas can observe
+//! the duplicate deliveries they must dedupe. [`Transport::
+//! is_partitioned`] exposes link state the hedging paths use to avoid
+//! wasting a spare leg on a link that is known to swallow it.
 
+use kvssd_fabric::Delivery;
 use kvssd_sim::{SimDuration, SimTime};
 
 /// Wire overhead of one request capsule (command + addressing), on top
@@ -48,13 +58,25 @@ pub struct TransportStats {
 /// A bidirectional message transport between the router and shard
 /// index `shard` (see module docs).
 pub trait Transport: std::fmt::Debug + Send {
-    /// Delivers a request of `bytes` to `shard`, sent at `now`;
-    /// returns the arrival instant, or `None` if the message was lost.
-    fn request(&mut self, now: SimTime, shard: usize, bytes: u64) -> Option<SimTime>;
+    /// Offers a request of `bytes` to `shard`, sent at `now`; the
+    /// returned [`Delivery`] carries the arrival instant (`None` when
+    /// the message was lost) plus any duplicated copy's arrival.
+    fn request(&mut self, now: SimTime, shard: usize, bytes: u64) -> Delivery;
 
-    /// Delivers a response of `bytes` from `shard` back to the router;
-    /// returns the arrival instant, or `None` if the message was lost.
-    fn response(&mut self, now: SimTime, shard: usize, bytes: u64) -> Option<SimTime>;
+    /// Offers a response of `bytes` from `shard` back to the router;
+    /// same [`Delivery`] contract as [`Self::request`].
+    fn response(&mut self, now: SimTime, shard: usize, bytes: u64) -> Delivery;
+
+    /// True while the link to `shard` is known-partitioned: every
+    /// message either way will be swallowed. Hedging uses this to skip
+    /// a spare leg that could only be wasted; the data path does *not*
+    /// consult it (a partition is discovered the honest way, by legs
+    /// timing out). Defaults to `false` (an in-process transport never
+    /// partitions).
+    fn is_partitioned(&self, shard: usize) -> bool {
+        let _ = shard;
+        false
+    }
 
     /// A shard joined: attach its link at the end of the index space.
     fn on_add_shard(&mut self);
@@ -82,12 +104,20 @@ pub trait Transport: std::fmt::Debug + Send {
 pub struct InProcess;
 
 impl Transport for InProcess {
-    fn request(&mut self, now: SimTime, _shard: usize, _bytes: u64) -> Option<SimTime> {
-        Some(now)
+    fn request(&mut self, now: SimTime, _shard: usize, _bytes: u64) -> Delivery {
+        Delivery {
+            delivered: Some(now),
+            duplicate: None,
+            admitted: now,
+        }
     }
 
-    fn response(&mut self, now: SimTime, _shard: usize, _bytes: u64) -> Option<SimTime> {
-        Some(now)
+    fn response(&mut self, now: SimTime, _shard: usize, _bytes: u64) -> Delivery {
+        Delivery {
+            delivered: Some(now),
+            duplicate: None,
+            admitted: now,
+        }
     }
 
     fn on_add_shard(&mut self) {}
@@ -100,12 +130,16 @@ impl Transport for InProcess {
 }
 
 impl Transport for kvssd_fabric::Fabric {
-    fn request(&mut self, now: SimTime, shard: usize, bytes: u64) -> Option<SimTime> {
-        kvssd_fabric::Fabric::request(self, now, shard, bytes)
+    fn request(&mut self, now: SimTime, shard: usize, bytes: u64) -> Delivery {
+        self.request_delivery(now, shard, bytes)
     }
 
-    fn response(&mut self, now: SimTime, shard: usize, bytes: u64) -> Option<SimTime> {
-        kvssd_fabric::Fabric::response(self, now, shard, bytes)
+    fn response(&mut self, now: SimTime, shard: usize, bytes: u64) -> Delivery {
+        self.response_delivery(now, shard, bytes)
+    }
+
+    fn is_partitioned(&self, shard: usize) -> bool {
+        kvssd_fabric::Fabric::is_partitioned(self, shard)
     }
 
     fn on_add_shard(&mut self) {
@@ -158,9 +192,10 @@ mod tests {
     fn in_process_is_free_and_lossless() {
         let mut t = InProcess;
         let at = SimTime::from_nanos(12345);
-        assert_eq!(t.request(at, 3, 1 << 20), Some(at));
-        assert_eq!(t.response(at, 0, 0), Some(at));
+        assert_eq!(t.request(at, 3, 1 << 20).delivered, Some(at));
+        assert_eq!(t.response(at, 0, 0).delivered, Some(at));
         assert_eq!(t.stats(), TransportStats::default());
+        assert!(!t.is_partitioned(3));
     }
 
     #[test]
@@ -176,10 +211,13 @@ mod tests {
             },
         );
         let mut t: Box<dyn Transport> = Box::new(Fabric::new(cfg, 2));
-        let arrive = t.request(SimTime::ZERO, 1, 64).unwrap();
+        let arrive = t.request(SimTime::ZERO, 1, 64).delivered.unwrap();
         assert_eq!(arrive, SimTime::ZERO + SimDuration::from_micros(10));
         let s = t.stats();
         assert_eq!(s.requests, 1);
         assert_eq!(s.bytes, 64);
+        assert!(!t.is_partitioned(1));
+        t.fabric_mut().unwrap().partition(1);
+        assert!(t.is_partitioned(1));
     }
 }

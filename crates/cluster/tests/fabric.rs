@@ -1,8 +1,11 @@
 //! Fabric-backed cluster properties: the degenerate-equivalence anchor
 //! (an ideal fabric is the in-process transport, byte for byte), the
 //! durability contract under seeded message loss and partitions
-//! (acknowledged quorum writes are never lost), and determinism across
-//! thread counts.
+//! (acknowledged quorum writes are never lost), determinism across
+//! thread counts, and the deadline/retry/hedged-write machinery —
+//! quorum-failure payloads, duplicate-delivery idempotency,
+//! partition-aware hedging, repair under partitions, and liveness
+//! under combined faults.
 
 use kvssd_cluster::{ClusterConfig, KvCluster};
 use kvssd_core::{KvConfig, KvError, KvSsd, Payload};
@@ -88,8 +91,19 @@ fn acked_quorum_writes_survive_drops() {
                 );
                 acked_keys.push(k);
             }
-            Err(KvError::QuorumUnavailable { acked, quorum }) => {
+            Err(KvError::QuorumUnavailable {
+                acked,
+                quorum,
+                acked_replicas,
+                write,
+            }) => {
                 assert!(acked < quorum);
+                assert!(write, "a failed store must flag itself as a mutation");
+                assert_eq!(
+                    acked_replicas.count_ones() as usize,
+                    acked,
+                    "lane mask must carry exactly the acked replicas"
+                );
                 unavailable += 1;
             }
             Err(e) => panic!("unexpected error: {e}"),
@@ -252,4 +266,376 @@ fn hedged_lean_reads_route_around_a_slow_replica() {
         worst_hedged < SimDuration::from_millis(2),
         "hedged worst case should duck the slow RTT, got {worst_hedged}"
     );
+}
+
+#[test]
+fn quorum_unavailable_payload_names_the_acked_lanes() {
+    // Seeded 20 % loss each way. Every quorum failure must say exactly
+    // which replica lanes acked: each lane bit in the mask maps to a
+    // replica that really acknowledged (and for stores, therefore
+    // physically holds the key), writes flag partial replication,
+    // reads do not.
+    let link = LinkConfig {
+        drop_ppm: 200_000,
+        ..LinkConfig::ideal()
+    };
+    let mut c = fabric_cluster(6, 3, link);
+    let mut t = SimTime::ZERO;
+    let mut failed_stores = 0u64;
+    let mut partially_replicated = 0u64;
+    for i in 0..300u64 {
+        let k = key(i);
+        match c.store(t, k.as_bytes(), Payload::synthetic(512, i)) {
+            Ok(done) => t = done,
+            Err(KvError::QuorumUnavailable {
+                acked,
+                quorum,
+                acked_replicas,
+                write,
+            }) => {
+                failed_stores += 1;
+                assert!(acked < quorum);
+                assert!(write, "a failed store must flag itself as a mutation");
+                assert_eq!(acked_replicas.count_ones() as usize, acked);
+                let routes = c.replica_routes(k.as_bytes());
+                for (lane, &idx) in routes.iter().enumerate() {
+                    if acked_replicas & (1 << lane) != 0 {
+                        assert!(
+                            c.shards()[idx].holds(k.as_bytes()),
+                            "lane {lane} acked store of {k} but shard {idx} does not hold it"
+                        );
+                    }
+                }
+                if acked > 0 {
+                    partially_replicated += 1;
+                    let msg = KvError::QuorumUnavailable {
+                        acked,
+                        quorum,
+                        acked_replicas,
+                        write,
+                    }
+                    .to_string();
+                    assert!(
+                        msg.contains("partially replicated"),
+                        "write failures with acks must warn about partial replication: {msg}"
+                    );
+                }
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        failed_stores > 0 && partially_replicated > 0,
+        "20 % loss should produce partially replicated failures \
+         (failed {failed_stores}, partial {partially_replicated})"
+    );
+    let late = c.quiesce_time() + SimDuration::from_millis(1);
+    let mut failed_reads = 0u64;
+    for i in 0..300u64 {
+        match c.retrieve(late, key(i).as_bytes()) {
+            Ok(_) => {}
+            Err(KvError::QuorumUnavailable {
+                acked,
+                quorum,
+                acked_replicas,
+                write,
+            }) => {
+                failed_reads += 1;
+                assert!(acked < quorum);
+                assert!(!write, "a failed retrieve must not flag a mutation");
+                assert_eq!(acked_replicas.count_ones() as usize, acked);
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(failed_reads > 0, "20 % loss should fail some reads");
+}
+
+#[test]
+fn duplicate_deliveries_are_idempotent_at_the_replica() {
+    // Every message duplicated on the wire: each store leg arrives
+    // twice at its replica, yet the device must execute it exactly
+    // once — the second delivery is deduped by op id and re-acks the
+    // recorded completion.
+    let link = LinkConfig {
+        duplicate_ppm: 1_000_000,
+        ..LinkConfig::ideal()
+    };
+    let mut c = fabric_cluster(4, 3, link);
+    let mut t = SimTime::ZERO;
+    for i in 0..50u64 {
+        t = c
+            .store(t, key(i).as_bytes(), Payload::synthetic(512, i))
+            .unwrap();
+    }
+    assert_eq!(
+        c.stats().devices.stores,
+        150,
+        "duplicated store legs must not re-execute on the device"
+    );
+    assert_eq!(c.len(), 150, "every replica holds exactly one copy");
+    assert_eq!(
+        c.dup_suppressed(),
+        150,
+        "each of the 150 duplicated request legs deduped exactly once"
+    );
+    // Updates stay idempotent too: re-storing the same keys must not
+    // inflate the key population.
+    for i in 0..50u64 {
+        t = c
+            .store(t, key(i).as_bytes(), Payload::synthetic(256, i + 1000))
+            .unwrap();
+    }
+    assert_eq!(c.len(), 150, "duplicated updates must not duplicate keys");
+    // Deletes dedupe by the same mechanism.
+    let (t2, existed) = c.delete(t, key(7).as_bytes()).unwrap();
+    assert!(existed);
+    assert_eq!(c.stats().devices.deletes, 3, "one delete per replica");
+    assert_eq!(c.len(), 147);
+    let l = c.retrieve(t2, key(7).as_bytes()).unwrap();
+    assert!(l.value.is_none());
+}
+
+#[test]
+fn hedged_read_spare_skips_partitioned_links() {
+    // R = 4 with lean quorum-2 reads: legs go to lanes 0 and 1, spares
+    // come from lanes 2 and 3. Partition lane 0 (to starve the quorum)
+    // and lane 2 (the first spare candidate): the hedge must skip the
+    // dead lane-2 link and win through lane 3.
+    let mk = || {
+        KvCluster::with_transport(
+            ClusterConfig::new(8, 42)
+                .replication(4)
+                .quorums(2, 3)
+                .lean_reads(Some(SimDuration::from_micros(100))),
+            Box::new(Fabric::new(FabricConfig::new(42, LinkConfig::ideal()), 8)),
+            device,
+        )
+    };
+    let mut c = mk();
+    let k = key(0);
+    let t = c
+        .store(SimTime::ZERO, k.as_bytes(), Payload::synthetic(512, 0))
+        .unwrap();
+    let routes = c.replica_routes(k.as_bytes());
+    assert_eq!(routes.len(), 4);
+    {
+        let f = c.fabric_mut().expect("fabric-backed");
+        f.partition(routes[0]);
+        f.partition(routes[2]);
+    }
+    let l = c
+        .retrieve(t, k.as_bytes())
+        .expect("the spare must route around the partitioned candidate");
+    assert!(l.value.is_some());
+    assert_eq!(c.hedged_spares(), 1, "exactly one spare leg launched");
+    // Control: with *every* spare candidate partitioned the hedge is
+    // never launched (it could only be wasted) and the read fails
+    // typed with the one surviving ack in the mask.
+    let mut c2 = mk();
+    let t2 = c2
+        .store(SimTime::ZERO, k.as_bytes(), Payload::synthetic(512, 0))
+        .unwrap();
+    {
+        let f = c2.fabric_mut().expect("fabric-backed");
+        f.partition(routes[0]);
+        f.partition(routes[2]);
+        f.partition(routes[3]);
+    }
+    match c2.retrieve(t2, k.as_bytes()) {
+        Err(KvError::QuorumUnavailable {
+            acked,
+            acked_replicas,
+            write,
+            ..
+        }) => {
+            assert_eq!(acked, 1, "only the lane-1 leg can ack");
+            assert_eq!(acked_replicas, 0b10);
+            assert!(!write);
+        }
+        other => panic!("expected a typed quorum failure, got {other:?}"),
+    }
+    assert_eq!(
+        c2.hedged_spares(),
+        0,
+        "a spare with only partitioned candidates must not launch"
+    );
+}
+
+#[test]
+fn repair_completes_and_accounts_failures_across_a_partition() {
+    // Repair traffic rides the fabric: decommissioning a shard while
+    // another survivor's link is cut must terminate (no hang), count
+    // the unreachable legs as typed failures in the report, and leave
+    // the cluster serviceable.
+    let link = LinkConfig {
+        latency: SimDuration::from_micros(10),
+        ..LinkConfig::ideal()
+    };
+    let mut c = KvCluster::with_transport(
+        ClusterConfig::new(4, 42)
+            .replication(2)
+            .deadlines(SimDuration::from_micros(500), 1),
+        Box::new(Fabric::new(FabricConfig::new(42, link), 4)),
+        device,
+    );
+    let mut t = SimTime::ZERO;
+    for i in 0..120u64 {
+        t = c
+            .store(t, key(i).as_bytes(), Payload::synthetic(512, i))
+            .unwrap();
+    }
+    c.fabric_mut().expect("fabric-backed").partition(2);
+    let victim = c.shards()[1].id();
+    let rep = c.remove_shard(t, victim);
+    assert!(rep.completed >= rep.started);
+    assert!(
+        rep.failed_copies + rep.failed_drops > 0,
+        "legs into the cut link must surface as failed repair legs"
+    );
+    assert!(
+        rep.copied_replicas > 0,
+        "repair must still converge keys on surviving links"
+    );
+    assert!(
+        c.leg_retries() > 0,
+        "deadline retries must fire before a repair leg is failed"
+    );
+    // Heal whatever link index the partition shifted to and confirm the
+    // cluster still serves reads: every key resolves Ok or typed.
+    for i in 0..c.shard_count() {
+        if c.fabric_mut().expect("fabric-backed").is_partitioned(i) {
+            c.fabric_mut().expect("fabric-backed").heal(i);
+        }
+    }
+    let late = c.quiesce_time() + SimDuration::from_millis(1);
+    let mut found = 0u64;
+    for i in 0..120u64 {
+        match c.retrieve(late, key(i).as_bytes()) {
+            Ok(l) => {
+                if l.value.is_some() {
+                    found += 1;
+                }
+            }
+            Err(KvError::QuorumUnavailable { .. }) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        found > 60,
+        "most keys must survive a partitioned repair, found {found}"
+    );
+}
+
+/// One closed-loop run over a lossy, partitioning fabric with
+/// deadlines, retries, and hedged writes armed. Returns a byte-stable
+/// summary so determinism can be asserted across threads.
+fn lossy_scenario(seed: u64) -> String {
+    let link = LinkConfig {
+        latency: SimDuration::from_micros(15),
+        jitter: SimDuration::from_micros(30),
+        drop_ppm: 200_000,
+        duplicate_ppm: 20_000,
+        ..LinkConfig::ideal()
+    };
+    let mut c = KvCluster::with_transport(
+        ClusterConfig::new(8, seed)
+            .replication(3)
+            .deadlines(SimDuration::from_millis(1), 2)
+            .hedged_writes(Some(SimDuration::from_micros(200))),
+        Box::new(Fabric::new(FabricConfig::new(seed, link), 8)),
+        device,
+    );
+    let mut t = SimTime::ZERO;
+    let mut ok = 0u64;
+    let mut unavailable = 0u64;
+    for i in 0..400u64 {
+        match i {
+            150 => c.fabric_mut().expect("fabric-backed").partition(2),
+            250 => {
+                let f = c.fabric_mut().expect("fabric-backed");
+                f.heal(2);
+                f.partition(5);
+            }
+            350 => c.fabric_mut().expect("fabric-backed").heal(5),
+            _ => {}
+        }
+        let k = key(i % 200);
+        let done = match i % 3 {
+            0 => c.store(t, k.as_bytes(), Payload::synthetic(512, i)),
+            1 => c.retrieve(t, k.as_bytes()).map(|l| l.at),
+            _ => c.delete(t, k.as_bytes()).map(|(d, _)| d),
+        };
+        match done {
+            Ok(at) => {
+                assert!(at >= t, "an acked op never completes before it starts");
+                ok += 1;
+                t = at;
+            }
+            Err(KvError::QuorumUnavailable {
+                acked,
+                quorum,
+                acked_replicas,
+                ..
+            }) => {
+                assert!(acked < quorum);
+                assert_eq!(acked_replicas.count_ones() as usize, acked);
+                unavailable += 1;
+            }
+            Err(e) => panic!("op {i} must resolve Ok or QuorumUnavailable, got {e}"),
+        }
+    }
+    format!(
+        "seed={seed} ok={ok} unavailable={unavailable} retries={} rescued={} \
+         write_spares={} dup={}\n{}",
+        c.leg_retries(),
+        c.retry_rescued_ops(),
+        c.hedged_write_spares(),
+        c.dup_suppressed(),
+        c.report().render()
+    )
+}
+
+#[test]
+fn every_op_resolves_under_drops_partitions_and_deadlines() {
+    // The lost-leg black hole, closed: 20 % loss, wire duplicates, and
+    // roaming partitions, with per-op deadlines and hedged writes
+    // armed. Every op resolves Ok or with a typed quorum failure (the
+    // per-op asserts live in `lossy_scenario`), retries rescue real
+    // quorums, and the whole story is deterministic across seeds and
+    // 1/2/4 concurrent runs.
+    for seed in [1u64, 7, 13] {
+        let reference = lossy_scenario(seed);
+        assert!(
+            reference.contains("rescued="),
+            "summary must quote rescue counters: {reference}"
+        );
+        let rescued: u64 = reference
+            .split("rescued=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("summary carries rescued=N");
+        assert!(
+            rescued > 0,
+            "seed {seed}: retries should rescue some quorums\n{reference}"
+        );
+        for threads in [2usize, 4] {
+            let outcomes: Vec<String> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| s.spawn(move || lossy_scenario(seed)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("run thread panicked"))
+                    .collect()
+            });
+            for o in outcomes {
+                assert_eq!(
+                    o, reference,
+                    "seed {seed} diverged across {threads} threads"
+                );
+            }
+        }
+    }
 }

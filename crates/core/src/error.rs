@@ -44,13 +44,26 @@ pub enum KvError {
     BadIterator,
     /// A replicated cluster operation could not assemble its quorum:
     /// fewer replica legs acknowledged than the quorum requires (a
-    /// lossy or partitioned transport swallowed the rest). Legs that
-    /// did execute stay applied on their devices.
+    /// lossy or partitioned transport swallowed the rest, even after
+    /// any configured per-leg deadline retries). Legs that did execute
+    /// stay applied on their devices — for a write this means the data
+    /// may be *partially replicated* (durable on the acked replicas,
+    /// and possibly on replicas whose acknowledgement was lost), which
+    /// the payload exposes instead of leaving callers to guess.
     QuorumUnavailable {
         /// Replica legs that acknowledged.
         acked: usize,
         /// Acknowledgements the quorum required.
         quorum: usize,
+        /// Which replica-set lanes acknowledged, as a bitmask (bit `i`
+        /// = the `i`-th replica in placement order, the primary being
+        /// lane 0). `acked_replicas.count_ones() == acked` whenever
+        /// the replica set holds at most 64 lanes.
+        acked_replicas: u64,
+        /// True when the failed operation was a mutation (store or
+        /// delete): the acked lanes durably applied it, so repair can
+        /// re-converge the stragglers from a surviving copy.
+        write: bool,
     },
 }
 
@@ -71,11 +84,21 @@ impl fmt::Display for KvError {
                 write!(f, "index full: device KVP limit of {max_kvps} reached")
             }
             KvError::BadIterator => write!(f, "iterator handle is not open"),
-            KvError::QuorumUnavailable { acked, quorum } => {
+            KvError::QuorumUnavailable {
+                acked,
+                quorum,
+                acked_replicas,
+                write,
+            } => {
                 write!(
                     f,
-                    "quorum unavailable: {acked} of {quorum} required replica leg(s) acknowledged"
-                )
+                    "quorum unavailable: {acked} of {quorum} required replica leg(s) acknowledged \
+                     (lane mask {acked_replicas:#b})"
+                )?;
+                if *write && *acked > 0 {
+                    write!(f, "; data partially replicated on the acked lanes")?;
+                }
+                Ok(())
             }
         }
     }
@@ -97,8 +120,19 @@ mod tests {
         let e = KvError::QuorumUnavailable {
             acked: 1,
             quorum: 2,
+            acked_replicas: 0b100,
+            write: true,
         };
         assert!(e.to_string().contains("1 of 2"));
+        assert!(e.to_string().contains("0b100"));
+        assert!(e.to_string().contains("partially replicated"));
+        let e = KvError::QuorumUnavailable {
+            acked: 0,
+            quorum: 2,
+            acked_replicas: 0,
+            write: false,
+        };
+        assert!(!e.to_string().contains("partially replicated"));
     }
 
     #[test]

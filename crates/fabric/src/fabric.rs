@@ -3,7 +3,7 @@
 
 use kvssd_sim::{mix64, SimTime};
 
-use crate::link::{Channel, ChannelStats, LinkConfig};
+use crate::link::{Channel, ChannelStats, Delivery, LinkConfig};
 
 /// Fabric-wide parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,18 +112,33 @@ impl Fabric {
     }
 
     /// Sends a request of `bytes` toward shard `link` at `now`;
-    /// returns the arrival instant, or `None` if the message was lost.
+    /// returns the arrival instant of the original copy, or `None` if
+    /// it was lost. [`Self::request_delivery`] exposes duplicate
+    /// deliveries as well.
     pub fn request(&mut self, now: SimTime, link: usize, bytes: u64) -> Option<SimTime> {
-        let l = &mut self.links[link];
-        l.request.send(now, bytes, l.partitioned).delivered
+        self.request_delivery(now, link, bytes).delivered
     }
 
     /// Sends a response of `bytes` from shard `link` back to the
-    /// router at `now`; returns the arrival instant, or `None` if the
-    /// message was lost.
+    /// router at `now`; returns the arrival instant of the original
+    /// copy, or `None` if it was lost. [`Self::response_delivery`]
+    /// exposes duplicate deliveries as well.
     pub fn response(&mut self, now: SimTime, link: usize, bytes: u64) -> Option<SimTime> {
+        self.response_delivery(now, link, bytes).delivered
+    }
+
+    /// [`Self::request`] returning the full [`Delivery`] — including a
+    /// duplicated wire copy's second arrival, which deadline-aware
+    /// receivers must dedupe (mutations) or absorb (reads/acks).
+    pub fn request_delivery(&mut self, now: SimTime, link: usize, bytes: u64) -> Delivery {
         let l = &mut self.links[link];
-        l.response.send(now, bytes, l.partitioned).delivered
+        l.request.send(now, bytes, l.partitioned)
+    }
+
+    /// [`Self::response`] returning the full [`Delivery`].
+    pub fn response_delivery(&mut self, now: SimTime, link: usize, bytes: u64) -> Delivery {
+        let l = &mut self.links[link];
+        l.response.send(now, bytes, l.partitioned)
     }
 
     /// Cuts the link to shard `link`: every message in either

@@ -32,9 +32,11 @@ pub struct LinkConfig {
     /// downstream) but never delivers.
     pub drop_ppm: u32,
     /// Per-message duplication probability in parts per million. A
-    /// duplicate occupies the wire a second time (load), but the
-    /// receiver sees one delivery — NVMe-oF transports deduplicate
-    /// retransmissions below the ULP.
+    /// duplicate occupies the wire a second time and the receiver sees
+    /// a *second delivery* ([`Delivery::duplicate`]) — the upper layer
+    /// owns deduplication (the cluster's replicas dedupe mutations by
+    /// op id), exactly like a transport that retransmits above the
+    /// point where the ULP could have suppressed it.
     pub duplicate_ppm: u32,
 }
 
@@ -118,8 +120,25 @@ pub struct Delivery {
     /// When the message reaches the far end; `None` if it was lost
     /// (seeded drop or partition).
     pub delivered: Option<SimTime>,
+    /// When the duplicated wire copy reaches the far end (`None` when
+    /// the duplication fault did not fire). The copy queues behind the
+    /// original on the wire, so it never arrives earlier. A drop fault
+    /// loses only the original copy: a message that is both dropped and
+    /// duplicated still reaches the receiver once, via the duplicate.
+    pub duplicate: Option<SimTime>,
     /// When the sender's slot was admitted (after any queue stall).
     pub admitted: SimTime,
+}
+
+impl Delivery {
+    /// The earliest instant any copy of the message arrived (`None`
+    /// when every copy was lost).
+    pub fn first_arrival(&self) -> Option<SimTime> {
+        match (self.delivered, self.duplicate) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
 }
 
 /// One direction of one link (see module docs).
@@ -178,6 +197,7 @@ impl Channel {
             self.stats.partition_drops += 1;
             return Delivery {
                 delivered: None,
+                duplicate: None,
                 admitted: now,
             };
         }
@@ -223,22 +243,36 @@ impl Channel {
         let duplicated = self.config.duplicate_ppm > 0
             && self.rng.below(1_000_000) < u64::from(self.config.duplicate_ppm);
 
-        if duplicated {
-            // The retransmission occupies the wire again; the receiver
-            // still sees a single delivery.
+        // The retransmitted copy occupies the wire again and arrives as
+        // a second delivery behind the original (same propagation and
+        // jitter — one fault draw per offered message keeps the stream
+        // a pure function of the message index).
+        let duplicate = if duplicated {
             self.stats.duplicated += 1;
-            if self.config.bytes_per_sec > 0 {
-                let _ = self.wire.acquire(
-                    wired,
-                    SimDuration::for_bytes(bytes, self.config.bytes_per_sec),
-                );
-            }
-        }
+            let rewired = if self.config.bytes_per_sec == 0 {
+                wired
+            } else {
+                self.wire
+                    .acquire(
+                        wired,
+                        SimDuration::for_bytes(bytes, self.config.bytes_per_sec),
+                    )
+                    .end
+            };
+            let at = rewired + self.config.latency + jitter;
+            self.inflight.push(Reverse(at));
+            Some(at)
+        } else {
+            None
+        };
 
         if dropped {
+            // The drop loses the original copy only; a duplicated
+            // message still reaches the receiver via the second copy.
             self.stats.dropped += 1;
             return Delivery {
                 delivered: None,
+                duplicate,
                 admitted,
             };
         }
@@ -247,6 +281,7 @@ impl Channel {
         self.inflight.push(Reverse(delivered));
         Delivery {
             delivered: Some(delivered),
+            duplicate,
             admitted,
         }
     }
@@ -372,15 +407,21 @@ mod tests {
     }
 
     #[test]
-    fn duplicates_load_the_wire_but_deliver_once() {
+    fn duplicates_load_the_wire_and_deliver_twice() {
         let cfg = LinkConfig {
             bytes_per_sec: 1_000_000,
             duplicate_ppm: 1_000_000, // always duplicate
             ..LinkConfig::ideal()
         };
         let mut c = Channel::new(cfg, 1);
-        let first = c.send(SimTime::ZERO, 1000, false).delivered.unwrap();
+        let d = c.send(SimTime::ZERO, 1000, false);
+        let first = d.delivered.unwrap();
         assert_eq!(c.stats().duplicated, 1);
+        // The copy queued behind the original on the wire and arrives
+        // one serialization later — a real second delivery.
+        let copy = d.duplicate.unwrap();
+        assert_eq!(copy.since(first), SimDuration::for_bytes(1000, 1_000_000));
+        assert_eq!(d.first_arrival(), Some(first));
         // The retransmission occupied the wire: the next message
         // queues behind two transmissions, not one.
         let second = c.send(SimTime::ZERO, 1000, false).delivered.unwrap();
@@ -388,6 +429,25 @@ mod tests {
             second.since(first),
             SimDuration::for_bytes(1000, 1_000_000) * 2
         );
+    }
+
+    #[test]
+    fn dropped_duplicate_still_reaches_the_receiver_once() {
+        // Force both faults: the original copy is lost, the duplicate
+        // survives — the message arrives exactly once, late.
+        let cfg = LinkConfig {
+            bytes_per_sec: 1_000_000,
+            drop_ppm: 1_000_000,
+            duplicate_ppm: 1_000_000,
+            ..LinkConfig::ideal()
+        };
+        let mut c = Channel::new(cfg, 1);
+        let d = c.send(SimTime::ZERO, 1000, false);
+        assert_eq!(d.delivered, None);
+        let copy = d.duplicate.expect("duplicate copy survives the drop");
+        assert_eq!(d.first_arrival(), Some(copy));
+        assert_eq!(c.stats().dropped, 1);
+        assert_eq!(c.stats().duplicated, 1);
     }
 
     #[test]

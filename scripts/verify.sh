@@ -44,6 +44,19 @@ echo "== fabric determinism + property suite =="
 cargo test "${CARGO_FLAGS[@]}" -q -p kvssd-fabric
 cargo test "${CARGO_FLAGS[@]}" -q -p kvssd-cluster --test fabric
 
+echo "== fault regression suite (deadlines / idempotency / partitions) =="
+# The lost-leg fixes must hold: QuorumUnavailable names the acked
+# lanes, duplicate deliveries dedupe at replicas, hedge spares skip
+# partitioned links, repair survives partitions, and under heavy
+# drops + partitions every op resolves Ok or typed — across seeds and
+# 1/2/4 worker threads (the liveness property).
+cargo test "${CARGO_FLAGS[@]}" -q -p kvssd-cluster --test fabric -- \
+    quorum_unavailable_payload_names_the_acked_lanes \
+    duplicate_deliveries_are_idempotent_at_the_replica \
+    hedged_read_spare_skips_partitioned_links \
+    repair_completes_and_accounts_failures_across_a_partition \
+    every_op_resolves_under_drops_partitions_and_deadlines
+
 echo "== replication smoke (tiny scale) =="
 KVSSD_BENCH_SCALE=tiny \
     cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example repro_all -- replication > /dev/null
@@ -53,6 +66,13 @@ echo "== fabric smoke (tiny scale) =="
 # itself is asserted in tests/cluster_shapes.rs at the same scale).
 KVSSD_BENCH_SCALE=tiny \
     cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example repro_all -- fabric > /dev/null
+
+echo "== fabric_faults smoke (tiny scale) =="
+# The drop_ppm x timeout x retries availability sweep must render (its
+# rescued/availability shapes are asserted in tests/cluster_shapes.rs
+# at the same scale).
+KVSSD_BENCH_SCALE=tiny \
+    cargo run "${CARGO_FLAGS[@]}" --release -q -p kvssd-bench --example repro_all -- fabric_faults > /dev/null
 
 echo "== repro_all smoke (tiny scale, timed) =="
 time KVSSD_BENCH_SCALE=tiny \

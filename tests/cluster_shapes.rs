@@ -2,7 +2,7 @@
 //! single-device reproduction exactly, and spreading a uniform workload
 //! over more shards increases aggregate bandwidth.
 
-use kvssd_study::bench::experiments::{fabric, replication, scaleout};
+use kvssd_study::bench::experiments::{fabric, fabric_faults, replication, scaleout};
 use kvssd_study::bench::{setup, Scale};
 use kvssd_study::cluster::KvCluster;
 use kvssd_study::core::KvConfig;
@@ -229,6 +229,58 @@ fn fabric_experiment_shapes() {
         hedged.extra_read_pct > 0.0 && hedged.extra_read_pct < 100.0,
         "extra-read bill {}% should be a fraction of a leg per read",
         hedged.extra_read_pct
+    );
+}
+
+/// Fault-sweep shapes: without deadlines a lossy wire strands quorums
+/// (typed `QuorumUnavailable`, never a hang), arming retries rescues
+/// them — availability climbs with the retry budget — and every rescue
+/// is paid for in re-sent leg bytes, not free. The acceptance shape
+/// for the fabric_faults figure.
+#[test]
+fn fabric_faults_experiment_shapes() {
+    let res = fabric_faults::run(Scale::Tiny);
+    assert_eq!(res.points.len(), fabric_faults::SWEEP.len());
+    for p in &res.points {
+        assert_eq!(
+            p.ops,
+            p.ok_ops + p.unavailable,
+            "{}: ops must split",
+            p.name
+        );
+        assert!(p.dropped > 0, "{}: the lossy link never dropped", p.name);
+    }
+    // Raw transports lose quorums and rescue nothing.
+    let raw = res.point("drop20-raw");
+    assert!(raw.unavailable > 0, "20% loss must strand some quorums");
+    assert_eq!(raw.rescued, 0);
+    assert_eq!(raw.leg_retries, 0);
+    // Availability climbs with the retry budget and every armed cell
+    // rescues ops the raw wire would have failed.
+    let r1 = res.point("drop20-t500r1");
+    let r3 = res.point("drop20-t500r3");
+    assert!(
+        raw.availability_pct < r1.availability_pct && r1.availability_pct <= r3.availability_pct,
+        "availability must climb with retries: {} / {} / {}",
+        raw.availability_pct,
+        r1.availability_pct,
+        r3.availability_pct
+    );
+    for name in ["drop2-t500r2", "drop20-t500r1", "drop20-t500r3"] {
+        let p = res.point(name);
+        assert!(p.rescued > 0, "{name}: retries rescued nothing");
+        assert!(p.leg_retries >= p.rescued);
+        assert!(
+            res.extra_bytes_vs_raw(name) > 0,
+            "{name}: rescues must cost wire bytes"
+        );
+    }
+    // Hedged writes launch spares; their duplicates dedupe at replicas.
+    let hw = res.point("drop20-t500r3-hw");
+    assert!(hw.write_spares > 0, "the write hedge never fired");
+    assert!(
+        hw.dup_suppressed > 0,
+        "spare legs must dedupe, not double-run"
     );
 }
 
