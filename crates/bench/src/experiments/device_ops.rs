@@ -120,7 +120,7 @@ fn run_leg(scale: Scale, legacy: bool) -> Leg {
         }
         ops += 1;
     }
-    t = d.flush(t);
+    t = d.flush(t).expect("flush programs open pages");
     let seconds = t0.elapsed_secs();
 
     let s = d.stats();

@@ -163,7 +163,10 @@ fn measure_point(filled: Filled) -> ReplicationPoint {
     // Repair: remove one shard and re-replicate everything it held.
     let t0 = crate::experiments::settle(rd.finished);
     let victim = store.cluster().shards()[shards / 2].id();
-    let rep = store.cluster_mut().remove_shard(t0, victim);
+    let rep = store
+        .cluster_mut()
+        .remove_shard(t0, victim)
+        .expect("victim shard is a live member");
 
     ReplicationPoint {
         shards,

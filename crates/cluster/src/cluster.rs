@@ -557,11 +557,16 @@ impl KvCluster {
         self.len() == 0
     }
 
-    fn index_of(&self, id: usize) -> usize {
+    /// Resolves a ring shard id to its slot in `self.shards`. The ring
+    /// only ever names live members, so a miss is a membership-tracking
+    /// bug, surfaced as a typed error rather than an abort.
+    fn index_of(&self, id: usize) -> Result<usize, KvError> {
         self.shards
             .iter()
             .position(|s| s.id == id)
-            .unwrap_or_else(|| panic!("shard {id} not in cluster"))
+            .ok_or(KvError::Internal {
+                what: "ring named a shard id not in the cluster",
+            })
     }
 
     /// Routes every shard's key registry through the legacy byte-ordered
@@ -576,13 +581,13 @@ impl KvCluster {
     }
 
     /// The shard index a key's primary replica routes to.
-    pub fn route(&self, key: &[u8]) -> usize {
+    pub fn route(&self, key: &[u8]) -> Result<usize, KvError> {
         self.index_of(self.ring.shard_for(key_hash(key)))
     }
 
     /// The shard indices holding replicas of `key`, in replica-set
     /// order (the primary first). Holds `min(R, shard_count)` entries.
-    pub fn replica_routes(&self, key: &[u8]) -> Vec<usize> {
+    pub fn replica_routes(&self, key: &[u8]) -> Result<Vec<usize>, KvError> {
         self.ring
             .replica_set(key_hash(key), self.config.replication_factor)
             .into_iter()
@@ -595,18 +600,25 @@ impl KvCluster {
     /// they land, so lost legs simply never appear). Returns the
     /// replica count and the key's hash, so the per-leg registry
     /// updates reuse it instead of rehashing the key once per replica.
-    fn begin_replicated_op(&mut self, key: &[u8]) -> (usize, u64) {
+    fn begin_replicated_op(&mut self, key: &[u8]) -> Result<(usize, u64), KvError> {
         let h = key_hash(key);
         let mut ids = std::mem::take(&mut self.replica_scratch);
         self.ring
             .replica_set_into(h, self.config.replication_factor, &mut ids);
         for id in ids.iter_mut() {
-            *id = self.index_of(*id);
+            match self.index_of(*id) {
+                Ok(idx) => *id = idx,
+                Err(e) => {
+                    // Hand the scratch buffer back before bailing.
+                    self.replica_scratch = ids;
+                    return Err(e);
+                }
+            }
         }
         let k = ids.len();
         self.replica_scratch = ids;
         self.op_fan.reset_empty();
-        (k, h)
+        Ok((k, h))
     }
 
     /// The next mutation id; replicas dedupe re-deliveries by it.
@@ -668,7 +680,9 @@ impl KvCluster {
                 issue
             }
         });
-        res.expect("submit runs the operation")?;
+        res.ok_or(KvError::Internal {
+            what: "submit ran the store leg synchronously",
+        })??;
         shard.writes.record(timing.latency());
         shard.bandwidth.record(timing.completed, bytes);
         let existed = shard.device.last_store_was_update();
@@ -708,7 +722,9 @@ impl KvCluster {
                 issue
             }
         });
-        let (_, existed) = res.expect("submit runs the operation")?;
+        let (_, existed) = res.ok_or(KvError::Internal {
+            what: "submit ran the delete leg synchronously",
+        })??;
         if existed {
             shard.keys.remove_hashed(h, key);
         }
@@ -856,7 +872,9 @@ impl KvCluster {
                         issue
                     }
                 });
-                let lookup = res.expect("submit runs the operation")?;
+                let lookup = res.ok_or(KvError::Internal {
+                    what: "submit ran the read leg synchronously",
+                })??;
                 shard.reads.record(timing.latency());
                 let mut resp_bytes = RESPONSE_CAPSULE_BYTES;
                 if let Some(v) = &lookup.value {
@@ -925,7 +943,7 @@ impl KvCluster {
     /// (the repair pass of the next membership change re-converges
     /// placement).
     pub fn store(&mut self, now: SimTime, key: &[u8], value: Payload) -> Result<SimTime, KvError> {
-        let (k, h) = self.begin_replicated_op(key);
+        let (k, h) = self.begin_replicated_op(key)?;
         let op_id = self.next_op_id();
         let wq = self.config.write_quorum.min(k);
         let mut acked_lanes = 0u64;
@@ -972,7 +990,7 @@ impl KvCluster {
     /// holds one; if fewer than `read_quorum` legs acknowledge,
     /// [`KvError::QuorumUnavailable`] is returned.
     pub fn retrieve(&mut self, now: SimTime, key: &[u8]) -> Result<Lookup, KvError> {
-        let (k, _) = self.begin_replicated_op(key);
+        let (k, _) = self.begin_replicated_op(key)?;
         let rq = self.config.read_quorum.min(k);
         let legs = match self.config.read_fanout {
             ReadFanout::All => k,
@@ -1021,7 +1039,7 @@ impl KvCluster {
     /// quorum, with the same deadline/retry/hedge machinery as
     /// [`Self::store`]. Returns whether any replica held it.
     pub fn delete(&mut self, now: SimTime, key: &[u8]) -> Result<(SimTime, bool), KvError> {
-        let (k, h) = self.begin_replicated_op(key);
+        let (k, h) = self.begin_replicated_op(key)?;
         let op_id = self.next_op_id();
         let wq = self.config.write_quorum.min(k);
         let mut existed_any = false;
@@ -1089,14 +1107,14 @@ impl KvCluster {
 
     /// Flushes every shard; returns the fan-in barrier (when the last
     /// shard finished).
-    pub fn flush(&mut self, now: SimTime) -> SimTime {
+    pub fn flush(&mut self, now: SimTime) -> Result<SimTime, KvError> {
         let mut fan = FanIn::new(self.shards.len());
         for (lane, shard) in self.shards.iter_mut().enumerate() {
-            let done = shard.device.flush(now);
+            let done = shard.device.flush(now)?;
             fan.record(lane, done);
             self.completions.record(lane, done);
         }
-        fan.barrier()
+        Ok(fan.barrier())
     }
 
     /// When every completion recorded so far has landed on every shard.
@@ -1108,7 +1126,11 @@ impl KvCluster {
     /// new shard are copied onto it, and replicas demoted out of their
     /// key's set are dropped. Returns the new shard's id and the
     /// rebalance accounting.
-    pub fn add_shard(&mut self, now: SimTime, device: KvSsd) -> (usize, RebalanceReport) {
+    pub fn add_shard(
+        &mut self,
+        now: SimTime,
+        device: KvSsd,
+    ) -> Result<(usize, RebalanceReport), KvError> {
         let id = self.next_shard_id;
         self.next_shard_id += 1;
         let ring_delta = self.ring.add_shard(id);
@@ -1124,8 +1146,8 @@ impl KvCluster {
         });
         self.completions.add_lane();
         self.transport.on_add_shard();
-        let report = self.repair_placement(now, ring_delta, None);
-        (id, report)
+        let report = self.repair_placement(now, ring_delta, None)?;
+        Ok((id, report))
     }
 
     /// Removes a shard: every key whose replica set lost the member is
@@ -1137,33 +1159,38 @@ impl KvCluster {
     ///
     /// # Panics
     ///
-    /// Panics when asked to remove the last shard or an unknown id.
-    pub fn remove_shard(&mut self, now: SimTime, id: usize) -> RebalanceReport {
+    /// Panics when asked to remove the last shard of a cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::Internal`] for an unknown shard id or a
+    /// broken repair invariant.
+    pub fn remove_shard(&mut self, now: SimTime, id: usize) -> Result<RebalanceReport, KvError> {
         assert!(
             self.shards.len() > 1,
             "cannot remove the last shard of a cluster"
         );
-        let idx = self.index_of(id);
+        let idx = self.index_of(id)?;
         let ring_delta = self.ring.remove_shard(id);
-        let report = self.repair_placement(now, ring_delta, Some(id));
+        let report = self.repair_placement(now, ring_delta, Some(id))?;
         debug_assert_eq!(self.shards[idx].keys.len(), 0);
         self.shards.remove(idx);
         self.completions.remove_lane(idx);
         self.transport.on_remove_shard(idx);
-        report
+        Ok(report)
     }
 
     /// One repair read over the fabric: fetch `key`'s payload off
     /// holder `src` under the deadline/retry budget. Returns the
-    /// payload and the instant the router holds it, or `None` when the
-    /// link swallowed every attempt (the caller fails over to another
-    /// holder).
+    /// payload and the instant the router holds it, or `Ok(None)` when
+    /// the link swallowed every attempt (the caller fails over to
+    /// another holder).
     fn repair_read_leg(
         &mut self,
         now: SimTime,
         src: usize,
         key: &[u8],
-    ) -> Option<(Payload, SimTime)> {
+    ) -> Result<Option<(Payload, SimTime)>, KvError> {
         let attempts = self.leg_attempts();
         let mut best: Option<(Payload, SimTime)> = None;
         let mut send_at = now;
@@ -1179,19 +1206,25 @@ impl KvCluster {
             if let Some(arrival) = d.first_arrival() {
                 let (payload, read_done) = {
                     let Shard { device, sq, .. } = &mut self.shards[src];
-                    let mut payload: Option<Payload> = None;
-                    let read = sq.submit(arrival, |issue| {
-                        let l = device
-                            .retrieve(issue, key)
-                            .expect("repair reads a live key");
-                        let at = l.at;
-                        payload = l.value;
-                        at
+                    let mut res: Option<Result<Lookup, KvError>> = None;
+                    let read = sq.submit(arrival, |issue| match device.retrieve(issue, key) {
+                        Ok(l) => {
+                            let at = l.at;
+                            res = Some(Ok(l));
+                            at
+                        }
+                        Err(e) => {
+                            res = Some(Err(e));
+                            issue
+                        }
                     });
-                    (
-                        payload.expect("registry said the key was live"),
-                        read.completed,
-                    )
+                    let lookup = res.ok_or(KvError::Internal {
+                        what: "submit ran the repair read synchronously",
+                    })??;
+                    let payload = lookup.value.ok_or(KvError::Internal {
+                        what: "registry said the repaired key was live",
+                    })?;
+                    (payload, read.completed)
                 };
                 self.completions.record(src, read_done);
                 let resp_bytes = RESPONSE_CAPSULE_BYTES + key.len() as u64 + payload.len();
@@ -1215,13 +1248,13 @@ impl KvCluster {
                 send_at = send_at + timeout + self.retry_backoff(attempt, timeout);
             }
         }
-        best
+        Ok(best)
     }
 
     /// One repair copy over the fabric: store `key`/`payload` onto
     /// `dst`. Returns the instant the copy is known durable when it
     /// executed (registry updated; an executed-but-unacked copy still
-    /// counts — the device holds it), or `None` when no attempt's
+    /// counts — the device holds it), or `Ok(None)` when no attempt's
     /// request ever arrived.
     fn repair_copy_leg(
         &mut self,
@@ -1230,7 +1263,7 @@ impl KvCluster {
         op_id: u64,
         key: &[u8],
         payload: &Payload,
-    ) -> Option<SimTime> {
+    ) -> Result<Option<SimTime>, KvError> {
         let bytes = REQUEST_CAPSULE_BYTES + key.len() as u64 + payload.len();
         let attempts = self.leg_attempts();
         let mut durable: Option<SimTime> = None;
@@ -1249,11 +1282,22 @@ impl KvCluster {
                     }
                     _ => {
                         let Shard { device, sq, .. } = &mut self.shards[dst];
+                        let mut res: Option<Result<SimTime, KvError>> = None;
                         let write = sq.submit(arrival, |issue| {
-                            device
-                                .store(issue, key, payload.clone())
-                                .expect("destination shard has room")
+                            match device.store(issue, key, payload.clone()) {
+                                Ok(done) => {
+                                    res = Some(Ok(done));
+                                    done
+                                }
+                                Err(e) => {
+                                    res = Some(Err(e));
+                                    issue
+                                }
+                            }
                         });
+                        res.ok_or(KvError::Internal {
+                            what: "submit ran the repair copy synchronously",
+                        })??;
                         let done = write.completed;
                         self.shards[dst].keys_insert(key);
                         self.shards[dst].last_exec = Some((op_id, done, false));
@@ -1279,10 +1323,10 @@ impl KvCluster {
             if let Some(a) = acked {
                 // The router heard the copy land; the ack instant is
                 // when it may safely demote the replica it replaces.
-                return Some(match durable {
+                return Ok(Some(match durable {
                     Some(p) => p.max(a),
                     None => a,
-                });
+                }));
             }
             let Some(timeout) = self.config.op_timeout else {
                 break;
@@ -1291,12 +1335,12 @@ impl KvCluster {
                 send_at = send_at + timeout + self.retry_backoff(attempt, timeout);
             }
         }
-        durable
+        Ok(durable)
     }
 
     /// One demotion over the fabric: delete `key` off holder `holder`.
     /// Returns the instant the drop is known complete when it executed
-    /// (registry updated), or `None` when no attempt's request ever
+    /// (registry updated), or `Ok(None)` when no attempt's request ever
     /// arrived — the stale copy survives on its old holder.
     fn repair_drop_leg(
         &mut self,
@@ -1304,7 +1348,7 @@ impl KvCluster {
         holder: usize,
         op_id: u64,
         key: &[u8],
-    ) -> Option<SimTime> {
+    ) -> Result<Option<SimTime>, KvError> {
         let attempts = self.leg_attempts();
         let mut durable: Option<SimTime> = None;
         let mut send_at = send_from;
@@ -1324,9 +1368,21 @@ impl KvCluster {
                     }
                     _ => {
                         let Shard { device, sq, .. } = &mut self.shards[holder];
-                        let drop_leg = sq.submit(arrival, |issue| {
-                            device.delete(issue, key).expect("holder had the key").0
-                        });
+                        let mut res: Option<Result<SimTime, KvError>> = None;
+                        let drop_leg =
+                            sq.submit(arrival, |issue| match device.delete(issue, key) {
+                                Ok((done, _)) => {
+                                    res = Some(Ok(done));
+                                    done
+                                }
+                                Err(e) => {
+                                    res = Some(Err(e));
+                                    issue
+                                }
+                            });
+                        res.ok_or(KvError::Internal {
+                            what: "submit ran the repair drop synchronously",
+                        })??;
                         let done = drop_leg.completed;
                         self.shards[holder].keys.remove(key);
                         self.shards[holder].last_exec = Some((op_id, done, true));
@@ -1350,10 +1406,10 @@ impl KvCluster {
                 }
             }
             if let Some(a) = acked {
-                return Some(match durable {
+                return Ok(Some(match durable {
                     Some(p) => p.max(a),
                     None => a,
-                });
+                }));
             }
             let Some(timeout) = self.config.op_timeout else {
                 break;
@@ -1362,7 +1418,7 @@ impl KvCluster {
                 send_at = send_at + timeout + self.retry_backoff(attempt, timeout);
             }
         }
-        durable
+        Ok(durable)
     }
 
     /// Re-converges every key onto its current replica set after a
@@ -1394,7 +1450,7 @@ impl KvCluster {
         now: SimTime,
         ring_delta: RingDelta,
         decommission: Option<usize>,
-    ) -> RebalanceReport {
+    ) -> Result<RebalanceReport, KvError> {
         let mut moved_keys = 0u64;
         let mut moved_bytes = 0u64;
         let mut copied_replicas = 0u64;
@@ -1425,7 +1481,9 @@ impl KvCluster {
             self.ring
                 .replica_set_into(h, self.config.replication_factor, &mut desired_ids);
             desired.clear();
-            desired.extend(desired_ids.iter().map(|&id| self.index_of(id)));
+            for &id in &desired_ids {
+                desired.push(self.index_of(id)?);
+            }
             holders.clear();
             holders.extend(
                 (0..self.shards.len()).filter(|&i| self.shards[i].keys.contains_hashed(h, key)),
@@ -1454,7 +1512,7 @@ impl KvCluster {
                 );
                 let mut read: Option<(Payload, SimTime)> = None;
                 for &src in &sources {
-                    read = self.repair_read_leg(now, src, key);
+                    read = self.repair_read_leg(now, src, key)?;
                     if read.is_some() {
                         break;
                     }
@@ -1464,7 +1522,7 @@ impl KvCluster {
                         let mut copied = 0u64;
                         for &dst in &missing {
                             let op_id = self.next_op_id();
-                            match self.repair_copy_leg(have_at, dst, op_id, key, &payload) {
+                            match self.repair_copy_leg(have_at, dst, op_id, key, &payload)? {
                                 Some(done) => {
                                     write_barrier = write_barrier.max(done);
                                     moved_bytes += key.len() as u64 + payload.len();
@@ -1509,7 +1567,7 @@ impl KvCluster {
                     continue;
                 }
                 let op_id = self.next_op_id();
-                match self.repair_drop_leg(write_barrier, h, op_id, key) {
+                match self.repair_drop_leg(write_barrier, h, op_id, key)? {
                     Some(done) => {
                         barrier = barrier.max(done);
                         dropped_replicas += 1;
@@ -1521,7 +1579,7 @@ impl KvCluster {
 
         self.rebalanced_keys += moved_keys;
         self.rebalanced_bytes += moved_bytes;
-        RebalanceReport {
+        Ok(RebalanceReport {
             ring: ring_delta,
             moved_keys,
             moved_bytes,
@@ -1531,7 +1589,7 @@ impl KvCluster {
             failed_drops,
             started: now,
             completed: barrier,
-        }
+        })
     }
 
     /// Summed counters across devices and submission queues.
@@ -1884,7 +1942,7 @@ mod tests {
     fn flush_fans_in_across_shards() {
         let mut c = KvCluster::for_test(3);
         let t = fill(&mut c, 30);
-        let done = c.flush(t);
+        let done = c.flush(t).unwrap();
         assert!(done >= t);
         assert_eq!(c.quiesce_time(), done);
     }
@@ -1894,14 +1952,16 @@ mod tests {
         let mut c = KvCluster::for_test(3);
         let t = fill(&mut c, 300);
         let before = c.len();
-        let (id, rep) = c.add_shard(
-            t,
-            KvSsd::new(
-                kvssd_flash::Geometry::small(),
-                kvssd_flash::FlashTiming::pm983_like(),
-                kvssd_core::KvConfig::small(),
-            ),
-        );
+        let (id, rep) = c
+            .add_shard(
+                t,
+                KvSsd::new(
+                    kvssd_flash::Geometry::small(),
+                    kvssd_flash::FlashTiming::pm983_like(),
+                    kvssd_core::KvConfig::small(),
+                ),
+            )
+            .unwrap();
         assert_eq!(id, 3);
         assert_eq!(c.len(), before, "rebalance must not lose keys");
         assert!(rep.moved_keys > 0, "a new shard should receive keys");
@@ -1928,7 +1988,7 @@ mod tests {
         let t = fill(&mut c, 200);
         let victim = c.shards()[1].id();
         let held = c.shards()[1].key_count() as u64;
-        let rep = c.remove_shard(t, victim);
+        let rep = c.remove_shard(t, victim).unwrap();
         assert_eq!(c.shard_count(), 2);
         assert_eq!(rep.moved_keys, held);
         assert_eq!(c.len(), 200);

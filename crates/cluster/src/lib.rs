@@ -55,9 +55,9 @@
 //! let t = replicated
 //!     .store(SimTime::ZERO, b"user:42", Payload::synthetic(512, 7))
 //!     .unwrap();
-//! assert_eq!(replicated.replica_routes(b"user:42").len(), 3);
-//! let victim = replicated.shards()[replicated.route(b"user:42")].id();
-//! let rep = replicated.remove_shard(t, victim);
+//! assert_eq!(replicated.replica_routes(b"user:42").unwrap().len(), 3);
+//! let victim = replicated.shards()[replicated.route(b"user:42").unwrap()].id();
+//! let rep = replicated.remove_shard(t, victim).unwrap();
 //! let l = replicated.retrieve(rep.completed, b"user:42").unwrap();
 //! assert!(l.value.is_some());
 //! ```

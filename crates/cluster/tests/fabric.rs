@@ -297,7 +297,7 @@ fn quorum_unavailable_payload_names_the_acked_lanes() {
                 assert!(acked < quorum);
                 assert!(write, "a failed store must flag itself as a mutation");
                 assert_eq!(acked_replicas.count_ones() as usize, acked);
-                let routes = c.replica_routes(k.as_bytes());
+                let routes = c.replica_routes(k.as_bytes()).unwrap();
                 for (lane, &idx) in routes.iter().enumerate() {
                     if acked_replicas & (1 << lane) != 0 {
                         assert!(
@@ -417,7 +417,7 @@ fn hedged_read_spare_skips_partitioned_links() {
     let t = c
         .store(SimTime::ZERO, k.as_bytes(), Payload::synthetic(512, 0))
         .unwrap();
-    let routes = c.replica_routes(k.as_bytes());
+    let routes = c.replica_routes(k.as_bytes()).unwrap();
     assert_eq!(routes.len(), 4);
     {
         let f = c.fabric_mut().expect("fabric-backed");
@@ -487,7 +487,7 @@ fn repair_completes_and_accounts_failures_across_a_partition() {
     }
     c.fabric_mut().expect("fabric-backed").partition(2);
     let victim = c.shards()[1].id();
-    let rep = c.remove_shard(t, victim);
+    let rep = c.remove_shard(t, victim).unwrap();
     assert!(rep.completed >= rep.started);
     assert!(
         rep.failed_copies + rep.failed_drops > 0,

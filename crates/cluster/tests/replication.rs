@@ -187,7 +187,7 @@ fn stores_replicate_to_min_r_n_shards() {
                 want,
                 "key {key} on N={n} R={r}"
             );
-            assert_eq!(c.replica_routes(key.as_bytes()).len(), want);
+            assert_eq!(c.replica_routes(key.as_bytes()).unwrap().len(), want);
         }
         assert_eq!(c.len(), 100 * want as u64);
     }
@@ -219,7 +219,7 @@ fn quorum_reads_survive_any_single_shard_removal() {
                 )
                 .unwrap();
         }
-        let rep = c.remove_shard(t, victim);
+        let rep = c.remove_shard(t, victim).unwrap();
         assert_eq!(c.shard_count(), 3);
         assert!(rep.copied_replicas > 0, "repair must re-replicate");
         for i in 0..n_keys {
@@ -250,7 +250,7 @@ fn add_shard_demotes_and_promotes_symmetrically() {
     let mut c = KvCluster::for_test_replicated(3, 2);
     let t = fill(&mut c, 200);
     assert_eq!(c.len(), 400);
-    let (id, rep) = c.add_shard(t, small_device());
+    let (id, rep) = c.add_shard(t, small_device()).unwrap();
     assert_eq!(c.shard_count(), 4);
     assert!(rep.copied_replicas > 0, "the new shard should adopt keys");
     assert!(
@@ -280,7 +280,7 @@ fn quiesce_covers_the_rebalance_barrier() {
         let mut c = KvCluster::for_test_replicated(3, r);
         let t = fill(&mut c, 200);
         let victim = c.shards()[1].id();
-        let rep = c.remove_shard(t, victim);
+        let rep = c.remove_shard(t, victim).unwrap();
         assert!(
             c.quiesce_time() >= rep.completed,
             "R={r}: quiesce {} < rebalance barrier {}",
@@ -288,7 +288,7 @@ fn quiesce_covers_the_rebalance_barrier() {
             rep.completed
         );
         // And again for add_shard (all lanes survive there).
-        let (_, rep2) = c.add_shard(rep.completed, small_device());
+        let (_, rep2) = c.add_shard(rep.completed, small_device()).unwrap();
         assert!(
             c.quiesce_time() >= rep2.completed,
             "R={r}: quiesce {} < add barrier {}",
@@ -346,7 +346,7 @@ fn quorum_delete_clears_every_replica() {
     let l = c.retrieve(t, b"rep00000007").unwrap();
     assert!(l.value.is_none());
     let victim = c.shards()[0].id();
-    let rep = c.remove_shard(t, victim);
+    let rep = c.remove_shard(t, victim).unwrap();
     let l = c.retrieve(rep.completed, b"rep00000007").unwrap();
     assert!(l.value.is_none(), "deleted key resurrected by repair");
 }

@@ -381,8 +381,7 @@ impl KvSsd {
         if projected(self) > self.data_capacity {
             // Much of the projection may be reclaimable page-tail waste;
             // give the collector one synchronous chance before failing.
-            let t = self.foreground_gc(now);
-            let _ = t;
+            self.foreground_gc(now)?;
             if projected(self) > self.data_capacity {
                 return Err(KvError::DeviceFull);
             }
@@ -426,7 +425,7 @@ impl KvSsd {
         if write_through {
             self.stats.write_through += 1;
         } else {
-            t = self.wait_for_buffer_space(t, total_alloc);
+            t = self.wait_for_buffer_space(t, total_alloc)?;
         }
 
         // 3.5 Hard watermark: reclaim space synchronously before placing
@@ -437,7 +436,7 @@ impl KvSsd {
         if self.free_count as u64 <= self.config.gc_hard_free_blocks as u64 + 1
             && self.free_pages() <= self.hard_watermark_pages()
         {
-            t = self.foreground_gc(t);
+            t = self.foreground_gc(t)?;
         }
 
         // 4. Invalidate any previous version and commit a skeleton index
@@ -472,14 +471,16 @@ impl KvSsd {
             .enumerate()
         {
             let dedicated = layout.is_split();
-            match self.append_segment_retry(t, (h, fp), i as u32, alloc, raw, dedicated) {
+            match self.append_segment_retry(t, (h, fp), i as u32, alloc, raw, dedicated)? {
                 Some((loc, programmed)) => {
                     if let Some(done) = programmed {
                         last_program = last_program.max(done);
                     }
                     self.index
                         .get_mut(h, fp)
-                        .expect("skeleton committed above")
+                        .ok_or(KvError::Internal {
+                            what: "skeleton index entry committed before placement",
+                        })?
                         .segs
                         .push(loc);
                 }
@@ -536,7 +537,7 @@ impl KvSsd {
         // so the page condition is subsumed by the block-count one.
         if self.free_count < self.config.gc_soft_free_blocks {
             for _ in 0..self.config.gc_copies_per_store {
-                if !self.gc_copy_one(t) {
+                if !self.gc_copy_one(t)? {
                     break;
                 }
             }
@@ -587,6 +588,7 @@ impl KvSsd {
         segs.extend_from_slice(entry.segs.as_slice());
         let t = self.read_segments(t, (h, fp), &segs);
         self.seg_scratch = segs;
+        let t = t?;
         self.stats.retrieves += 1;
         Ok(Lookup {
             at: self.link.complete(t, vlen),
@@ -701,9 +703,9 @@ impl KvSsd {
     /// is lost), drops volatile caches, and pays the mount-time cost of
     /// re-reading the flash-resident index levels. Returns when the
     /// device is ready again.
-    pub fn power_cycle(&mut self, now: SimTime) -> SimTime {
+    pub fn power_cycle(&mut self, now: SimTime) -> Result<SimTime, KvError> {
         // Capacitor flush of in-flight pages.
-        let mut t = self.flush(now);
+        let mut t = self.flush(now)?;
         // Volatile state is gone.
         self.read_cache.clear();
         self.drain_buffer(t + SimDuration::from_secs(3600));
@@ -725,7 +727,7 @@ impl KvSsd {
             let channels = self.flash.geometry().channels as u64;
             t += SimDuration::from_nanos(per_page.as_nanos() * pages / channels.max(1));
         }
-        t
+        Ok(t)
     }
 
     /// Physical segment locations of a live key — diagnostics and
@@ -738,15 +740,15 @@ impl KvSsd {
     }
 
     /// Programs all partially filled open pages (end-of-phase barrier).
-    pub fn flush(&mut self, now: SimTime) -> SimTime {
+    pub fn flush(&mut self, now: SimTime) -> Result<SimTime, KvError> {
         let mut end = now;
-        if let Some(done) = self.program_open_page(now, StreamKind::Data) {
+        if let Some(done) = self.program_open_page(now, StreamKind::Data)? {
             end = end.max(done);
         }
-        if let Some(done) = self.program_open_page(now, StreamKind::Gc) {
+        if let Some(done) = self.program_open_page(now, StreamKind::Gc)? {
             end = end.max(done);
         }
-        end
+        Ok(end)
     }
 
     // ----- internals -------------------------------------------------
@@ -790,7 +792,7 @@ impl KvSsd {
     /// Waits until `bytes` of buffer space are available, returning the
     /// (possibly stalled) time. The space itself is claimed as segments
     /// are appended.
-    fn wait_for_buffer_space(&mut self, now: SimTime, bytes: u64) -> SimTime {
+    fn wait_for_buffer_space(&mut self, now: SimTime, bytes: u64) -> Result<SimTime, KvError> {
         let mut t = now;
         self.drain_buffer(t);
         while self.buffer_used + bytes > self.config.write_buffer_bytes {
@@ -807,7 +809,7 @@ impl KvSsd {
                 }
                 None => {
                     // Everything unprogrammed: force the open page out.
-                    match self.program_open_page(t, StreamKind::Data) {
+                    match self.program_open_page(t, StreamKind::Data)? {
                         Some(done) => {
                             // Its entries are now in the heap; loop.
                             let _ = done;
@@ -817,7 +819,7 @@ impl KvSsd {
                 }
             }
         }
-        t
+        Ok(t)
     }
 
     fn drain_buffer(&mut self, now: SimTime) {
@@ -846,23 +848,29 @@ impl KvSsd {
         alloc: u32,
         raw: u32,
         dedicated: bool,
-    ) -> Option<(SegLoc, Option<SimTime>)> {
+    ) -> Result<Option<(SegLoc, Option<SimTime>)>, KvError> {
         for attempt in 0..16 {
-            let (loc, done) = self.append_segment(now, key, seg_no, alloc, raw, dedicated)?;
+            let Some((loc, done)) = self.append_segment(now, key, seg_no, alloc, raw, dedicated)?
+            else {
+                return Ok(None);
+            };
             if self.state[loc.block.0 as usize] != BState::Dead {
-                return Some((loc, done));
+                return Ok(Some((loc, done)));
             }
             // The copy on the dead block is garbage now; it was counted
             // once by account_append, so uncount it once and try again.
             self.dec_valid(loc.block, alloc as u64);
             let _ = attempt;
         }
-        panic!("16 consecutive program failures placing one segment — fault rate too high to make progress");
+        Err(KvError::Internal {
+            what: "16 consecutive program failures placing one segment — \
+                   fault rate too high to make progress",
+        })
     }
 
     /// Appends one segment to a stream; returns its location and, when a
     /// page was programmed as a side effect, that program's completion.
-    /// `None` means the device is physically out of space.
+    /// `Ok(None)` means the device is physically out of space.
     fn append_segment(
         &mut self,
         now: SimTime,
@@ -871,7 +879,7 @@ impl KvSsd {
         alloc: u32,
         raw: u32,
         dedicated: bool,
-    ) -> Option<(SegLoc, Option<SimTime>)> {
+    ) -> Result<Option<(SegLoc, Option<SimTime>)>, KvError> {
         let kind = if self.in_gc {
             StreamKind::Gc
         } else {
@@ -883,7 +891,10 @@ impl KvSsd {
             let ppb = self.flash.geometry().pages_per_block;
             let mut block;
             loop {
-                block = self.pick_block(now, kind)?;
+                let Some(b) = self.pick_block(now, kind)? else {
+                    return Ok(None);
+                };
+                block = b;
                 // The stream's open page owns its block's next program
                 // slot; flush it before programming anything else there.
                 if self
@@ -892,7 +903,7 @@ impl KvSsd {
                     .as_ref()
                     .is_some_and(|p| p.block == block)
                 {
-                    self.program_open_page(now, kind);
+                    self.program_open_page(now, kind)?;
                 }
                 // The flush may have consumed the block's last page.
                 if self.flash.written_pages(block) < ppb {
@@ -921,15 +932,17 @@ impl KvSsd {
                     PageAddr { block, page },
                     self.flash.geometry().page_bytes as u64,
                 )
-                .expect("program on open block");
+                .map_err(|_| KvError::Internal {
+                    what: "program rejected on a freshly picked open block",
+                })?;
             let done = r.done;
             self.close_if_full(block, kind);
             self.buffer_leaves.push(Reverse((done, alloc as u64, key)));
             self.buffer_resident.insert(key, done);
             if r.failed {
-                self.handle_program_failure(done, block, page);
+                self.handle_program_failure(done, block, page)?;
             }
-            return Some((loc, Some(done)));
+            return Ok(Some((loc, Some(done))));
         }
         // Shared open page: byte-aligned log append.
         let payload = self.config.page_payload_bytes;
@@ -953,8 +966,10 @@ impl KvSsd {
                 })
                 .unwrap_or(false);
         if needs_new_page || timed_out {
-            programmed = self.program_open_page(now, kind);
-            let block = self.pick_block(now, kind)?;
+            programmed = self.program_open_page(now, kind)?;
+            let Some(block) = self.pick_block(now, kind)? else {
+                return Ok(None);
+            };
             let page = self.flash.written_pages(block);
             self.stream_mut(kind).open = Some(OpenPage {
                 block,
@@ -966,7 +981,13 @@ impl KvSsd {
         }
         let payload_limit = self.config.page_payload_bytes;
         let alloc_unit = self.config.alloc_unit;
-        let open = self.stream_mut(kind).open.as_mut().expect("opened above");
+        let open = self
+            .stream_mut(kind)
+            .open
+            .as_mut()
+            .ok_or(KvError::Internal {
+                what: "stream open page installed before the append",
+            })?;
         let loc = SegLoc {
             block: open.block,
             page: open.page,
@@ -981,10 +1002,10 @@ impl KvSsd {
         self.account_append(block, key, seg_no, alloc);
         self.buffer_used += alloc as u64;
         if full {
-            let done = self.program_open_page(now, kind);
+            let done = self.program_open_page(now, kind)?;
             programmed = programmed.max(done);
         }
-        Some((loc, programmed))
+        Ok(Some((loc, programmed)))
     }
 
     fn account_append(&mut self, block: BlockId, key: KeyId, seg_no: u32, alloc: u32) {
@@ -998,11 +1019,17 @@ impl KvSsd {
     }
 
     /// Programs the current open page of a stream, if any.
-    fn program_open_page(&mut self, now: SimTime, kind: StreamKind) -> Option<SimTime> {
-        let open = self.stream_mut(kind).open.take()?;
+    fn program_open_page(
+        &mut self,
+        now: SimTime,
+        kind: StreamKind,
+    ) -> Result<Option<SimTime>, KvError> {
+        let Some(open) = self.stream_mut(kind).open.take() else {
+            return Ok(None);
+        };
         if open.entries.is_empty() {
             // Nothing written: hand the page back by reopening lazily.
-            return None;
+            return Ok(None);
         }
         self.account_waste(
             open.block,
@@ -1018,7 +1045,9 @@ impl KvSsd {
                 },
                 self.flash.geometry().page_bytes as u64,
             )
-            .expect("program on open page");
+            .map_err(|_| KvError::Internal {
+                what: "program rejected on a stream's own open page",
+            })?;
         let done = r.done;
         for seg in &open.entries {
             self.buffer_leaves
@@ -1027,14 +1056,19 @@ impl KvSsd {
         }
         self.close_if_full(open.block, kind);
         if r.failed {
-            self.handle_program_failure(done, open.block, open.page);
+            self.handle_program_failure(done, open.block, open.page)?;
         }
-        Some(done)
+        Ok(Some(done))
     }
 
     /// After a failed program, retire the block and re-place every
     /// segment that still maps to the failed page.
-    fn handle_program_failure(&mut self, now: SimTime, block: BlockId, page: u32) {
+    fn handle_program_failure(
+        &mut self,
+        now: SimTime,
+        block: BlockId,
+        page: u32,
+    ) -> Result<(), KvError> {
         self.state[block.0 as usize] = BState::Dead;
         for stream in [StreamKind::Data, StreamKind::Gc] {
             let s = self.stream_mut(stream);
@@ -1073,14 +1107,17 @@ impl KvSsd {
             self.dec_valid(block, seg.alloc as u64);
             self.stats.replaced_after_failure += 1;
             let (new_loc, _) = self
-                .append_segment(now, key, seg_no, seg.alloc, seg.raw, false)
-                .expect("no space to re-place data after a program failure");
+                .append_segment(now, key, seg_no, seg.alloc, seg.raw, false)?
+                .ok_or(KvError::Internal {
+                    what: "no space to re-place data after a program failure",
+                })?;
             if let Some(entry) = self.index.get_mut(key.0, key.1) {
                 entry.segs[seg_no as usize] = new_loc;
             }
         }
         self.failure_seen = seen;
         self.failure_scratch = victims;
+        Ok(())
     }
 
     fn close_if_full(&mut self, block: BlockId, kind: StreamKind) {
@@ -1117,8 +1154,9 @@ impl KvSsd {
 
     /// Picks the next block to program for a stream (round-robin across
     /// its active set, growing the set up to a die-spread target).
-    /// `None` when the device is physically out of programmable blocks.
-    fn pick_block(&mut self, now: SimTime, kind: StreamKind) -> Option<BlockId> {
+    /// `Ok(None)` when the device is physically out of programmable
+    /// blocks.
+    fn pick_block(&mut self, now: SimTime, kind: StreamKind) -> Result<Option<BlockId>, KvError> {
         let g = *self.flash.geometry();
         let die_planes = (g.dies() * g.planes_per_die) as usize;
         // One open block per die-plane where the block budget allows:
@@ -1137,44 +1175,47 @@ impl KvSsd {
             s.active.len() < target
         };
         if need_alloc {
-            if let Some(b) = self.alloc_block(now) {
+            if let Some(b) = self.alloc_block(now)? {
                 self.state[b.0 as usize] = BState::Open;
                 self.stream_mut(kind).active.push_back(b);
             }
         }
         let s = self.stream_mut(kind);
-        let b = s.active.pop_front()?;
+        let Some(b) = s.active.pop_front() else {
+            return Ok(None);
+        };
         s.active.push_back(b);
-        Some(b)
+        Ok(Some(b))
     }
 
     /// Pops a free block, running foreground GC first when the hard
-    /// watermark is hit. Returns `None` only when truly exhausted (the
-    /// caller will panic — capacity checks should prevent this).
-    fn alloc_block(&mut self, now: SimTime) -> Option<BlockId> {
+    /// watermark is hit. Returns `Ok(None)` only when truly exhausted
+    /// (the caller fails the store as device-full — capacity checks
+    /// should prevent this).
+    fn alloc_block(&mut self, now: SimTime) -> Result<Option<BlockId>, KvError> {
         if !self.in_gc
             && (self.free_count <= self.config.gc_hard_free_blocks
                 || (self.free_count as u64 <= self.config.gc_hard_free_blocks as u64 + 1
                     && self.free_pages() <= self.hard_watermark_pages()))
         {
-            self.foreground_gc(now);
+            self.foreground_gc(now)?;
         }
         // The last few free blocks are the collector's working space:
         // handing them to a data stream would wedge GC (nothing to copy
         // into) the moment the device fills.
         let reserve = (self.config.gc_hard_free_blocks / 2).max(2);
         if !self.in_gc && self.free_blocks() <= reserve {
-            return None;
+            return Ok(None);
         }
         for i in 0..self.free.len() {
             let q = (self.alloc_cursor + i) % self.free.len();
             if let Some(b) = self.free[q].pop_front() {
                 self.free_count -= 1;
                 self.alloc_cursor = (q + 1) % self.free.len();
-                return Some(b);
+                return Ok(Some(b));
             }
         }
-        None
+        Ok(None)
     }
 
     /// Physically programmable pages remaining: free blocks plus the
@@ -1199,9 +1240,21 @@ impl KvSsd {
     /// consume the remaining free blocks or fail as device-full).
     /// Returns when the reclamation finished; the caller stalls until
     /// then.
-    fn foreground_gc(&mut self, now: SimTime) -> SimTime {
+    fn foreground_gc(&mut self, now: SimTime) -> Result<SimTime, KvError> {
         self.stats.foreground_gc_events += 1;
         self.in_gc = true;
+        // The GC flag must come back down even if the collector trips an
+        // internal-invariant error on the way out.
+        let reclaimed = self.foreground_gc_inner(now);
+        self.in_gc = false;
+        let t = reclaimed?;
+        if t > now {
+            self.stats.stall_time += t.since(now);
+        }
+        Ok(t)
+    }
+
+    fn foreground_gc_inner(&mut self, now: SimTime) -> Result<SimTime, KvError> {
         let mut t = now;
         let mut futile = 0u32;
         // Hysteresis: reclaim past the trigger so back-to-back writes do
@@ -1209,7 +1262,7 @@ impl KvSsd {
         let target = self.hard_watermark_pages() + 2 * self.flash.geometry().pages_per_block as u64;
         while self.free_pages() <= target && futile < 2 {
             // Zero-copy wins first: erase fully dead closed blocks.
-            t = self.erase_dead_blocks(t);
+            t = self.erase_dead_blocks(t)?;
             if self.free_pages() > target {
                 break;
             }
@@ -1224,20 +1277,24 @@ impl KvSsd {
                 break;
             }
             let before = self.free_pages();
-            let v = self.gc_victim.expect("victim selected");
+            let v = self.gc_victim.ok_or(KvError::Internal {
+                what: "GC victim selected just above",
+            })?;
             // Drain the victim completely, then erase it.
             let mut guard = 0u32;
             while self.valid_bytes[v.0 as usize] > 0 {
-                if !self.gc_copy_one(t) {
+                if !self.gc_copy_one(t)? {
                     break;
                 }
                 guard += 1;
                 if guard > 1_000_000 {
-                    panic!("GC failed to drain block b{}", v.0);
+                    return Err(KvError::Internal {
+                        what: "GC failed to drain its victim block",
+                    });
                 }
             }
             if self.valid_bytes[v.0 as usize] == 0 {
-                t = self.erase_victim(t);
+                t = self.erase_victim(t)?;
             } else {
                 // Copy path exhausted (no space to move data into):
                 // abandon this victim so cheaper wins can be retried.
@@ -1258,11 +1315,7 @@ impl KvSsd {
                 futile += 1;
             }
         }
-        self.in_gc = false;
-        if t > now {
-            self.stats.stall_time += t.since(now);
-        }
-        t
+        Ok(t)
     }
 
     /// Erases every closed block that holds no valid data (zero-copy
@@ -1271,14 +1324,14 @@ impl KvSsd {
     /// Candidates come from the victim queue's incremental zero-valid
     /// list rather than a full block scan; draining them in ascending
     /// block-id order reproduces the scan's erase order exactly.
-    fn erase_dead_blocks(&mut self, now: SimTime) -> SimTime {
+    fn erase_dead_blocks(&mut self, now: SimTime) -> Result<SimTime, KvError> {
         let sticky = self.gc_victim.take();
         let mut t = now;
         if self.legacy_gc_scan {
             for b in 0..self.state.len() {
                 if self.state[b] == BState::Closed && self.valid_bytes[b] == 0 {
                     self.gc_victim = Some(BlockId(b as u32));
-                    t = self.erase_victim(t);
+                    t = self.erase_victim(t)?;
                 }
             }
         } else {
@@ -1304,7 +1357,7 @@ impl KvSsd {
             }
             for &id in &candidates {
                 self.gc_victim = Some(BlockId(id));
-                t = self.erase_victim(t);
+                t = self.erase_victim(t)?;
             }
             self.victims.recycle_zero_buf(candidates);
         }
@@ -1312,16 +1365,18 @@ impl KvSsd {
         // erase it — a stale victim handle would later erase whatever
         // block reuses that id.
         self.gc_victim = sticky.filter(|v| self.state[v.0 as usize] == BState::Closed);
-        t
+        Ok(t)
     }
 
     /// Copies one live segment off the current victim. Returns false when
     /// there is no work.
-    fn gc_copy_one(&mut self, now: SimTime) -> bool {
+    fn gc_copy_one(&mut self, now: SimTime) -> Result<bool, KvError> {
         if self.gc_victim.is_none() && !self.select_victim() {
-            return false;
+            return Ok(false);
         }
-        let v = self.gc_victim.expect("victim selected");
+        let v = self.gc_victim.ok_or(KvError::Internal {
+            what: "GC victim selected just above",
+        })?;
         // Find the next still-live ref in the victim, keeping the segment
         // location the liveness probe already fetched.
         let live = loop {
@@ -1340,18 +1395,16 @@ impl KvSsd {
         };
         let Some((r, seg)) = live else {
             if self.valid_bytes[v.0 as usize] == 0 {
-                self.erase_victim(now);
+                self.erase_victim(now)?;
             } else {
                 // Refs exhausted but bytes remain: accounting bug.
-                panic!(
-                    "victim b{} has {} valid bytes but no refs",
-                    v.0, self.valid_bytes[v.0 as usize]
-                );
+                return Err(KvError::Internal {
+                    what: "GC victim holds valid bytes but no live refs",
+                });
             }
-            return false;
+            return Ok(false);
         };
-        let _ = self
-            .flash
+        self.flash
             .read_page(
                 now,
                 PageAddr {
@@ -1360,15 +1413,17 @@ impl KvSsd {
                 },
                 seg.raw as u64,
             )
-            .expect("GC read of live segment");
+            .map_err(|_| KvError::Internal {
+                what: "GC read of a live segment rejected",
+            })?;
         let was_gc = self.in_gc;
         self.in_gc = true; // route the re-append to the GC stream
         let appended = self.append_segment_retry(now, r.key, r.seg_no, seg.alloc, seg.raw, false);
         self.in_gc = was_gc;
-        let Some((new_loc, _)) = appended else {
+        let Some((new_loc, _)) = appended? else {
             // Nowhere to move the data: put the ref back and give up.
             self.refs[v.0 as usize].push(r);
-            return false;
+            return Ok(false);
         };
         self.dec_valid(v, seg.alloc as u64);
         let install = self
@@ -1391,34 +1446,39 @@ impl KvSsd {
             self.dec_valid(new_loc.block, new_loc.alloc as u64);
         }
         self.stats.gc_copied_segments += 1;
-        true
+        Ok(true)
     }
 
-    fn erase_victim(&mut self, now: SimTime) -> SimTime {
+    fn erase_victim(&mut self, now: SimTime) -> Result<SimTime, KvError> {
         let Some(v) = self.gc_victim.take() else {
-            return now;
+            return Ok(now);
         };
         // Defense in depth: only closed blocks are erasable; a stale
         // victim handle must never take down a live block.
         if self.state[v.0 as usize] != BState::Closed {
-            return now;
+            return Ok(now);
         }
         debug_assert_eq!(self.valid_bytes[v.0 as usize], 0);
         self.refs[v.0 as usize].clear();
         self.waste_bytes -= self.waste_per_block[v.0 as usize];
         self.waste_per_block[v.0 as usize] = 0;
-        let r = self.flash.erase_block(now, v).expect("erase closed victim");
+        let r = self
+            .flash
+            .erase_block(now, v)
+            .map_err(|_| KvError::Internal {
+                what: "erase rejected on a closed victim block",
+            })?;
         self.stats.gc_erases += 1;
         if r.failed {
             self.state[v.0 as usize] = BState::Dead;
-            return r.done;
+            return Ok(r.done);
         }
         self.state[v.0 as usize] = BState::Free;
         let g = self.flash.geometry();
         let dp = (g.die_of(v) * g.planes_per_die + g.plane_of(v)) as usize;
         self.free[dp].push_back(v);
         self.free_count += 1;
-        r.done
+        Ok(r.done)
     }
 
     /// Greedy victim selection among closed blocks: fewest valid bytes
@@ -1490,7 +1550,12 @@ impl KvSsd {
 
     /// Reads a blob's segments: the head first (it holds the offset
     /// table), continuations in parallel after it.
-    fn read_segments(&mut self, t: SimTime, key: KeyId, segs: &[SegLoc]) -> SimTime {
+    fn read_segments(
+        &mut self,
+        t: SimTime,
+        key: KeyId,
+        segs: &[SegLoc],
+    ) -> Result<SimTime, KvError> {
         self.drain_buffer(t);
         // A blob is served from the volatile buffer when it is tracked as
         // resident, or — mechanically — when any of its segments has not
@@ -1500,23 +1565,23 @@ impl KvSsd {
             .any(|s| self.flash.written_pages(s.block) <= s.page);
         if unprogrammed || self.buffer_resident.contains_key(&key) {
             self.stats.write_buffer_hits += 1;
-            return t + SimDuration::from_micros(1);
+            return Ok(t + SimDuration::from_micros(1));
         }
         let head = segs[0];
-        let t_head = self.read_cached(t, head);
+        let t_head = self.read_cached(t, head)?;
         let mut finish = t_head;
         for seg in &segs[1..] {
-            finish = finish.max(self.read_cached(t_head, *seg));
+            finish = finish.max(self.read_cached(t_head, *seg)?);
         }
-        finish
+        Ok(finish)
     }
 
     /// Reads one segment through the controller's small page cache.
-    fn read_cached(&mut self, t: SimTime, seg: SegLoc) -> SimTime {
+    fn read_cached(&mut self, t: SimTime, seg: SegLoc) -> Result<SimTime, KvError> {
         const READ_CACHE_PAGES: usize = 8;
         let page = (seg.block, seg.page);
         if self.read_cache.contains(&page) {
-            return t + SimDuration::from_micros(2);
+            return Ok(t + SimDuration::from_micros(2));
         }
         let done = self
             .flash
@@ -1528,12 +1593,14 @@ impl KvSsd {
                 },
                 seg.raw as u64,
             )
-            .expect("read segment");
+            .map_err(|_| KvError::Internal {
+                what: "read rejected on an indexed live segment",
+            })?;
         self.read_cache.push_back(page);
         if self.read_cache.len() > READ_CACHE_PAGES {
             self.read_cache.pop_front();
         }
-        done
+        Ok(done)
     }
 }
 
@@ -1690,7 +1757,7 @@ mod tests {
         let t1 = d
             .store(t0, b"large-one", Payload::synthetic(100 * 1024, 0))
             .unwrap();
-        let t1 = d.flush(t1) + SimDuration::from_millis(10);
+        let t1 = d.flush(t1).unwrap() + SimDuration::from_millis(10);
         d.drain_buffer(t1);
         self_clear_residency(&mut d);
         let small = d.retrieve(t1, b"small-one").unwrap();
@@ -1837,8 +1904,8 @@ mod tests {
         let t = d
             .store(SimTime::ZERO, b"kkkkk", Payload::synthetic(100, 0))
             .unwrap();
-        let f1 = d.flush(t);
-        let f2 = d.flush(f1);
+        let f1 = d.flush(t).unwrap();
+        let f2 = d.flush(f1).unwrap();
         assert!(f1 > t);
         assert_eq!(f2, f1);
     }
@@ -1860,7 +1927,7 @@ mod tests {
         for i in 0..n {
             t = d.store(t, &key(i), Payload::synthetic(2048, i)).unwrap();
         }
-        t = d.flush(t);
+        t = d.flush(t).unwrap();
         assert!(d.flash().stats().program_failures > 0);
         for i in 0..n {
             let got = d.retrieve(t, &key(i)).unwrap();
@@ -1904,7 +1971,7 @@ mod tests {
                 }
             }
         }
-        t = d.flush(t);
+        t = d.flush(t).unwrap();
         let s = d.stats();
         assert!(s.gc_erases > 0, "workload must exercise GC");
         (
@@ -2030,7 +2097,7 @@ mod power_cycle_tests {
                 .store(t, key.as_bytes(), Payload::synthetic(777, i))
                 .unwrap();
         }
-        let up = d.power_cycle(t);
+        let up = d.power_cycle(t).unwrap();
         assert!(up > t, "mount takes time");
         for i in 0..300u64 {
             let key = format!("pwr.{i:08}");
@@ -2054,7 +2121,7 @@ mod power_cycle_tests {
             let t2 = d2
                 .store(SimTime::ZERO, b"only-key", Payload::synthetic(8, 0))
                 .unwrap();
-            d2.power_cycle(t2).since(t2)
+            d2.power_cycle(t2).unwrap().since(t2)
         };
         for i in 0..2_000u64 {
             let key = format!("mnt.{i:08}");
@@ -2062,7 +2129,7 @@ mod power_cycle_tests {
                 .store(t, key.as_bytes(), Payload::synthetic(64, i))
                 .unwrap();
         }
-        let big_mount = d.power_cycle(t).since(t);
+        let big_mount = d.power_cycle(t).unwrap().since(t);
         assert!(
             big_mount > t_small_mount,
             "overflowed index must mount slower ({big_mount} vs {t_small_mount})"

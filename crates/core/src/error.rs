@@ -65,6 +65,15 @@ pub enum KvError {
         /// re-converge the stragglers from a surviving copy.
         write: bool,
     },
+    /// An internal invariant did not hold. Every construction site of
+    /// this variant is a path the model believes unreachable — it exists
+    /// so hot-path code can surface a broken invariant as a typed error
+    /// (and the panic-surface ratchet can shrink) instead of aborting an
+    /// experiment mid-figure with `unwrap`/`panic!`.
+    Internal {
+        /// A static description of the violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -100,6 +109,9 @@ impl fmt::Display for KvError {
                 }
                 Ok(())
             }
+            KvError::Internal { what } => {
+                write!(f, "internal invariant violated: {what}")
+            }
         }
     }
 }
@@ -133,6 +145,15 @@ mod tests {
             write: false,
         };
         assert!(!e.to_string().contains("partially replicated"));
+    }
+
+    #[test]
+    fn internal_names_the_invariant() {
+        let e = KvError::Internal {
+            what: "victim selected whenever reclaimable space exists",
+        };
+        assert!(e.to_string().contains("internal invariant"));
+        assert!(e.to_string().contains("victim selected"));
     }
 
     #[test]

@@ -213,10 +213,13 @@ impl Channel {
         }
         let mut admitted = now;
         if self.inflight.len() >= self.config.queue_depth {
-            let Reverse(earliest) = self.inflight.pop().expect("full queue is nonempty");
-            self.stats.queue_stalls += 1;
-            self.stats.stall_time += earliest.since(admitted);
-            admitted = earliest;
+            // The guard makes the pop infallible; the binding keeps the
+            // stall accounting off the panic surface.
+            if let Some(Reverse(earliest)) = self.inflight.pop() {
+                self.stats.queue_stalls += 1;
+                self.stats.stall_time += earliest.since(admitted);
+                admitted = earliest;
+            }
         }
 
         // Serialization: messages queue FIFO on the wire.

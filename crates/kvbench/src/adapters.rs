@@ -69,7 +69,7 @@ impl KvStore for KvSsdStore {
     }
 
     fn flush(&mut self, now: SimTime) -> SimTime {
-        self.device.flush(now)
+        self.device.flush(now).expect("flush programs open pages")
     }
 
     fn host_cpu_busy(&self) -> SimDuration {
@@ -142,7 +142,7 @@ impl KvStore for ClusterStore {
     }
 
     fn flush(&mut self, now: SimTime) -> SimTime {
-        self.cluster.flush(now)
+        self.cluster.flush(now).expect("flush programs open pages")
     }
 
     fn host_cpu_busy(&self) -> SimDuration {

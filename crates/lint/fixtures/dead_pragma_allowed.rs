@@ -1,0 +1,7 @@
+//! A deliberately prophylactic grant, kept with an explicit excuse:
+//! allow(dead-pragma) covering the stale pragma's line keeps it.
+// kvlint: allow(dead-pragma) — fixture: the grant below is prophylactic for generated code
+// kvlint: allow(no-wall-clock) — fixture: a generated include may introduce host timing
+pub fn f() -> u64 {
+    7
+}

@@ -1,0 +1,5 @@
+//! A stale grant: nothing on or below the pragma line uses a clock.
+// kvlint: allow(no-wall-clock) — fixture: this grant went stale when the timer moved out
+pub fn f() -> u64 {
+    7
+}

@@ -1,0 +1,12 @@
+//! The same sites, each excused with a justified pragma.
+pub fn first(v: &[u8], o: Option<u8>) -> u8 {
+    // kvlint: allow(panic-surface) — fixture: the caller checked is_some() one line up
+    let a = o.unwrap();
+    // kvlint: allow(panic-surface) — fixture: the bounds check is two lines above this
+    let b = v[0];
+    if a == 0 {
+        // kvlint: allow(panic-surface) — fixture: unreachable by the fn's precondition
+        panic!("zero is reserved");
+    }
+    a.wrapping_add(b)
+}

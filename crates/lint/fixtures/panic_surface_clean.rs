@@ -1,0 +1,7 @@
+//! The typed-error shape the rule pushes toward: no panic-capable
+//! site survives in the hot path.
+pub fn first(v: &[u8], o: Option<u8>) -> Option<u8> {
+    let a = o?;
+    let b = v.first().copied()?;
+    Some(a.wrapping_add(b))
+}

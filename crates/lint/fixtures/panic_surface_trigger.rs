@@ -1,0 +1,10 @@
+//! Panic-capable sites in a hot-path pseudo-file: unwrap, slice
+//! indexing, and panic! each count one site on their line.
+pub fn first(v: &[u8], o: Option<u8>) -> u8 {
+    let a = o.unwrap();
+    let b = v[0];
+    if a == 0 {
+        panic!("zero is reserved");
+    }
+    a.wrapping_add(b)
+}

@@ -1,0 +1,9 @@
+//! The same duplicate domain, excused at both sites.
+pub fn seed_a(x: u64) -> u64 {
+    // kvlint: allow(rng-domain-separation) — fixture: the streams are deliberately paired
+    mix64(x ^ mix64(0x5EED))
+}
+pub fn seed_b(x: u64) -> u64 {
+    // kvlint: allow(rng-domain-separation) — fixture: the streams are deliberately paired
+    mix64(0x5EED ^ x)
+}

@@ -1,0 +1,7 @@
+//! Distinct domain constants per stream: independent by construction.
+pub fn seed_a(x: u64) -> u64 {
+    mix64(x ^ mix64(0x5EED_0001))
+}
+pub fn seed_b(x: u64) -> u64 {
+    mix64(0x5EED_0002 ^ x)
+}

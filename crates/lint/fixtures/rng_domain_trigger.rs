@@ -1,0 +1,7 @@
+//! Two streams seeded from the same mix64 domain constant: correlated.
+pub fn seed_a(x: u64) -> u64 {
+    mix64(x ^ mix64(0x5EED))
+}
+pub fn seed_b(x: u64) -> u64 {
+    mix64(0x5EED ^ x)
+}

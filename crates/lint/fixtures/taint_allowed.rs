@@ -1,0 +1,6 @@
+//! The same laundering wrapper, excused with a justified pragma.
+pub fn checkpoint() -> u64 {
+    // kvlint: allow(transitive-taint) — fixture: times the host harness, never a figure
+    let _sw = Stopwatch::start();
+    0
+}

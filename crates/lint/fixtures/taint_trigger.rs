@@ -1,0 +1,5 @@
+//! A library wrapper laundering host time through the sanctioned module.
+pub fn checkpoint() -> u64 {
+    let _sw = Stopwatch::start();
+    0
+}

@@ -1,0 +1,6 @@
+//! The same unsafe block, excused with a justified pragma instead of a
+//! SAFETY comment (the comment is the better fix; the pragma works).
+pub fn read_first(v: &[u8]) -> u8 {
+    // kvlint: allow(unsafe-requires-safety) — fixture: contract documented at the call sites
+    unsafe { *v.as_ptr() }
+}

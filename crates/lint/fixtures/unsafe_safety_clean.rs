@@ -1,0 +1,10 @@
+//! Unsafe with the contract stated: a SAFETY comment adjacent to each
+//! unsafe block/impl satisfies the rule with no pragma.
+pub fn read_first(v: &[u8]) -> u8 {
+    // SAFETY: the slice's data pointer is valid for reads of its
+    // length, and callers guarantee `v` is non-empty.
+    unsafe { *v.as_ptr() }
+}
+// SAFETY: Wrapper's pointer is never dereferenced off-thread.
+unsafe impl Send for Wrapper {}
+pub struct Wrapper(*const u8);

@@ -1,0 +1,6 @@
+//! Unsafe without the safety contract written down.
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+unsafe impl Send for Wrapper {}
+pub struct Wrapper(*const u8);

@@ -1,0 +1,447 @@
+//! The workspace symbol graph: approximate cross-crate call resolution
+//! and taint propagation from determinism sinks.
+//!
+//! Resolution is deliberately conservative in both directions:
+//!
+//! * **Qualified calls** (`Stopwatch::start`, `kvssd_bench::env_config`,
+//!   `walltime::Stopwatch::start`) resolve by matching the qualifier
+//!   against the definition's `impl` owner, its file stem (module
+//!   name), or its crate directory (`kvssd_bench` ↔ `crates/bench`).
+//! * **Bare and method calls** (`checkpoint()`, `sw.elapsed_secs()`)
+//!   resolve to a same-file definition when one exists, else to the
+//!   unique workspace definition of that name — a name defined in
+//!   several places stays unresolved rather than wiring spurious edges.
+//! * **`use` renames** are expanded before either step, so
+//!   `use kvssd_bench::env_config as cfg; cfg()` still reaches the sink.
+//!
+//! Taint then walks the reverse call graph from every *source* function
+//! (one whose body touches a wall-clock / env / entropy token, or any
+//! function living in a sanctioned sink module — wrappers in the
+//! sanctioned file are exactly the laundering vector the rule closes).
+
+use std::collections::BTreeMap;
+
+use crate::parser::{Call, FileSyms};
+
+/// The determinism sink families the taint rule tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SinkKind {
+    /// `std::time::{Instant, SystemTime}` (sanctioned window:
+    /// `crates/bench/src/walltime.rs`).
+    WallClock,
+    /// `std::env::var`-family reads (sanctioned window:
+    /// `kvssd_bench::env_config`).
+    EnvRead,
+    /// OS-entropy RNG constructors (no sanctioned window).
+    Entropy,
+}
+
+impl SinkKind {
+    /// Human name used in diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            SinkKind::WallClock => "wall-clock",
+            SinkKind::EnvRead => "environment-read",
+            SinkKind::Entropy => "OS-entropy",
+        }
+    }
+}
+
+/// One function definition in the workspace graph.
+#[derive(Debug, Clone)]
+pub struct DefInfo {
+    /// Index into the file list the graph was built from.
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// `impl`/`trait` owner type, if any.
+    pub owner: Option<String>,
+    /// 1-based definition line.
+    pub line: u32,
+}
+
+impl DefInfo {
+    /// `Owner::name` or `name`.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A function flagged by taint propagation.
+#[derive(Debug, Clone)]
+pub struct TaintFinding {
+    /// File index of the flagged function.
+    pub file: usize,
+    /// Line of the call that carries the taint into the function.
+    pub line: u32,
+    /// Which sink family it reaches.
+    pub kind: SinkKind,
+    /// Qualified names from the flagged function down to the source.
+    pub chain: Vec<String>,
+    /// Workspace-relative path of the file defining the source function.
+    pub source_path: String,
+}
+
+/// The resolved call graph over one set of files.
+#[derive(Debug)]
+pub struct SymbolGraph {
+    defs: Vec<DefInfo>,
+    /// def -> (callee def, call line)
+    edges: Vec<Vec<(usize, u32)>>,
+    files: Vec<String>,
+}
+
+/// `kvssd_bench` ↔ `crates/bench`, `kvssd_lsm_store` ↔
+/// `crates/lsm-store`: does a path segment name the crate a file
+/// belongs to?
+fn segment_names_crate(seg: &str, rel: &str) -> bool {
+    let Some(rest) = rel.strip_prefix("crates/") else {
+        return false;
+    };
+    let Some((dir, _)) = rest.split_once('/') else {
+        return false;
+    };
+    let underscored = dir.replace('-', "_");
+    seg == underscored || seg.strip_prefix("kvssd_") == Some(underscored.as_str())
+}
+
+/// The file stem (`walltime` for `crates/bench/src/walltime.rs`).
+fn file_stem(rel: &str) -> &str {
+    rel.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or(rel)
+}
+
+impl SymbolGraph {
+    /// Builds the graph over `(rel_path, symbols)` pairs, resolving
+    /// every call site.
+    pub fn build(files: &[(String, FileSyms)]) -> SymbolGraph {
+        let mut defs = Vec::new();
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (fi, (_rel, syms)) in files.iter().enumerate() {
+            for f in &syms.fns {
+                by_name.entry(f.name.as_str()).or_default().push(defs.len());
+                defs.push(DefInfo {
+                    file: fi,
+                    name: f.name.clone(),
+                    owner: f.owner.clone(),
+                    line: f.line,
+                });
+            }
+        }
+        let mut edges = vec![Vec::new(); defs.len()];
+        let mut def_idx = 0usize;
+        for (fi, (rel, syms)) in files.iter().enumerate() {
+            for f in &syms.fns {
+                for call in &f.calls {
+                    for callee in resolve(&defs, &by_name, files, fi, rel, syms, call) {
+                        edges[def_idx].push((callee, call.line));
+                    }
+                }
+                def_idx += 1;
+            }
+        }
+        SymbolGraph {
+            defs,
+            edges,
+            files: files.iter().map(|(r, _)| r.clone()).collect(),
+        }
+    }
+
+    /// All definitions, in file order.
+    pub fn defs(&self) -> &[DefInfo] {
+        &self.defs
+    }
+
+    /// Resolved callees of definition `def`, as `(callee def index,
+    /// call line)` pairs — exposed for resolution unit tests.
+    pub fn callees(&self, def: usize) -> &[(usize, u32)] {
+        &self.edges[def]
+    }
+
+    /// Index of the definition named `name` (qualified as
+    /// `Owner::name` when an owner is given) — test helper.
+    pub fn find_def(&self, owner: Option<&str>, name: &str) -> Option<usize> {
+        self.defs
+            .iter()
+            .position(|d| d.name == name && d.owner.as_deref() == owner)
+    }
+
+    /// Propagates taint from `seeds` (definition index, sink kind) up
+    /// the reverse call graph. Returns one finding per tainted,
+    /// non-seed definition whose file index fails `allowed(file, kind)`.
+    pub fn taint(
+        &self,
+        seeds: &[(usize, SinkKind)],
+        allowed: impl Fn(usize, SinkKind) -> bool,
+    ) -> Vec<TaintFinding> {
+        // Reverse adjacency: callee -> (caller, call line).
+        let mut rev: Vec<Vec<(usize, u32)>> = vec![Vec::new(); self.defs.len()];
+        for (caller, outs) in self.edges.iter().enumerate() {
+            for &(callee, line) in outs {
+                rev[callee].push((caller, line));
+            }
+        }
+        let mut findings = Vec::new();
+        for kind in [SinkKind::WallClock, SinkKind::EnvRead, SinkKind::Entropy] {
+            // hop[d] = (next def toward the source, line of the call).
+            let mut hop: Vec<Option<(usize, u32)>> = vec![None; self.defs.len()];
+            let mut is_seed = vec![false; self.defs.len()];
+            let mut queue: Vec<usize> = Vec::new();
+            for &(d, k) in seeds {
+                if k == kind && !is_seed[d] {
+                    is_seed[d] = true;
+                    queue.push(d);
+                }
+            }
+            let mut qi = 0usize;
+            while qi < queue.len() {
+                let cur = queue[qi];
+                qi += 1;
+                for &(caller, line) in &rev[cur] {
+                    if !is_seed[caller] && hop[caller].is_none() {
+                        hop[caller] = Some((cur, line));
+                        queue.push(caller);
+                    }
+                }
+            }
+            for (d, h) in hop.iter().enumerate() {
+                let Some((_, line)) = h else { continue };
+                if allowed(self.defs[d].file, kind) {
+                    continue;
+                }
+                let mut chain = vec![self.defs[d].qualified()];
+                let mut cur = d;
+                let mut source = d;
+                while let Some((next, _)) = hop[cur] {
+                    chain.push(self.defs[next].qualified());
+                    source = next;
+                    cur = next;
+                }
+                findings.push(TaintFinding {
+                    file: self.defs[d].file,
+                    line: *line,
+                    kind,
+                    chain,
+                    source_path: self.files[self.defs[source].file].clone(),
+                });
+            }
+        }
+        findings.sort_by_key(|a| (a.file, a.line, a.kind));
+        findings
+    }
+}
+
+/// Resolves one call site to zero or more definition indices.
+fn resolve(
+    defs: &[DefInfo],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    files: &[(String, FileSyms)],
+    file_idx: usize,
+    rel: &str,
+    syms: &FileSyms,
+    call: &Call,
+) -> Vec<usize> {
+    // Expand a `use`-rename on the leading segment of non-method calls.
+    let path: Vec<String> = match (
+        call.method,
+        syms.uses.iter().find(|(a, _)| *a == call.path[0]),
+    ) {
+        (false, Some((_, full))) => full
+            .iter()
+            .chain(call.path.iter().skip(1))
+            .cloned()
+            .collect(),
+        _ => call.path.clone(),
+    };
+    resolve_expanded(defs, by_name, files, file_idx, rel, &path)
+}
+
+fn resolve_expanded(
+    defs: &[DefInfo],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    files: &[(String, FileSyms)],
+    file_idx: usize,
+    rel: &str,
+    path: &[String],
+) -> Vec<usize> {
+    let name = path.last().expect("calls have at least one segment");
+    let Some(candidates) = by_name.get(name.as_str()) else {
+        return Vec::new();
+    };
+    if path.len() >= 2 {
+        let qualifier = &path[path.len() - 2];
+        let crate_relative = matches!(qualifier.as_str(), "self" | "crate" | "super");
+        let matches: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&d| {
+                let def = &defs[d];
+                let def_rel = &files[def.file].0;
+                if crate_relative {
+                    return same_crate(rel, def_rel);
+                }
+                def.owner.as_deref() == Some(qualifier.as_str())
+                    || file_stem(def_rel) == qualifier.as_str()
+                    || segment_names_crate(qualifier, def_rel)
+            })
+            .collect();
+        return matches;
+    }
+    // Bare / method call: same-file definitions win; otherwise the name
+    // must be unique workspace-wide.
+    let local: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&d| defs[d].file == file_idx)
+        .collect();
+    if !local.is_empty() {
+        return local;
+    }
+    if candidates.len() == 1 {
+        return candidates.clone();
+    }
+    Vec::new()
+}
+
+/// True when two workspace-relative paths live in the same crate
+/// (`crates/<x>/...` prefix, or both outside `crates/`).
+fn same_crate(a: &str, b: &str) -> bool {
+    let key = |p: &str| -> String {
+        match p.strip_prefix("crates/") {
+            Some(rest) => rest.split('/').next().unwrap_or("").to_string(),
+            None => String::new(),
+        }
+    };
+    key(a) == key(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    fn build(files: &[(&str, &str)]) -> SymbolGraph {
+        let parsed: Vec<(String, FileSyms)> = files
+            .iter()
+            .map(|(rel, src)| (rel.to_string(), parse_items(&lex(src))))
+            .collect();
+        SymbolGraph::build(&parsed)
+    }
+
+    #[test]
+    fn use_rename_resolves_across_crates() {
+        let g = build(&[
+            (
+                "crates/bench/src/lib.rs",
+                "pub fn env_config(n: &str) -> Option<String> { None }",
+            ),
+            (
+                "crates/core/src/lib.rs",
+                "use kvssd_bench::env_config as cfg;\nfn f() { cfg(\"X\"); }",
+            ),
+        ]);
+        let caller = g.find_def(None, "f").unwrap();
+        let callee = g.find_def(None, "env_config").unwrap();
+        assert_eq!(g.callees(caller), &[(callee, 2)]);
+    }
+
+    #[test]
+    fn qualified_owner_and_crate_paths_resolve() {
+        let g = build(&[
+            (
+                "crates/bench/src/walltime.rs",
+                "impl Stopwatch { pub fn start() -> Self { Stopwatch(now()) } }",
+            ),
+            (
+                "crates/core/src/lib.rs",
+                "fn a() { Stopwatch::start(); }\nfn b() { kvssd_bench::walltime::Stopwatch::start(); }\nfn c() { walltime::Stopwatch::start(); }",
+            ),
+        ]);
+        let callee = g.find_def(Some("Stopwatch"), "start").unwrap();
+        for (f, line) in [("a", 1), ("b", 2), ("c", 3)] {
+            let d = g.find_def(None, f).unwrap();
+            assert_eq!(g.callees(d), &[(callee, line)], "caller {f}");
+        }
+    }
+
+    #[test]
+    fn method_calls_resolve_when_name_is_unique() {
+        let g = build(&[
+            (
+                "crates/bench/src/walltime.rs",
+                "impl Stopwatch { pub fn elapsed_secs(&self) -> f64 { 0.0 } }",
+            ),
+            (
+                "crates/core/src/lib.rs",
+                "fn f(sw: &Stopwatch) { sw.elapsed_secs(); }",
+            ),
+        ]);
+        let caller = g.find_def(None, "f").unwrap();
+        let callee = g.find_def(Some("Stopwatch"), "elapsed_secs").unwrap();
+        assert_eq!(g.callees(caller), &[(callee, 1)]);
+    }
+
+    #[test]
+    fn ambiguous_bare_names_stay_unresolved_but_same_file_wins() {
+        let g = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn tick() {}\nfn f() { tick(); }",
+            ),
+            ("crates/b/src/lib.rs", "pub fn tick() {}"),
+            ("crates/c/src/lib.rs", "fn g() { tick(); }"),
+        ]);
+        let f = g.find_def(None, "f").unwrap();
+        assert_eq!(g.callees(f).len(), 1, "same-file tick resolves");
+        let gg = g.find_def(None, "g").unwrap();
+        assert!(
+            g.callees(gg).is_empty(),
+            "two candidate crates, no qualifier — no edge"
+        );
+    }
+
+    #[test]
+    fn taint_propagates_through_wrappers_and_respects_allowlist() {
+        let g = build(&[
+            (
+                "crates/bench/src/walltime.rs",
+                "pub fn checkpoint() -> Instant { Instant::now() }",
+            ),
+            (
+                "crates/bench/src/experiments/cells.rs",
+                "fn timed() { checkpoint(); }",
+            ),
+            (
+                "crates/core/src/device.rs",
+                "fn sneak() { checkpoint(); }\nfn outer() { sneak(); }",
+            ),
+        ]);
+        let sink = g.find_def(None, "checkpoint").unwrap();
+        let findings = g.taint(&[(sink, SinkKind::WallClock)], |file, _| file <= 1);
+        let names: Vec<(&str, u32)> = findings
+            .iter()
+            .map(|f| (f.chain[0].as_str(), f.line))
+            .collect();
+        assert_eq!(names, [("sneak", 1), ("outer", 2)]);
+        assert_eq!(findings[0].chain, ["sneak", "checkpoint"]);
+        assert_eq!(findings[1].chain, ["outer", "sneak", "checkpoint"]);
+        assert_eq!(findings[0].source_path, "crates/bench/src/walltime.rs");
+    }
+
+    #[test]
+    fn taint_handles_recursion_without_looping() {
+        let g = build(&[(
+            "crates/core/src/lib.rs",
+            "fn a() { b(); }\nfn b() { a(); entropy(); }\nfn entropy() {}",
+        )]);
+        let sink = g.find_def(None, "entropy").unwrap();
+        let findings = g.taint(&[(sink, SinkKind::Entropy)], |_, _| false);
+        assert_eq!(findings.len(), 2);
+    }
+}

@@ -16,13 +16,16 @@
 //! Output is a token stream of identifiers and punctuation (with `::`
 //! fused), each tagged with its 1-based source line.
 
-/// Token kind. Literals and comments never become tokens.
+/// Token kind. String/char literals and comments never become tokens.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
     /// An identifier or keyword.
     Ident,
     /// One punctuation glyph (`::` is fused into a single token).
     Punct,
+    /// A numeric literal (`42`, `0x52_4554_5259`, `1.5e3`, `100u64`) —
+    /// kept as a token so graph rules can read domain constants.
+    Lit,
 }
 
 /// One token, borrowing its text from the source.
@@ -46,6 +49,28 @@ impl Tok<'_> {
     pub fn is_punct(&self, s: &str) -> bool {
         self.kind == TokKind::Punct && self.s == s
     }
+
+    /// For a [`TokKind::Lit`] integer literal, its numeric value:
+    /// handles `0x`/`0o`/`0b` prefixes, `_` separators, and type
+    /// suffixes. `None` for floats and malformed literals.
+    pub fn int_value(&self) -> Option<u64> {
+        if self.kind != TokKind::Lit || self.s.contains('.') {
+            return None;
+        }
+        let s = self.s.replace('_', "");
+        let (digits, radix) = match s.as_bytes() {
+            [b'0', b'x' | b'X', ..] => (&s[2..], 16),
+            [b'0', b'o' | b'O', ..] => (&s[2..], 8),
+            [b'0', b'b' | b'B', ..] => (&s[2..], 2),
+            _ => (&s[..], 10),
+        };
+        // Strip a type suffix (`u64`, `i32`, `usize`): digits end at the
+        // first char that is not valid in this radix.
+        let end = digits
+            .find(|c: char| !c.is_digit(radix))
+            .unwrap_or(digits.len());
+        u64::from_str_radix(&digits[..end], radix).ok()
+    }
 }
 
 /// A `kvlint: allow(<rule>) — <justification>` pragma found in a
@@ -61,13 +86,30 @@ pub struct Pragma {
     pub justification: String,
 }
 
-/// Lexer output: the token stream plus extracted pragmas.
+/// Lexer output: the token stream plus extracted pragmas and the
+/// comment geometry graph rules need.
 #[derive(Debug, Default)]
 pub struct Lexed<'a> {
-    /// Identifier/punctuation tokens in source order.
+    /// Identifier/punctuation/literal tokens in source order.
     pub toks: Vec<Tok<'a>>,
     /// Suppression pragmas found in comments.
     pub pragmas: Vec<Pragma>,
+    /// Inclusive line ranges covered by comments, in source order.
+    /// Used by `unsafe-requires-safety` to walk a comment run upward.
+    pub comment_lines: Vec<(u32, u32)>,
+    /// Lines on which a comment contains a `SAFETY:` marker.
+    pub safety_lines: Vec<u32>,
+}
+
+impl Lexed<'_> {
+    fn note_comment(&mut self, text: &str, start_line: u32, end_line: u32) {
+        self.comment_lines.push((start_line, end_line));
+        for (off, chunk) in text.split('\n').enumerate() {
+            if chunk.contains("SAFETY:") {
+                self.safety_lines.push(start_line + off as u32);
+            }
+        }
+    }
 }
 
 /// Scans one comment's text for `kvlint:` pragmas (used for Rust
@@ -146,6 +188,7 @@ pub fn lex(src: &str) -> Lexed<'_> {
                     i += 1;
                 }
                 scan_comment_for_pragmas(&src[start..i], line, &mut out.pragmas);
+                out.note_comment(&src[start..i], line, line);
             }
             b'/' if i + 1 < n && b[i + 1] == b'*' => {
                 let start = i;
@@ -167,6 +210,7 @@ pub fn lex(src: &str) -> Lexed<'_> {
                     }
                 }
                 scan_comment_for_pragmas(&src[start..i], start_line, &mut out.pragmas);
+                out.note_comment(&src[start..i], start_line, line);
             }
             b'"' => {
                 i = skip_string(b, i, &mut line);
@@ -197,6 +241,27 @@ pub fn lex(src: &str) -> Lexed<'_> {
                         s: ident,
                     });
                 }
+            }
+            _ if c.is_ascii_digit() => {
+                // Numeric literal: digits, `_`, radix/suffix letters, and
+                // `.` only when a digit follows (so `0..n` stays a range
+                // and `1.max(2)` stays a method call).
+                let start = i;
+                i += 1;
+                while i < n {
+                    if is_ident_continue(b[i]) {
+                        i += 1;
+                    } else if b[i] == b'.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                    s: &src[start..i],
+                });
             }
             _ if c.is_ascii_graphic() => {
                 if c == b':' && i + 1 < n && b[i + 1] == b':' {
@@ -395,6 +460,52 @@ mod tests {
         let l = lex(src);
         assert_eq!(l.pragmas.len(), 1);
         assert_eq!(l.pragmas[0].line, 2);
+    }
+
+    #[test]
+    fn numeric_literals_lex_as_single_tokens() {
+        let l = lex("let d = mix64(seed ^ mix64(0x52_4554_5259)); let r = 0..10; let f = 1.5e3;");
+        let lits: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| t.s)
+            .collect();
+        assert_eq!(lits, ["0x52_4554_5259", "0", "10", "1.5e3"]);
+        let domain = l.toks.iter().find(|t| t.s == "0x52_4554_5259").unwrap();
+        assert_eq!(domain.int_value(), Some(0x52_4554_5259));
+        assert_eq!(
+            l.toks.iter().find(|t| t.s == "1.5e3").unwrap().int_value(),
+            None
+        );
+    }
+
+    #[test]
+    fn int_value_handles_radix_and_suffix() {
+        let l = lex("a(0b1010); b(0o17); c(100u64); d(0xffu8);");
+        let vals: Vec<Option<u64>> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| t.int_value())
+            .collect();
+        assert_eq!(vals, [Some(10), Some(15), Some(100), Some(0xff)]);
+    }
+
+    #[test]
+    fn safety_markers_and_comment_runs_are_recorded() {
+        let src = "// SAFETY: the buffer is exclusively owned\n// and never aliased.\nunsafe { }\n/* SAFETY: block form */\n";
+        let l = lex(src);
+        assert_eq!(l.safety_lines, vec![1, 4]);
+        assert_eq!(l.comment_lines, vec![(1, 1), (2, 2), (4, 4)]);
+    }
+
+    #[test]
+    fn multiline_block_comment_safety_line_is_exact() {
+        let src = "/* prologue\n   SAFETY: pointer is valid\n*/\n";
+        let l = lex(src);
+        assert_eq!(l.safety_lines, vec![2]);
+        assert_eq!(l.comment_lines, vec![(1, 3)]);
     }
 
     #[test]

@@ -6,34 +6,55 @@
 //! time, and tier-1 building with zero registry dependencies. kvlint
 //! machine-checks them. It tokenizes every workspace `.rs` file (a small
 //! lexer — no `syn`, to stay offline-green) and every `Cargo.toml`, and
-//! enforces five rules (see [`rules::Rule`]) with file:line diagnostics.
+//! enforces ten rules (see [`rules::Rule`]) with file:line diagnostics.
+//!
+//! v2 grew the per-file token scanner into a workspace analyzer: a
+//! lightweight item parser ([`parser`]) feeds an approximate cross-crate
+//! call graph ([`graph`]) so `transitive-taint` can catch sink access
+//! laundered through wrapper functions, `rng-domain-separation` checks
+//! seeding-domain constants for uniqueness across the whole workspace,
+//! and `panic-surface` ratchets the hot-path crates' panic sites against
+//! a committed baseline ([`baseline`]) that may only shrink.
 //!
 //! Violations can be suppressed with a pragma that must carry a
 //! justification:
 //!
 //! ```text
-//! // kvlint: allow(no-wall-clock) — timing the host simulator, not the device
+//! let sw = Stopwatch::start(); // kvlint: allow(no-wall-clock) — timing the host simulator, not the device
 //! ```
+//!
+//! (The code before the comment matters: a pragma must start its
+//! comment line to be recognized, so this doc example is prose, not a
+//! live grant in kvlint's own source.)
 //!
 //! The pragma covers its own line and the line directly below it. A
 //! pragma naming an unknown rule, or missing its justification, is
 //! itself an error (`bad-pragma`) — typos must not silently widen the
-//! allowed surface.
+//! allowed surface. And a pragma that suppresses nothing is an error too
+//! (`dead-pragma`) — stale grants get deleted, not inherited.
 //!
 //! Three entry points make violations impossible to miss: the
 //! `cargo run -p kvssd-lint` binary, a tier-1 test that lints the whole
 //! workspace (`cargo test` fails on any violation), and named
 //! `scripts/verify.sh` / CI steps.
 
+pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use baseline::Baseline;
+use graph::{SinkKind, SymbolGraph};
+use lexer::TokKind;
+use parser::FileSyms;
 use rules::{RawDiag, Rule};
 
 /// What kind of file a path is, for rule applicability.
@@ -109,6 +130,10 @@ pub struct Report {
     pub violations: BTreeMap<&'static str, usize>,
     /// Per-rule counts of findings silenced by a valid pragma.
     pub suppressed: BTreeMap<&'static str, usize>,
+    /// Post-suppression `panic-surface` site counts per hot-path file —
+    /// what the baseline ratchet compares and `--write-baseline` writes.
+    /// Populated whether or not a baseline waived the sites.
+    pub panic_surface: BTreeMap<String, usize>,
 }
 
 impl Report {
@@ -132,6 +157,12 @@ impl Report {
         self.diagnostics.len()
     }
 
+    /// Total `panic-surface` sites across hot-path files (within-budget
+    /// sites included — this is the number the ratchet squeezes).
+    pub fn panic_surface_total(&self) -> usize {
+        self.panic_surface.values().sum()
+    }
+
     /// The machine-readable one-line summary (stable key order).
     pub fn summary_json(&self) -> String {
         let mut s = String::new();
@@ -145,7 +176,12 @@ impl Report {
             let sep = if i > 0 { ", " } else { "" };
             let _ = write!(s, "{sep}\"{rule}\": {n}");
         }
-        let _ = write!(s, "}}, \"clean\": {}}}", self.is_clean());
+        let _ = write!(
+            s,
+            "}}, \"panic_sites\": {}, \"clean\": {}}}",
+            self.panic_surface_total(),
+            self.is_clean()
+        );
         s
     }
 
@@ -165,27 +201,242 @@ impl Report {
     }
 }
 
+/// Per-file state carried between the per-file scan and the workspace
+/// passes.
+struct FileWork {
+    rel: String,
+    /// Unsuppressed findings accumulated so far.
+    diags: Vec<RawDiag>,
+    /// Validated suppression pragmas.
+    allows: Vec<(Rule, u32)>,
+    /// `mix64(<lit>)` seeding-domain constants (library `.rs` only).
+    domains: Vec<rules::DomainConst>,
+}
+
+/// Lints a set of `(workspace-relative path, source)` files as one
+/// workspace: per-file token rules, the cross-file symbol-graph rules,
+/// and — when `baseline` is given — the panic-surface ratchet. This is
+/// THE engine: the binary, the tier-1 gate, and the fixture tests all go
+/// through it.
+pub fn lint_files(files: &[(String, String)], baseline: Option<&Baseline>) -> Report {
+    let mut report = Report::new();
+    let mut work: Vec<FileWork> = Vec::with_capacity(files.len());
+    // The graph is built over the `.rs` files only; `syms`/`sinks` run
+    // parallel to `graph_files`, which maps back into `work` via
+    // `work_idx`.
+    let mut graph_files: Vec<(String, FileSyms)> = Vec::new();
+    let mut fn_sinks: Vec<Vec<Vec<SinkKind>>> = Vec::new();
+    let mut graph_to_work: Vec<usize> = Vec::new();
+
+    for (rel, src) in files {
+        report.files_scanned += 1;
+        let mut w = FileWork {
+            rel: rel.clone(),
+            diags: Vec::new(),
+            allows: Vec::new(),
+            domains: Vec::new(),
+        };
+        if rel.ends_with(".rs") {
+            let class = classify(rel);
+            let lexed = lexer::lex(src);
+            w.diags = rules::check_tokens(
+                &lexed,
+                class,
+                WALL_CLOCK_ALLOWLIST.contains(&rel.as_str()),
+                ENV_READ_ALLOWLIST.contains(&rel.as_str()),
+            );
+            w.diags.extend(rules::check_unsafe_safety(&lexed));
+            w.diags
+                .extend(rules::check_panic_surface(&lexed, rel, class));
+            w.allows = rules::validate_pragmas(&lexed.pragmas, &mut w.diags);
+            w.domains = rules::collect_rng_domains(&lexed, class);
+            let syms = parser::parse_items(&lexed);
+            fn_sinks.push(
+                syms.fns
+                    .iter()
+                    .map(|f| body_sinks(&lexed.toks, f.body.clone()))
+                    .collect(),
+            );
+            graph_to_work.push(work.len());
+            graph_files.push((rel.clone(), syms));
+        } else {
+            let (mut diags, pragmas) = manifest::check_manifest(src);
+            w.allows = rules::validate_pragmas(&pragmas, &mut diags);
+            w.diags = diags;
+        }
+        work.push(w);
+    }
+
+    // --- transitive-taint: build the graph, seed it, walk it. ---
+    let sym_graph = SymbolGraph::build(&graph_files);
+    let mut seeds: Vec<(usize, SinkKind)> = Vec::new();
+    let mut def_idx = 0usize;
+    for (gi, (rel, syms)) in graph_files.iter().enumerate() {
+        let wall_sanctioned = WALL_CLOCK_ALLOWLIST.contains(&rel.as_str());
+        let env_sanctioned = ENV_READ_ALLOWLIST.contains(&rel.as_str());
+        for (fj, f) in syms.fns.iter().enumerate() {
+            for &k in &fn_sinks[gi][fj] {
+                seeds.push((def_idx, k));
+            }
+            // Every fn in the sanctioned timing module is a wall-clock
+            // source even when its own body has no `Instant` token
+            // (`elapsed_secs` just subtracts) — wrappers in the
+            // sanctioned file are exactly the laundering vector.
+            if wall_sanctioned {
+                seeds.push((def_idx, SinkKind::WallClock));
+            }
+            if env_sanctioned && f.name == "env_config" {
+                seeds.push((def_idx, SinkKind::EnvRead));
+            }
+            def_idx += 1;
+        }
+    }
+    let taint_allowed = |file: usize, kind: SinkKind| -> bool {
+        let rel = graph_files[file].0.as_str();
+        match kind {
+            // Bench code (and non-library code: tests, examples, bench
+            // targets) may time itself and read its config; library
+            // crates may not, not even through wrappers.
+            SinkKind::WallClock | SinkKind::EnvRead => {
+                classify(rel) != FileClass::LibrarySrc || rel.starts_with("crates/bench/")
+            }
+            // No sanctioned window for OS entropy, anywhere.
+            SinkKind::Entropy => false,
+        }
+    };
+    for finding in sym_graph.taint(&seeds, taint_allowed) {
+        let w = graph_to_work[finding.file];
+        work[w].diags.push(RawDiag {
+            line: finding.line,
+            rule: Rule::TransitiveTaint.name(),
+            message: format!(
+                "call path reaches the {} sink in `{}` through wrappers, with no allowlisted \
+                 hop: {}",
+                finding.kind.describe(),
+                finding.source_path,
+                finding.chain.join(" -> ")
+            ),
+        });
+    }
+
+    // --- rng-domain-separation: domain constants must be unique. ---
+    let mut by_value: BTreeMap<u64, Vec<(usize, u32, String)>> = BTreeMap::new();
+    for (wi, w) in work.iter().enumerate() {
+        for d in &w.domains {
+            by_value
+                .entry(d.value)
+                .or_default()
+                .push((wi, d.line, d.text.clone()));
+        }
+    }
+    for sites in by_value.values().filter(|s| s.len() > 1) {
+        for (i, &(wi, line, ref text)) in sites.iter().enumerate() {
+            let (owi, oline, _) = sites[if i == 0 { 1 } else { 0 }];
+            let other = format!("{}:{}", files[owi].0, oline);
+            work[wi].diags.push(RawDiag {
+                line,
+                rule: Rule::RngDomainSeparation.name(),
+                message: format!(
+                    "mix64 seeding-domain constant `{text}` is also used at {other}; streams \
+                     seeded from the same domain are correlated — pick a fresh constant"
+                ),
+            });
+        }
+    }
+
+    // --- suppression, dead-pragma, the baseline ratchet. ---
+    for w in &mut work {
+        w.diags
+            .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        let (mut kept, mut suppressed, mut hits) =
+            rules::apply_suppressions(std::mem::take(&mut w.diags), &w.allows);
+        let (dead, excused) = rules::dead_pragma_pass(&w.allows, &mut hits);
+        kept.extend(dead);
+        if excused > 0 {
+            suppressed.push((Rule::DeadPragma.name(), excused));
+        }
+        let panic_sites = kept
+            .iter()
+            .filter(|d| d.rule == Rule::PanicSurface.name())
+            .count();
+        if panic_sites > 0 {
+            report.panic_surface.insert(w.rel.clone(), panic_sites);
+            if let Some(b) = baseline {
+                let budget = b.counts.get(&w.rel).copied().unwrap_or(0);
+                if panic_sites <= budget {
+                    // Within budget: counted, ratcheted, but not a
+                    // violation. Over budget: every site stays visible.
+                    kept.retain(|d| d.rule != Rule::PanicSurface.name());
+                }
+            }
+        }
+        report.absorb(&w.rel, kept, suppressed);
+    }
+    report
+}
+
+/// Sink kinds whose raw tokens appear inside one fn body (token index
+/// range) — taint seeds for the symbol graph.
+fn body_sinks(toks: &[lexer::Tok], body: std::ops::Range<usize>) -> Vec<SinkKind> {
+    let mut out: Vec<SinkKind> = Vec::new();
+    let push = |k: SinkKind, out: &mut Vec<SinkKind>| {
+        if !out.contains(&k) {
+            out.push(k);
+        }
+    };
+    for i in body {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.s {
+            "Instant" | "SystemTime" => push(SinkKind::WallClock, &mut out),
+            "env"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                    && toks.get(i + 2).is_some_and(|n| {
+                        n.kind == TokKind::Ident && rules::ENV_READ_FNS.contains(&n.s)
+                    }) =>
+            {
+                push(SinkKind::EnvRead, &mut out)
+            }
+            s if rules::ENTROPY_IDENTS.contains(&s) => push(SinkKind::Entropy, &mut out),
+            _ => {}
+        }
+    }
+    out
+}
+
 /// Lints one Rust source string as `rel_path` would be linted in the
-/// workspace pass. Public so fixtures and tests hit the exact
-/// production path.
+/// workspace pass (including the graph rules, over the one-file
+/// "workspace"). Public so fixtures and tests hit the exact production
+/// path.
 pub fn lint_rust_str(rel_path: &str, src: &str) -> (Vec<RawDiag>, Vec<(&'static str, usize)>) {
-    let class = classify(rel_path);
-    let lexed = lexer::lex(src);
-    let mut diags = rules::check_tokens(
-        &lexed,
-        class,
-        WALL_CLOCK_ALLOWLIST.contains(&rel_path),
-        ENV_READ_ALLOWLIST.contains(&rel_path),
-    );
-    let allows = rules::validate_pragmas(&lexed.pragmas, &mut diags);
-    rules::apply_suppressions(diags, &allows)
+    let files = [(rel_path.to_string(), src.to_string())];
+    flatten(lint_files(&files, None))
 }
 
 /// Lints one `Cargo.toml` source string.
 pub fn lint_manifest_str(src: &str) -> (Vec<RawDiag>, Vec<(&'static str, usize)>) {
-    let (mut diags, pragmas) = manifest::check_manifest(src);
-    let allows = rules::validate_pragmas(&pragmas, &mut diags);
-    rules::apply_suppressions(diags, &allows)
+    let files = [("Cargo.toml".to_string(), src.to_string())];
+    flatten(lint_files(&files, None))
+}
+
+fn flatten(report: Report) -> (Vec<RawDiag>, Vec<(&'static str, usize)>) {
+    let kept = report
+        .diagnostics
+        .into_iter()
+        .map(|d| RawDiag {
+            line: d.line,
+            rule: d.rule,
+            message: d.message,
+        })
+        .collect();
+    let suppressed = report
+        .suppressed
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    (kept, suppressed)
 }
 
 /// Directories never descended into: build output, VCS internals, and
@@ -197,24 +448,46 @@ fn skip_dir(rel: &str) -> bool {
 }
 
 /// Walks the workspace rooted at `root` and lints every `.rs` and
-/// `Cargo.toml`. Deterministic: files are visited in sorted path order.
+/// `Cargo.toml`, applying the committed panic-surface baseline
+/// (`kvlint-baseline.toml`) when present. Deterministic: files are
+/// visited in sorted path order.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
-    let mut files = Vec::new();
-    collect_files(root, root, &mut files)?;
-    files.sort();
+    let baseline = load_baseline(root)?;
+    lint_workspace_with(root, baseline.as_ref())
+}
 
-    let mut report = Report::new();
-    for rel in &files {
-        let src = fs::read_to_string(root.join(rel))?;
-        report.files_scanned += 1;
-        let (kept, suppressed) = if rel.ends_with(".rs") {
-            lint_rust_str(rel, &src)
-        } else {
-            lint_manifest_str(&src)
-        };
-        report.absorb(rel, kept, suppressed);
+/// Reads and parses the committed baseline at `root`, if present. A
+/// malformed baseline is an I/O-level error, not a silently-empty
+/// budget.
+pub fn load_baseline(root: &Path) -> std::io::Result<Option<Baseline>> {
+    match fs::read_to_string(root.join(baseline::BASELINE_FILE)) {
+        Ok(src) => Baseline::parse(&src).map(Some).map_err(|line| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{}:{line}: malformed baseline entry",
+                    baseline::BASELINE_FILE
+                ),
+            )
+        }),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
     }
-    Ok(report)
+}
+
+/// [`lint_workspace`] with an explicit baseline decision (`None` turns
+/// every panic-surface site into a violation — what `--write-baseline`
+/// uses to measure the true count).
+pub fn lint_workspace_with(root: &Path, baseline: Option<&Baseline>) -> std::io::Result<Report> {
+    let mut paths = Vec::new();
+    collect_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in paths {
+        let src = fs::read_to_string(root.join(&rel))?;
+        files.push((rel, src));
+    }
+    Ok(lint_files(&files, baseline))
 }
 
 fn collect_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
@@ -295,6 +568,83 @@ mod tests {
             assert!(json.contains(rule.name()), "{json}");
         }
         assert!(json.contains("bad-pragma"));
+        assert!(json.contains("\"panic_sites\": 0"));
         assert!(json.contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn taint_crosses_files_in_a_workspace_pass() {
+        let files = [
+            (
+                "crates/bench/src/walltime.rs".to_string(),
+                "pub struct Stopwatch(u64);\nimpl Stopwatch {\n  pub fn start() -> Self { Stopwatch(0) }\n}\n"
+                    .to_string(),
+            ),
+            (
+                "crates/core/src/device.rs".to_string(),
+                "fn smuggle() -> f64 { let sw = Stopwatch::start(); 0.0 }\n".to_string(),
+            ),
+        ];
+        let report = lint_files(&files, None);
+        assert_eq!(
+            report.violations["transitive-taint"], 1,
+            "{:?}",
+            report.diagnostics
+        );
+        let d = &report.diagnostics[0];
+        assert_eq!(d.path, "crates/core/src/device.rs");
+        assert_eq!(d.line, 1);
+        assert!(d.message.contains("smuggle"), "{}", d.message);
+    }
+
+    #[test]
+    fn duplicate_rng_domains_flagged_across_files() {
+        let files = [
+            (
+                "crates/cluster/src/a.rs".to_string(),
+                "fn s(x: u64) -> u64 { mix64(x ^ mix64(0x11)) }\n".to_string(),
+            ),
+            (
+                "crates/fabric/src/b.rs".to_string(),
+                "fn t(x: u64) -> u64 { mix64(0x11 ^ x) }\n".to_string(),
+            ),
+        ];
+        let report = lint_files(&files, None);
+        assert_eq!(
+            report.violations["rng-domain-separation"], 2,
+            "{:?}",
+            report.diagnostics
+        );
+        assert!(report.diagnostics[0]
+            .message
+            .contains("crates/fabric/src/b.rs:1"));
+    }
+
+    #[test]
+    fn panic_surface_baseline_waives_within_budget_only() {
+        let src = "pub fn f(o: Option<u8>) -> u8 { o.unwrap() }\n".to_string();
+        let files = [("crates/core/src/device.rs".to_string(), src)];
+        // No baseline: a violation.
+        let r = lint_files(&files, None);
+        assert_eq!(r.violations["panic-surface"], 1);
+        assert_eq!(r.panic_surface["crates/core/src/device.rs"], 1);
+        // Budget 1: waived but still counted.
+        let b = Baseline::parse("[panic-surface]\n\"crates/core/src/device.rs\" = 1\n").unwrap();
+        let r = lint_files(&files, Some(&b));
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.panic_surface_total(), 1);
+        // Budget 0 for the file: over budget, back to a violation.
+        let b = Baseline::parse("[panic-surface]\n\"other.rs\" = 9\n").unwrap();
+        let r = lint_files(&files, Some(&b));
+        assert_eq!(r.violations["panic-surface"], 1);
+    }
+
+    #[test]
+    fn dead_pragma_flagged_in_full_pass() {
+        let src = "// kvlint: allow(no-wall-clock) — nothing below ever used a clock\nfn f() {}\n";
+        let (d, _) = lint_rust_str("crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "dead-pragma");
+        assert_eq!(d[0].line, 1);
     }
 }

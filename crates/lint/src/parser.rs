@@ -1,0 +1,419 @@
+//! A lightweight item parser on top of the lexer: extracts `fn` / `impl`
+//! / `use` items and call sites per file, without building a full AST.
+//!
+//! This is the symbol layer the graph rules stand on. It is deliberately
+//! approximate — no type information, no macro expansion — but it is
+//! *structurally* faithful: brace depths are tracked exactly (the lexer
+//! already stripped strings and comments), so function bodies, `impl`
+//! block ownership, and `use`-rename scopes are attributed correctly.
+//! The resolution layer ([`crate::graph`]) compensates for the missing
+//! type information by resolving bare names conservatively.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One `fn` item (free function, inherent or trait method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` target type when defined inside an `impl` block
+    /// (`impl Stopwatch { fn start... }` → `Some("Stopwatch")`; for
+    /// trait impls this is the *self* type, not the trait).
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body (empty for bodyless trait decls).
+    pub body: std::ops::Range<usize>,
+    /// Call sites inside the body, in source order.
+    pub calls: Vec<Call>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Path segments as written (`kvssd_bench::env_config` →
+    /// `["kvssd_bench", "env_config"]`; a method call `x.tick()` →
+    /// `["tick"]`). Aliases are unresolved here.
+    pub path: Vec<String>,
+    /// True for `.name(...)` receiver calls.
+    pub method: bool,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The symbols one file contributes to the workspace graph.
+#[derive(Debug, Clone, Default)]
+pub struct FileSyms {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnDef>,
+    /// `use` bindings: local alias → full path segments
+    /// (`use a::b as c` → `("c", ["a", "b"])`).
+    pub uses: Vec<(String, Vec<String>)>,
+}
+
+/// Keywords that can directly precede `(` or `[` without being callees
+/// or indexable expressions — used to reject `let [a, b] = ...` patterns
+/// and `return (x)` parens as call/index sites.
+pub const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Parses the item structure of one lexed file.
+pub fn parse_items(lexed: &Lexed) -> FileSyms {
+    let toks = &lexed.toks;
+    let mut out = FileSyms::default();
+    let mut depth = 0u32;
+    // Innermost-first stacks: (depth the block opened at, payload).
+    let mut fn_stack: Vec<(u32, usize)> = Vec::new();
+    let mut impl_stack: Vec<(u32, String)> = Vec::new();
+    let mut pending_fn: Option<(String, u32)> = None;
+    let mut pending_impl: Option<String> = None;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if t.s == "{" => {
+                depth += 1;
+                if let Some((name, line)) = pending_fn.take() {
+                    let owner = impl_stack.last().map(|(_, o)| o.clone());
+                    out.fns.push(FnDef {
+                        name,
+                        owner,
+                        line,
+                        body: i + 1..i + 1, // end patched at the closing brace
+                        calls: Vec::new(),
+                    });
+                    fn_stack.push((depth, out.fns.len() - 1));
+                } else if let Some(owner) = pending_impl.take() {
+                    impl_stack.push((depth, owner));
+                }
+            }
+            TokKind::Punct if t.s == "}" => {
+                if let Some((d, idx)) = fn_stack.last().copied() {
+                    if d == depth {
+                        out.fns[idx].body.end = i;
+                        fn_stack.pop();
+                    }
+                }
+                if let Some((d, _)) = impl_stack.last() {
+                    if *d == depth {
+                        impl_stack.pop();
+                    }
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokKind::Punct if t.s == ";" => {
+                // Bodyless trait method declaration: record the def with
+                // an empty body so callers can still resolve to it.
+                if let Some((name, line)) = pending_fn.take() {
+                    let owner = impl_stack.last().map(|(_, o)| o.clone());
+                    out.fns.push(FnDef {
+                        name,
+                        owner,
+                        line,
+                        body: i..i,
+                        calls: Vec::new(),
+                    });
+                }
+            }
+            TokKind::Ident if t.s == "fn" => {
+                // `fn Name` is a definition; `fn(` is a fn-pointer type.
+                if let Some(n) = toks.get(i + 1) {
+                    if n.kind == TokKind::Ident {
+                        pending_fn = Some((n.s.to_string(), t.line));
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            // With a fn signature pending, `impl` is return/argument
+            // position (`-> impl Iterator`), not an impl block.
+            TokKind::Ident if t.s == "impl" && pending_fn.is_none() => {
+                if let Some(owner) = impl_target(toks, i + 1) {
+                    pending_impl = Some(owner);
+                }
+            }
+            TokKind::Ident if t.s == "trait" => {
+                // Trait declarations own their method (default) bodies
+                // the same way impls do: `Transport::request`.
+                if let Some(n) = toks.get(i + 1) {
+                    if n.kind == TokKind::Ident {
+                        pending_impl = Some(n.s.to_string());
+                    }
+                }
+            }
+            TokKind::Ident if t.s == "use" && depth == 0 => {
+                i = parse_use(toks, i + 1, &mut out.uses);
+                continue;
+            }
+            TokKind::Ident if !is_keyword(t.s) => {
+                // Call-site detection, attributed to the innermost open fn.
+                if let Some((_, fn_idx)) = fn_stack.last().copied() {
+                    let after_fn_kw = i > 0 && toks[i - 1].is_ident("fn");
+                    let path_start = i == 0 || !toks[i - 1].is_punct("::");
+                    if !after_fn_kw && path_start {
+                        if let Some((call, next)) = scan_call(toks, i) {
+                            out.fns[fn_idx].calls.push(call);
+                            i = next;
+                            continue;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts the self-type name of an `impl` header starting just past
+/// the `impl` keyword: the last path segment before `{`, taking the
+/// `for`-side type in trait impls and skipping generic argument lists.
+fn impl_target(toks: &[Tok], mut i: usize) -> Option<String> {
+    let mut angle = 0i64;
+    let mut last_ident: Option<&str> = None;
+    let mut after_generics = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+            after_generics = true;
+        } else if angle == 0 {
+            if t.is_punct("{") || t.is_punct(";") {
+                return last_ident.map(str::to_string);
+            }
+            if t.is_ident("for") {
+                // Trait impl: restart capture on the self type.
+                last_ident = None;
+            } else if t.is_ident("where") {
+                return last_ident.map(str::to_string);
+            } else if t.kind == TokKind::Ident && !is_keyword(t.s) {
+                // `Foo<T>` — don't let generic params overwrite the
+                // path's head once a `<...>` list closed.
+                if !(after_generics && last_ident.is_some()) {
+                    last_ident = Some(t.s);
+                }
+                after_generics = false;
+            }
+        }
+        i += 1;
+    }
+    last_ident.map(str::to_string)
+}
+
+/// Parses a `use` declaration starting just past the `use` keyword;
+/// returns the token index past the terminating `;`. Appends
+/// (alias, full-path) bindings, flattening `{...}` groups and applying
+/// `as` renames. Glob imports contribute nothing.
+fn parse_use(toks: &[Tok], mut i: usize, out: &mut Vec<(String, Vec<String>)>) -> usize {
+    fn tree(
+        toks: &[Tok],
+        mut i: usize,
+        prefix: &[String],
+        out: &mut Vec<(String, Vec<String>)>,
+    ) -> usize {
+        let mut path: Vec<String> = prefix.to_vec();
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.kind == TokKind::Ident && t.s == "as" {
+                if let Some(alias) = toks.get(i + 1) {
+                    out.push((alias.s.to_string(), path.clone()));
+                }
+                return i + 2;
+            } else if t.kind == TokKind::Ident {
+                if t.s == "self" {
+                    // `use a::b::{self}` binds `b`.
+                } else {
+                    path.push(t.s.to_string());
+                }
+                i += 1;
+            } else if t.is_punct("::") {
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("{")) {
+                    i += 2;
+                    while i < toks.len() && !toks[i].is_punct("}") {
+                        i = tree(toks, i, &path, out);
+                        if toks.get(i).is_some_and(|n| n.is_punct(",")) {
+                            i += 1;
+                        }
+                    }
+                    return i + 1; // past `}`
+                }
+                i += 1;
+            } else if t.is_punct("*") {
+                return i + 1;
+            } else {
+                break; // `,` `}` `;`
+            }
+        }
+        if let Some(last) = path.last() {
+            if path.len() > prefix.len() || !prefix.is_empty() {
+                out.push((last.clone(), path.clone()));
+            }
+        }
+        i
+    }
+    i = tree(toks, i, &[], out);
+    while i < toks.len() && !toks[i].is_punct(";") {
+        i += 1;
+    }
+    i + 1
+}
+
+/// Tries to read a call expression whose path starts at token `i`
+/// (an identifier). Returns the call and the index just past the
+/// opening `(` when `i` begins `path::to::callee(...)`,
+/// `callee::<T>(...)`, or `.callee(...)`; `None` otherwise (macro
+/// invocations, struct literals, plain expressions).
+fn scan_call<'a>(toks: &[Tok<'a>], i: usize) -> Option<(Call, usize)> {
+    let method = i > 0 && toks[i - 1].is_punct(".");
+    let line = toks[i].line;
+    let mut path = vec![toks[i].s.to_string()];
+    let mut j = i + 1;
+    if !method {
+        while toks.get(j).is_some_and(|t| t.is_punct("::"))
+            && toks
+                .get(j + 1)
+                .is_some_and(|t| t.kind == TokKind::Ident && !is_keyword(t.s))
+        {
+            path.push(toks[j + 1].s.to_string());
+            j += 2;
+        }
+    }
+    // Optional turbofish between the callee and its argument list.
+    if toks.get(j).is_some_and(|t| t.is_punct("::"))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct("<"))
+    {
+        let mut angle = 0i64;
+        let mut k = j + 1;
+        while k < toks.len() {
+            if toks[k].is_punct("<") {
+                angle += 1;
+            } else if toks[k].is_punct(">") {
+                angle -= 1;
+                if angle == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+        Some((Call { path, method, line }, j + 1))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> FileSyms {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn free_fns_and_methods_get_owners() {
+        let src = "pub fn free() {}\nimpl Stopwatch { pub fn start() -> Self { tick() } }\n";
+        let s = parse(src);
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "free");
+        assert_eq!(s.fns[0].owner, None);
+        assert_eq!(s.fns[1].name, "start");
+        assert_eq!(s.fns[1].owner.as_deref(), Some("Stopwatch"));
+        assert_eq!(s.fns[1].calls.len(), 1);
+        assert_eq!(s.fns[1].calls[0].path, ["tick"]);
+    }
+
+    #[test]
+    fn trait_impls_attribute_to_the_self_type() {
+        let src = "impl fmt::Display for KvError { fn fmt(&self, f: &mut F) -> R { f.pad() } }\n\
+                   impl<'a> Iterator for IterBuckets<'a> { fn next(&mut self) -> Option<u32> { None } }\n";
+        let s = parse(src);
+        assert_eq!(s.fns[0].owner.as_deref(), Some("KvError"));
+        assert_eq!(s.fns[1].owner.as_deref(), Some("IterBuckets"));
+    }
+
+    #[test]
+    fn nested_fns_and_closing_braces_restore_context() {
+        let src =
+            "impl A { fn outer() { fn inner() { leaf(); } inner(); } }\nfn after() { tail() }\n";
+        let s = parse(src);
+        let names: Vec<&str> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "after"]);
+        assert_eq!(s.fns[1].calls[0].path, ["leaf"]);
+        assert_eq!(s.fns[0].calls[0].path, ["inner"]);
+        assert_eq!(s.fns[2].owner, None);
+        assert_eq!(s.fns[2].calls[0].path, ["tail"]);
+    }
+
+    #[test]
+    fn qualified_method_and_turbofish_calls_are_captured() {
+        let src = "fn f() { kvssd_bench::env_config(\"X\"); Stopwatch::start(); sw.elapsed_secs(); parse::<u64>(s); }";
+        let s = parse(src);
+        let calls = &s.fns[0].calls;
+        assert_eq!(calls[0].path, ["kvssd_bench", "env_config"]);
+        assert!(!calls[0].method);
+        assert_eq!(calls[1].path, ["Stopwatch", "start"]);
+        assert_eq!(calls[2].path, ["elapsed_secs"]);
+        assert!(calls[2].method);
+        assert_eq!(calls[3].path, ["parse"]);
+    }
+
+    #[test]
+    fn use_trees_bind_aliases_groups_and_renames() {
+        let src = "use kvssd_bench::walltime::Stopwatch;\n\
+                   use kvssd_bench::env_config as cfg;\n\
+                   use a::b::{c, d as e, f::g};\n\
+                   use h::*;\n";
+        let s = parse(src);
+        let find = |alias: &str| {
+            s.uses
+                .iter()
+                .find(|(a, _)| a == alias)
+                .map(|(_, p)| p.join("::"))
+        };
+        assert_eq!(
+            find("Stopwatch").as_deref(),
+            Some("kvssd_bench::walltime::Stopwatch")
+        );
+        assert_eq!(find("cfg").as_deref(), Some("kvssd_bench::env_config"));
+        assert_eq!(find("c").as_deref(), Some("a::b::c"));
+        assert_eq!(find("e").as_deref(), Some("a::b::d"));
+        assert_eq!(find("g").as_deref(), Some("a::b::f::g"));
+        assert!(!s.uses.iter().any(|(a, _)| a == "*" || a == "h"));
+    }
+
+    #[test]
+    fn fn_pointer_types_and_macros_are_not_defs_or_calls() {
+        let src = "fn f(cb: fn(u32) -> u32) { println!(\"x\"); cb(1); }";
+        let s = parse(src);
+        assert_eq!(s.fns.len(), 1);
+        let calls = &s.fns[0].calls;
+        assert_eq!(calls.len(), 1, "{calls:?}");
+        assert_eq!(calls[0].path, ["cb"]);
+    }
+
+    #[test]
+    fn bodyless_trait_decls_are_still_defs() {
+        let src = "trait Transport { fn request(&mut self, at: SimTime) -> Delivery; }";
+        let s = parse(src);
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "request");
+        assert!(s.fns[0].calls.is_empty());
+        assert_eq!(s.fns[0].owner.as_deref(), Some("Transport"));
+    }
+}

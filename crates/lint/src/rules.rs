@@ -9,8 +9,22 @@
 //! | `no-env-read` | a run is a pure function of its seeds, not ambient host state |
 //! | `no-offline-break` | tier-1 builds with zero registry dependencies |
 //! | `no-unseeded-entropy` | every random stream is derived from an explicit seed |
+//! | `transitive-taint` | the sanctioned sink modules cannot be laundered through wrappers |
+//! | `rng-domain-separation` | every derived RNG stream has a unique seeding domain |
+//! | `unsafe-requires-safety` | every `unsafe` block/impl argues its soundness in place |
+//! | `panic-surface` | the hot-path crates' panic surface only ever shrinks |
+//! | `dead-pragma` | the suppression surface carries no stale grants |
+//!
+//! The first five are token rules over one file. The second five are the
+//! v2 graph/structure rules: `transitive-taint` and
+//! `rng-domain-separation` need the whole workspace (see
+//! [`crate::graph`] and the orchestration in [`crate::lint_files`]),
+//! `panic-surface` ratchets against a committed baseline
+//! ([`crate::baseline`]), and `dead-pragma` runs after suppression,
+//! judging the pragmas themselves.
 
-use crate::lexer::{Lexed, Pragma, Tok};
+use crate::lexer::{Lexed, Pragma, Tok, TokKind};
+use crate::parser::KEYWORDS;
 use crate::FileClass;
 
 /// The rules kvlint enforces.
@@ -29,16 +43,36 @@ pub enum Rule {
     NoOfflineBreak,
     /// OS-entropy RNG constructors (`thread_rng`, `from_entropy`, ...).
     NoUnseededEntropy,
+    /// A library-code call path that reaches a wall-clock / env /
+    /// entropy sink through wrapper functions, with no raw sink token of
+    /// its own (the laundering vector the token rules cannot see).
+    TransitiveTaint,
+    /// The same `mix64(0x...)` seeding domain constant used at two
+    /// sites: two "independent" RNG streams would be correlated.
+    RngDomainSeparation,
+    /// An `unsafe` block or `unsafe impl` without an adjacent
+    /// `// SAFETY:` comment.
+    UnsafeRequiresSafety,
+    /// `.unwrap()` / `.expect()` / `panic!` / slice indexing in non-test
+    /// code of the hot-path crates, over the committed baseline budget.
+    PanicSurface,
+    /// A valid `kvlint: allow` pragma that suppresses nothing.
+    DeadPragma,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 10] = [
         Rule::NoWallClock,
         Rule::NoRandomStateMap,
         Rule::NoEnvRead,
         Rule::NoOfflineBreak,
         Rule::NoUnseededEntropy,
+        Rule::TransitiveTaint,
+        Rule::RngDomainSeparation,
+        Rule::UnsafeRequiresSafety,
+        Rule::PanicSurface,
+        Rule::DeadPragma,
     ];
 
     /// The rule's kebab-case name (as used in `kvlint: allow(...)`).
@@ -49,6 +83,30 @@ impl Rule {
             Rule::NoEnvRead => "no-env-read",
             Rule::NoOfflineBreak => "no-offline-break",
             Rule::NoUnseededEntropy => "no-unseeded-entropy",
+            Rule::TransitiveTaint => "transitive-taint",
+            Rule::RngDomainSeparation => "rng-domain-separation",
+            Rule::UnsafeRequiresSafety => "unsafe-requires-safety",
+            Rule::PanicSurface => "panic-surface",
+            Rule::DeadPragma => "dead-pragma",
+        }
+    }
+
+    /// One-line description (for `--list-rules` and the SARIF rule
+    /// table).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::NoWallClock => "wall-clock types outside the sanctioned timing module",
+            Rule::NoRandomStateMap => "randomized-iteration std maps/sets in library code",
+            Rule::NoEnvRead => "environment reads outside the sanctioned config module",
+            Rule::NoOfflineBreak => "registry dependencies that break offline tier-1 builds",
+            Rule::NoUnseededEntropy => "OS-entropy RNG constructors anywhere",
+            Rule::TransitiveTaint => {
+                "library call paths reaching a determinism sink through wrappers"
+            }
+            Rule::RngDomainSeparation => "duplicate mix64 seeding-domain constants",
+            Rule::UnsafeRequiresSafety => "unsafe block/impl without an adjacent SAFETY: comment",
+            Rule::PanicSurface => "panic-capable sites in hot-path crates over the baseline",
+            Rule::DeadPragma => "kvlint: allow pragmas that suppress nothing",
         }
     }
 
@@ -61,6 +119,29 @@ impl Rule {
 /// Diagnostic category: a real rule, or a malformed suppression pragma
 /// (itself an error — a typoed pragma must never silently un-suppress).
 pub const BAD_PRAGMA: &str = "bad-pragma";
+
+/// The crates whose panic surface is ratcheted: the ones on the
+/// measured device/cluster/fabric path, where a panic aborts an
+/// experiment mid-figure instead of surfacing a typed error.
+pub const HOT_PATH_CRATES: &[&str] = &[
+    "crates/core/src/",
+    "crates/cluster/src/",
+    "crates/fabric/src/",
+];
+
+/// Identifiers that construct OS-entropy RNG state (shared by the token
+/// rule and taint seeding).
+pub const ENTROPY_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "getrandom",
+];
+
+/// `std::env` reader names (shared by the token rule and taint seeding).
+pub const ENV_READ_FNS: &[&str] = &["var", "var_os", "vars", "vars_os"];
 
 /// One finding, before path attachment.
 #[derive(Debug, Clone)]
@@ -112,19 +193,26 @@ pub fn validate_pragmas(pragmas: &[Pragma], diags: &mut Vec<RawDiag>) -> Vec<(Ru
 
 /// Applies suppressions: a pragma covers its own line and the line
 /// immediately below it (so it can sit at end-of-line or on its own line
-/// directly above the code it excuses). Returns (kept, suppressed-counts
-/// as (rule-name, n) pairs).
+/// directly above the code it excuses). Returns (kept,
+/// suppressed-counts as (rule-name, n) pairs, per-allow hit flags — the
+/// hit flags feed [`dead_pragma_pass`]).
 pub fn apply_suppressions(
     diags: Vec<RawDiag>,
     allows: &[(Rule, u32)],
-) -> (Vec<RawDiag>, Vec<(&'static str, usize)>) {
+) -> (Vec<RawDiag>, Vec<(&'static str, usize)>, Vec<bool>) {
     let mut kept = Vec::new();
     let mut suppressed: Vec<(&'static str, usize)> = Vec::new();
+    let mut hits = vec![false; allows.len()];
     for d in diags {
-        let hit = d.rule != BAD_PRAGMA
-            && allows.iter().any(|(r, l)| {
-                r.name() == d.rule && (*l == d.line || l.checked_add(1) == Some(d.line))
-            });
+        let mut hit = false;
+        if d.rule != BAD_PRAGMA {
+            for (i, (r, l)) in allows.iter().enumerate() {
+                if r.name() == d.rule && (*l == d.line || l.checked_add(1) == Some(d.line)) {
+                    hits[i] = true;
+                    hit = true;
+                }
+            }
+        }
         if hit {
             match suppressed.iter_mut().find(|(r, _)| *r == d.rule) {
                 Some((_, n)) => *n += 1,
@@ -134,7 +222,53 @@ pub fn apply_suppressions(
             kept.push(d);
         }
     }
-    (kept, suppressed)
+    (kept, suppressed, hits)
+}
+
+/// The `dead-pragma` rule: runs after every suppression round for a
+/// file, flagging valid pragmas that suppressed nothing — a stale grant
+/// is free attack surface for the violation it once excused. A
+/// `kvlint: allow(dead-pragma)` pragma covering the stale pragma's line
+/// keeps a deliberately prophylactic pragma, and is itself marked live
+/// by doing so. Returns the dead-pragma findings plus the number of
+/// findings that were excused that way.
+pub fn dead_pragma_pass(allows: &[(Rule, u32)], hits: &mut [bool]) -> (Vec<RawDiag>, usize) {
+    let mut excused = vec![false; allows.len()];
+    for i in 0..allows.len() {
+        if hits[i] || excused[i] {
+            continue;
+        }
+        let line = allows[i].1;
+        if let Some(j) = (0..allows.len()).find(|&j| {
+            j != i
+                && allows[j].0 == Rule::DeadPragma
+                && (allows[j].1 == line || allows[j].1.checked_add(1) == Some(line))
+        }) {
+            excused[i] = true;
+            hits[j] = true;
+        }
+    }
+    let mut out = Vec::new();
+    let mut n_excused = 0usize;
+    for (i, &(rule, line)) in allows.iter().enumerate() {
+        if hits[i] {
+            continue;
+        }
+        if excused[i] {
+            n_excused += 1;
+            continue;
+        }
+        out.push(RawDiag {
+            line,
+            rule: Rule::DeadPragma.name(),
+            message: format!(
+                "`kvlint: allow({})` suppresses nothing — delete it; a stale pragma is a \
+                 standing grant for the next violation on this line",
+                rule.name()
+            ),
+        });
+    }
+    (out, n_excused)
 }
 
 /// Line ranges (inclusive) covered by `#[cfg(test)]` items. Used to
@@ -217,6 +351,10 @@ fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
     regions.iter().any(|&(a, b)| a <= line && line <= b)
 }
 
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
 /// Runs every token rule over one lexed Rust file. `class` decides which
 /// rules apply; `wall_clock_allowed` / `env_read_allowed` are the
 /// per-file path-allowlist decisions made by the caller.
@@ -231,7 +369,7 @@ pub fn check_tokens(
     let toks = &lexed.toks;
 
     for (i, t) in toks.iter().enumerate() {
-        if t.kind != crate::lexer::TokKind::Ident {
+        if t.kind != TokKind::Ident {
             continue;
         }
         match t.s {
@@ -264,8 +402,7 @@ pub fn check_tokens(
                 if !env_read_allowed
                     && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
                     && toks.get(i + 2).is_some_and(|n| {
-                        matches!(n.s, "var" | "var_os" | "vars" | "vars_os")
-                            && n.kind == crate::lexer::TokKind::Ident
+                        ENV_READ_FNS.contains(&n.s) && n.kind == TokKind::Ident
                     }) =>
             {
                 diags.push(RawDiag {
@@ -278,7 +415,7 @@ pub fn check_tokens(
                     ),
                 });
             }
-            "thread_rng" | "ThreadRng" | "from_entropy" | "from_os_rng" | "OsRng" | "getrandom" => {
+            s if ENTROPY_IDENTS.contains(&s) => {
                 diags.push(RawDiag {
                     line: t.line,
                     rule: Rule::NoUnseededEntropy.name(),
@@ -296,6 +433,155 @@ pub fn check_tokens(
     // is one violation, not two.
     diags.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
     diags
+}
+
+/// The `unsafe-requires-safety` rule: every `unsafe` block or
+/// `unsafe impl` must have a `// SAFETY:` comment on its own line or in
+/// the comment run directly above it. `unsafe fn` *declarations* are
+/// exempt — the obligation sits at the unsafe *uses* inside them, which
+/// are blocks and get checked.
+pub fn check_unsafe_safety(lexed: &Lexed) -> Vec<RawDiag> {
+    let covered = |line: u32| {
+        lexed
+            .comment_lines
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    };
+    let safety = |line: u32| lexed.safety_lines.contains(&line);
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let form = match toks.get(i + 1) {
+            Some(n) if n.is_punct("{") => "block",
+            Some(n) if n.is_ident("impl") => "impl",
+            _ => continue,
+        };
+        // Trailing `// SAFETY:` on the same line, or a comment run
+        // walking upward from the line above that carries the marker.
+        let mut ok = safety(t.line);
+        let mut cur = t.line;
+        while !ok && cur > 1 && covered(cur - 1) {
+            cur -= 1;
+            ok = safety(cur);
+        }
+        if !ok {
+            out.push(RawDiag {
+                line: t.line,
+                rule: Rule::UnsafeRequiresSafety.name(),
+                message: format!(
+                    "`unsafe` {form} without an adjacent `// SAFETY:` comment; state the \
+                     invariant that makes it sound directly above the `unsafe`",
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The `panic-surface` token scan: `.unwrap()` / `.expect()` / `panic!`
+/// / slice-indexing sites in non-test code of the hot-path crates
+/// ([`HOT_PATH_CRATES`]). Counting (and the baseline ratchet) happens in
+/// the orchestration layer; this returns one site per line.
+pub fn check_panic_surface(lexed: &Lexed, rel: &str, class: FileClass) -> Vec<RawDiag> {
+    if class != FileClass::LibrarySrc || !HOT_PATH_CRATES.iter().any(|p| rel.starts_with(p)) {
+        return Vec::new();
+    }
+    let test_regions = cfg_test_regions(&lexed.toks);
+    let toks = &lexed.toks;
+    let mut diags: Vec<RawDiag> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if in_regions(t.line, &test_regions) {
+            continue;
+        }
+        let what = match t.kind {
+            TokKind::Ident
+                if matches!(t.s, "unwrap" | "expect")
+                    && i > 0
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) =>
+            {
+                format!("`.{}()`", t.s)
+            }
+            TokKind::Ident
+                if t.s == "panic" && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+            {
+                "`panic!`".to_string()
+            }
+            // `x[i]` / `f()[i]` / `a[i][j]`: `[` after a value expression.
+            // `#[attr]`, `: [u8; N]`, `= [...]`, `let [a, b]` all have a
+            // non-value token before the bracket and stay unflagged.
+            TokKind::Punct
+                if t.s == "["
+                    && i > 0
+                    && ((toks[i - 1].kind == TokKind::Ident && !is_keyword(toks[i - 1].s))
+                        || toks[i - 1].is_punct(")")
+                        || toks[i - 1].is_punct("]")) =>
+            {
+                "slice indexing".to_string()
+            }
+            _ => continue,
+        };
+        diags.push(RawDiag {
+            line: t.line,
+            rule: Rule::PanicSurface.name(),
+            message: format!(
+                "panic-surface site ({what}) in hot-path library code; return a typed `KvError` \
+                 instead (budgeted sites live in kvlint-baseline.toml and may only shrink)"
+            ),
+        });
+    }
+    // One site per line keeps baseline counts stable under reformatting.
+    diags.dedup_by(|a, b| a.line == b.line);
+    diags
+}
+
+/// One `mix64(<int literal> ...)` seeding-domain constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainConst {
+    /// 1-based line of the literal.
+    pub line: u32,
+    /// The literal as written (`0x52_4554_5259`).
+    pub text: String,
+    /// Its numeric value (what uniqueness is judged on).
+    pub value: u64,
+}
+
+/// Collects `rng-domain-separation` candidates: integer literals in
+/// first-argument position of a `mix64(...)` call in library
+/// (non-`cfg(test)`) code. Both the pure form `mix64(0xD0)` and the
+/// mixed form `mix64(0xD0 ^ data)` carry a domain constant; the
+/// workspace pass flags any value used at more than one site.
+pub fn collect_rng_domains(lexed: &Lexed, class: FileClass) -> Vec<DomainConst> {
+    if class != FileClass::LibrarySrc {
+        return Vec::new();
+    }
+    let test_regions = cfg_test_regions(&lexed.toks);
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("mix64") {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        let Some(lit) = toks.get(i + 2) else { continue };
+        let Some(value) = lit.int_value() else {
+            continue;
+        };
+        if in_regions(lit.line, &test_regions) {
+            continue;
+        }
+        out.push(DomainConst {
+            line: lit.line,
+            text: lit.s.to_string(),
+            value,
+        });
+    }
+    out
 }
 
 #[cfg(test)]
@@ -336,5 +622,135 @@ mod tests {
             None,
             "bad-pragma is not allowable"
         );
+    }
+
+    #[test]
+    fn suppression_hits_are_tracked_per_pragma() {
+        let diags = vec![RawDiag {
+            line: 5,
+            rule: Rule::NoWallClock.name(),
+            message: String::new(),
+        }];
+        let allows = [(Rule::NoWallClock, 4), (Rule::NoEnvRead, 4)];
+        let (kept, suppressed, hits) = apply_suppressions(diags, &allows);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, [("no-wall-clock", 1)]);
+        assert_eq!(hits, [true, false]);
+    }
+
+    #[test]
+    fn dead_pragmas_are_flagged_and_excusable() {
+        // Pragma 0 hit; pragma 1 dead; pragma 2 dead but excused by 3,
+        // which becomes live by excusing it.
+        let allows = [
+            (Rule::NoWallClock, 3),
+            (Rule::NoEnvRead, 9),
+            (Rule::NoRandomStateMap, 20),
+            (Rule::DeadPragma, 19),
+        ];
+        let mut hits = vec![true, false, false, false];
+        let (dead, excused) = dead_pragma_pass(&allows, &mut hits);
+        assert_eq!(excused, 1);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].line, 9);
+        assert_eq!(dead[0].rule, "dead-pragma");
+        assert!(hits[3], "the excusing dead-pragma allow is live");
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let src = "\
+// SAFETY: the allocator never unwinds.
+unsafe impl GlobalAlloc for A {
+    unsafe fn alloc(&self) -> *mut u8 {
+        unsafe { sys_alloc() }
+    }
+}
+fn f() {
+    unsafe { raw() } // SAFETY: trailing form also counts
+}
+";
+        let l = lex(src);
+        let d = check_unsafe_safety(&l);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+        assert_eq!(d[0].rule, "unsafe-requires-safety");
+    }
+
+    #[test]
+    fn unsafe_safety_walks_multi_line_comment_runs() {
+        let src = "\
+// SAFETY: the buffer is exclusively owned
+// and the layout round-trips through the allocator.
+unsafe { dealloc(p) }
+";
+        let l = lex(src);
+        assert!(check_unsafe_safety(&l).is_empty());
+    }
+
+    #[test]
+    fn panic_surface_sites_in_hot_crates_only() {
+        let src = "\
+fn f(v: &[u8], o: Option<u8>) -> u8 {
+    let a = o.unwrap();
+    let b = o.expect(\"set\");
+    if v.is_empty() { panic!(\"empty\"); }
+    v[0]
+}
+#[cfg(test)]
+mod tests {
+    fn t(o: Option<u8>) { o.unwrap(); }
+}
+";
+        let l = lex(src);
+        let hot = check_panic_surface(&l, "crates/core/src/device.rs", FileClass::LibrarySrc);
+        let lines: Vec<u32> = hot.iter().map(|d| d.line).collect();
+        assert_eq!(lines, [2, 3, 4, 5], "{hot:?}");
+        assert!(
+            check_panic_surface(&l, "crates/sim/src/rng.rs", FileClass::LibrarySrc).is_empty(),
+            "sim is not a hot-path crate"
+        );
+        assert!(
+            check_panic_surface(&l, "crates/core/tests/x.rs", FileClass::Tests).is_empty(),
+            "tests are exempt"
+        );
+    }
+
+    #[test]
+    fn panic_surface_ignores_non_indexing_brackets() {
+        let src = "\
+#[derive(Debug)]
+struct S { buf: [u8; 4] }
+fn f(s: &S, i: usize) -> u8 {
+    let _arr = [1, 2, 3];
+    let [a, _b] = [i, i];
+    let _ = a;
+    s.buf[i]
+}
+";
+        let l = lex(src);
+        let d = check_panic_surface(&l, "crates/core/src/device.rs", FileClass::LibrarySrc);
+        let lines: Vec<u32> = d.iter().map(|x| x.line).collect();
+        assert_eq!(lines, [7], "{d:?}");
+    }
+
+    #[test]
+    fn rng_domains_capture_pure_and_mixed_forms() {
+        let src = "\
+fn seeds(seed: u64, id: u64) -> (u64, u64) {
+    let a = mix64(seed ^ mix64(0x52_4554_5259));
+    let b = mix64(0x5EED ^ id);
+    (a, b)
+}
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = mix64(0x52_4554_5259); }
+}
+";
+        let l = lex(src);
+        let d = collect_rng_domains(&l, FileClass::LibrarySrc);
+        let got: Vec<(u32, u64)> = d.iter().map(|c| (c.line, c.value)).collect();
+        assert_eq!(got, [(2, 0x52_4554_5259), (3, 0x5EED)], "{d:?}");
+        assert!(collect_rng_domains(&l, FileClass::Tests).is_empty());
     }
 }

@@ -1,0 +1,108 @@
+//! SARIF 2.1.0 output so CI can annotate PRs with kvlint findings.
+//!
+//! Hand-rolled JSON (no serde — the crate stays dependency-free). The
+//! emitted log carries one `run` with the full rule table and one
+//! `result` per diagnostic, each with a physical location GitHub's
+//! SARIF ingestion turns into an inline annotation.
+
+use std::fmt::Write as _;
+
+use crate::rules::{Rule, BAD_PRAGMA};
+use crate::{Diagnostic, Report};
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One-line description per rule, reused as the SARIF rule help text.
+fn rule_help(rule: &str) -> &'static str {
+    match Rule::from_name(rule) {
+        Some(r) => r.summary(),
+        None if rule == BAD_PRAGMA => "a malformed `kvlint: allow` pragma",
+        None => "kvlint diagnostic",
+    }
+}
+
+/// Renders the full SARIF 2.1.0 log for a report.
+pub fn render(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "{\"version\": \"2.1.0\", \"$schema\": \
+         \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\", \
+         \"runs\": [{\"tool\": {\"driver\": {\"name\": \"kvssd-lint\", \
+         \"informationUri\": \"https://example.org/kvssd-study\", \"rules\": [",
+    );
+    let mut rule_ids: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+    rule_ids.push(BAD_PRAGMA);
+    for (i, id) in rule_ids.iter().enumerate() {
+        let sep = if i > 0 { ", " } else { "" };
+        let _ = write!(
+            s,
+            "{sep}{{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            esc(id),
+            esc(rule_help(id))
+        );
+    }
+    s.push_str("]}}, \"results\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let sep = if i > 0 { ", " } else { "" };
+        let _ = write!(s, "{sep}{}", result_json(d));
+    }
+    s.push_str("]}]}");
+    s
+}
+
+fn result_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \
+         \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+         \"region\": {{\"startLine\": {}}}}}}}]}}",
+        esc(d.rule),
+        esc(&d.message),
+        esc(&d.path),
+        d.line
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_log_carries_rules_and_results() {
+        let mut report = Report::new();
+        report.diagnostics.push(Diagnostic {
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "no-wall-clock",
+            message: "uses `Instant` — a \"wall clock\"".into(),
+        });
+        let log = render(&report);
+        assert!(log.contains("\"version\": \"2.1.0\""));
+        assert!(log.contains("\"id\": \"panic-surface\""));
+        assert!(log.contains("\"startLine\": 7"));
+        assert!(log.contains("\\\"wall clock\\\""), "{log}");
+        assert!(log.contains("\"uri\": \"crates/x/src/lib.rs\""));
+    }
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

@@ -9,7 +9,7 @@
 //! `lint_manifest_str`) under a library-crate pseudo-path.
 
 use kvssd_lint::rules::{RawDiag, BAD_PRAGMA};
-use kvssd_lint::{lint_manifest_str, lint_rust_str};
+use kvssd_lint::{lint_files, lint_manifest_str, lint_rust_str};
 
 /// Lints a Rust fixture as if it were library-crate source.
 fn lint_lib(src: &str) -> (Vec<RawDiag>, Vec<(&'static str, usize)>) {
@@ -197,4 +197,154 @@ fn bad_pragma_itself_cannot_be_allowed() {
     // bad pragma, so the escape hatch cannot disable pragma hygiene.
     let (d, _) = lint_lib("// kvlint: allow(bad-pragma) — nice try, not a rule name\n");
     assert_eq!(rule_lines(&d, BAD_PRAGMA), vec![1]);
+}
+
+// ----- transitive-taint ------------------------------------------------
+
+/// Lints a two-file pseudo-workspace: the sanctioned timing module plus
+/// one library file, through the production workspace pass.
+fn lint_with_taint_source(lib_src: &str) -> kvssd_lint::Report {
+    let files = [
+        (
+            "crates/bench/src/walltime.rs".to_string(),
+            include_str!("../fixtures/taint_source.rs").to_string(),
+        ),
+        ("crates/fixture/src/lib.rs".to_string(), lib_src.to_string()),
+    ];
+    lint_files(&files, None)
+}
+
+#[test]
+fn transitive_taint_triggers_at_the_laundering_call() {
+    let r = lint_with_taint_source(include_str!("../fixtures/taint_trigger.rs"));
+    assert_eq!(r.violations["transitive-taint"], 1, "{:?}", r.diagnostics);
+    assert_eq!(r.total_violations(), 1);
+    let d = &r.diagnostics[0];
+    assert_eq!((d.path.as_str(), d.line), ("crates/fixture/src/lib.rs", 3));
+    assert!(d.message.contains("checkpoint"), "{}", d.message);
+    assert!(d.message.contains("wall-clock"), "{}", d.message);
+}
+
+#[test]
+fn transitive_taint_allow_pragma_suppresses() {
+    let r = lint_with_taint_source(include_str!("../fixtures/taint_allowed.rs"));
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed["transitive-taint"], 1);
+}
+
+#[test]
+fn transitive_taint_clean_is_clean() {
+    let r = lint_with_taint_source(include_str!("../fixtures/taint_clean.rs"));
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed["transitive-taint"], 0);
+}
+
+// ----- rng-domain-separation -------------------------------------------
+
+#[test]
+fn duplicate_rng_domain_triggers_at_both_sites() {
+    let (d, _) = lint_lib(include_str!("../fixtures/rng_domain_trigger.rs"));
+    assert_eq!(rule_lines(&d, "rng-domain-separation"), vec![3, 6]);
+    assert_eq!(d.len(), 2, "{d:?}");
+    // Each site's message points at the other site.
+    assert!(d[0].message.contains(":6"), "{}", d[0].message);
+    assert!(d[1].message.contains(":3"), "{}", d[1].message);
+}
+
+#[test]
+fn rng_domain_allow_pragma_suppresses() {
+    let (d, sup) = lint_lib(include_str!("../fixtures/rng_domain_allowed.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    assert_eq!(suppressed_count(&sup, "rng-domain-separation"), 2);
+}
+
+#[test]
+fn rng_domain_clean_is_clean() {
+    let (d, sup) = lint_lib(include_str!("../fixtures/rng_domain_clean.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    assert!(sup.is_empty());
+}
+
+// ----- unsafe-requires-safety ------------------------------------------
+
+#[test]
+fn unsafe_without_safety_comment_triggers() {
+    let (d, _) = lint_lib(include_str!("../fixtures/unsafe_safety_trigger.rs"));
+    assert_eq!(rule_lines(&d, "unsafe-requires-safety"), vec![3, 5]);
+    assert_eq!(d.len(), 2, "{d:?}");
+}
+
+#[test]
+fn unsafe_allow_pragma_suppresses() {
+    let (d, sup) = lint_lib(include_str!("../fixtures/unsafe_safety_allowed.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    assert_eq!(suppressed_count(&sup, "unsafe-requires-safety"), 1);
+}
+
+#[test]
+fn unsafe_with_safety_comment_is_clean() {
+    let (d, sup) = lint_lib(include_str!("../fixtures/unsafe_safety_clean.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    assert!(sup.is_empty(), "SAFETY comments need no pragma");
+}
+
+// ----- panic-surface ---------------------------------------------------
+
+/// Lints a panic-surface fixture under a hot-path pseudo-path (the rule
+/// only applies to `crates/{core,cluster,fabric}/src/`).
+fn lint_hot(src: &str) -> (Vec<RawDiag>, Vec<(&'static str, usize)>) {
+    lint_rust_str("crates/core/src/fixture.rs", src)
+}
+
+#[test]
+fn panic_surface_triggers_per_site_in_hot_path_only() {
+    let src = include_str!("../fixtures/panic_surface_trigger.rs");
+    let (d, _) = lint_hot(src);
+    assert_eq!(rule_lines(&d, "panic-surface"), vec![4, 5, 7]);
+    assert_eq!(d.len(), 3, "{d:?}");
+    // The same sites outside the hot-path crates are not counted.
+    let (d, _) = lint_rust_str("crates/fixture/src/lib.rs", src);
+    assert!(d.is_empty(), "{d:?}");
+    // Nor in test code of a hot-path crate.
+    let (d, _) = lint_rust_str("crates/core/tests/model.rs", src);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn panic_surface_allow_pragma_suppresses() {
+    let (d, sup) = lint_hot(include_str!("../fixtures/panic_surface_allowed.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    assert_eq!(suppressed_count(&sup, "panic-surface"), 3);
+}
+
+#[test]
+fn panic_surface_clean_is_clean() {
+    let (d, sup) = lint_hot(include_str!("../fixtures/panic_surface_clean.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    assert!(sup.is_empty());
+}
+
+// ----- dead-pragma -----------------------------------------------------
+
+#[test]
+fn stale_pragma_triggers_at_its_own_line() {
+    let (d, _) = lint_lib(include_str!("../fixtures/dead_pragma_trigger.rs"));
+    assert_eq!(rule_lines(&d, "dead-pragma"), vec![2]);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("no-wall-clock"), "{}", d[0].message);
+}
+
+#[test]
+fn prophylactic_pragma_kept_by_allow_dead_pragma() {
+    let (d, sup) = lint_lib(include_str!("../fixtures/dead_pragma_allowed.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    assert_eq!(suppressed_count(&sup, "dead-pragma"), 1);
+}
+
+#[test]
+fn live_pragma_is_not_dead() {
+    let (d, sup) = lint_lib(include_str!("../fixtures/dead_pragma_clean.rs"));
+    assert!(d.is_empty(), "{d:?}");
+    assert_eq!(suppressed_count(&sup, "no-wall-clock"), 1);
+    assert_eq!(suppressed_count(&sup, "dead-pragma"), 0);
 }

@@ -6,7 +6,7 @@
 
 use std::path::{Path, PathBuf};
 
-use kvssd_lint::lint_workspace;
+use kvssd_lint::{lint_workspace, load_baseline};
 
 fn workspace_root() -> PathBuf {
     // crates/lint/ -> crates/ -> workspace root
@@ -76,4 +76,71 @@ fn seeded_violation_is_caught() {
     assert!(wall
         .to_string()
         .starts_with("crates/demo/src/lib.rs:1: no-wall-clock:"));
+}
+
+#[test]
+fn seeded_panic_sites_ratchet_against_the_baseline() {
+    // End-to-end over a throwaway mini-workspace: the full directory
+    // pass counts hot-path panic sites, the committed baseline waives
+    // exactly its budget, slack is detectable for the strict ratchet,
+    // and an over-budget regression turns back into violations.
+    let dir = std::env::temp_dir().join(format!("kvlint-ratchet-{}", std::process::id()));
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("create temp workspace");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/core\"]\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("crates/core/Cargo.toml"),
+        "[package]\nname = \"core\"\n",
+    )
+    .unwrap();
+    let two_sites = "pub fn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n\
+                     pub fn g(v: &[u8]) -> u8 {\n    v[0]\n}\n";
+    std::fs::write(src.join("device.rs"), two_sites).unwrap();
+
+    // No baseline: every site is a violation.
+    let r = lint_workspace(&dir).unwrap();
+    assert_eq!(r.violations["panic-surface"], 2, "{:?}", r.diagnostics);
+    assert_eq!(r.panic_surface["crates/core/src/device.rs"], 2);
+
+    // A budget of exactly 2 waives them; the count stays visible.
+    std::fs::write(
+        dir.join("kvlint-baseline.toml"),
+        "[panic-surface]\n\"crates/core/src/device.rs\" = 2\n",
+    )
+    .unwrap();
+    let r = lint_workspace(&dir).unwrap();
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.panic_surface_total(), 2);
+
+    // Fixing one site leaves slack the strict ratchet step reports.
+    let one_site = "pub fn f(o: Option<u8>) -> Option<u8> {\n    o\n}\n\
+                    pub fn g(v: &[u8]) -> u8 {\n    v[0]\n}\n";
+    std::fs::write(src.join("device.rs"), one_site).unwrap();
+    let r = lint_workspace(&dir).unwrap();
+    assert!(r.is_clean(), "within budget: {:?}", r.diagnostics);
+    let b = load_baseline(&dir).unwrap().expect("baseline present");
+    assert_eq!(
+        b.slack(&r.panic_surface),
+        vec![("crates/core/src/device.rs".to_string(), 1, 2)]
+    );
+
+    // A regression past a (tightened) budget fails the plain gate, and
+    // every site in the over-budget file surfaces with file:line.
+    std::fs::write(
+        dir.join("kvlint-baseline.toml"),
+        "[panic-surface]\n\"crates/core/src/device.rs\" = 1\n",
+    )
+    .unwrap();
+    std::fs::write(src.join("device.rs"), two_sites).unwrap();
+    let r = lint_workspace(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(r.violations["panic-surface"], 2, "{:?}", r.diagnostics);
+    assert!(r
+        .diagnostics
+        .iter()
+        .all(|d| d.path == "crates/core/src/device.rs"));
 }

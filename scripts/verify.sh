@@ -21,6 +21,13 @@ echo "== kvlint (determinism / virtual-time / offline-green invariants) =="
 # non-zero on any unsuppressed violation with file:line diagnostics.
 cargo run "${CARGO_FLAGS[@]}" -q -p kvssd-lint
 
+echo "== kvlint ratchet + SARIF (panic-surface baseline must be tight) =="
+# --strict fails on baseline slack too (budget above actual), so the
+# committed kvlint-baseline.toml can only shrink; the SARIF 2.1.0 log
+# is what CI uploads for code-scanning annotation.
+mkdir -p target
+cargo run "${CARGO_FLAGS[@]}" -q -p kvssd-lint -- --strict --sarif target/kvlint.sarif
+
 echo "== cargo build --release =="
 cargo build "${CARGO_FLAGS[@]}" --release --workspace
 

@@ -300,18 +300,20 @@ fn rebalance_conserves_data() {
             )
             .unwrap();
     }
-    let (id, rep) = cluster.add_shard(
-        t,
-        kvssd_study::core::KvSsd::new(
-            kvssd_study::flash::Geometry::small(),
-            kvssd_study::flash::FlashTiming::pm983_like(),
-            kvssd_study::core::KvConfig::small(),
-        ),
-    );
+    let (id, rep) = cluster
+        .add_shard(
+            t,
+            kvssd_study::core::KvSsd::new(
+                kvssd_study::flash::Geometry::small(),
+                kvssd_study::flash::FlashTiming::pm983_like(),
+                kvssd_study::core::KvConfig::small(),
+            ),
+        )
+        .unwrap();
     assert!(rep.moved_keys > 0);
     assert_eq!(cluster.len(), n);
     assert!(rep.completed >= rep.started, "rebalance must take time");
-    let rep2 = cluster.remove_shard(rep.completed, id);
+    let rep2 = cluster.remove_shard(rep.completed, id).unwrap();
     assert_eq!(cluster.len(), n);
     assert!(rep2.moved_keys > 0);
     for i in 0..n {

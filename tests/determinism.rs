@@ -55,7 +55,9 @@ fn cluster_runs_are_deterministic_per_seed() {
             .seed(12_21);
         let m = run_phase(&mut store, &spec, SimTime::ZERO);
         let cluster = store.cluster_mut();
-        let rep = cluster.remove_shard(m.finished, cluster.shards()[2].id());
+        let rep = cluster
+            .remove_shard(m.finished, cluster.shards()[2].id())
+            .unwrap();
         format!(
             "{}\nmoved={} bytes={} done={}",
             cluster.report().render(),
@@ -85,7 +87,9 @@ fn replication_runs_are_deterministic_per_seed() {
             .seed(19_84);
         let m = run_phase(&mut store, &spec, SimTime::ZERO);
         let cluster = store.cluster_mut();
-        let rep = cluster.remove_shard(m.finished, cluster.shards()[1].id());
+        let rep = cluster
+            .remove_shard(m.finished, cluster.shards()[1].id())
+            .unwrap();
         format!(
             "{}\nmoved={} copied={} dropped={} done={}",
             cluster.report().render(),

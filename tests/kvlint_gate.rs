@@ -6,6 +6,27 @@
 use std::path::Path;
 
 #[test]
+fn panic_surface_baseline_is_tight() {
+    // The ratchet: the committed kvlint-baseline.toml must equal the
+    // re-derived per-file panic-surface counts exactly. Over budget is
+    // a regression (caught by the clean gate below too); *under* budget
+    // is slack a future regression could hide in — shrink the baseline
+    // in the same change that removes the sites
+    // (`cargo run -p kvssd-lint -- --write-baseline`). Equality also
+    // means the baseline can never grow without the diff showing it.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = kvssd_lint::lint_workspace(root).expect("workspace walk succeeds");
+    let baseline = kvssd_lint::load_baseline(root)
+        .expect("baseline parses")
+        .expect("kvlint-baseline.toml is committed at the workspace root");
+    assert_eq!(
+        baseline.counts, report.panic_surface,
+        "kvlint-baseline.toml is stale; regenerate with \
+         `cargo run -p kvssd-lint -- --write-baseline` (budgets may only shrink)"
+    );
+}
+
+#[test]
 fn kvlint_workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let report = kvssd_lint::lint_workspace(root).expect("workspace walk succeeds");
